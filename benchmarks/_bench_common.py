@@ -1,0 +1,27 @@
+"""Shared knobs for the reproduction benchmarks.
+
+Environment overrides:
+
+* ``REPRO_BENCH_SCALE`` — dataset scale (default ``1/32`` of Table I);
+* ``REPRO_BENCH_EPOCHS`` — training epochs (default: config default);
+* ``REPRO_BENCH_COS`` — COs per attack session (default 32).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+from repro.config import default_config
+
+BENCH_SCALE = float(eval(os.environ.get("REPRO_BENCH_SCALE", "1/32")))
+BENCH_COS = int(os.environ.get("REPRO_BENCH_COS", "32"))
+_EPOCHS = os.environ.get("REPRO_BENCH_EPOCHS")
+
+
+def bench_config(cipher: str):
+    """The benchmark pipeline configuration for one cipher."""
+    config = default_config(cipher, dataset_scale=BENCH_SCALE)
+    if _EPOCHS is not None:
+        config = replace(config, epochs=int(_EPOCHS))
+    return config

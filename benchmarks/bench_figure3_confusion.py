@@ -1,0 +1,73 @@
+"""Figure 3 — test confusion matrices for all five ciphers under RD-4.
+
+Trains one CNN per cipher exactly as Section IV-B describes (ad-hoc
+dataset per cipher, Adam, best-validation selection) and prints the
+row-normalised test confusion matrix next to the paper's values.  The
+paper reports diagonals of 88-100 %; at this reproduction's dataset scale
+the expectation is the same shape: strongly diagonal matrices for every
+cipher.  The timed kernel is CNN inference over the held-out test set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ciphers import available_ciphers
+from repro.evaluation import format_table
+from repro.nn.metrics import format_confusion
+
+#: Figure 3 of the paper: (c0->c0, c0->c1, c1->c0, c1->c1) percentages.
+PAPER_FIGURE_3 = {
+    "aes": (99.56, 0.44, 2.70, 97.30),
+    "aes_masked": (99.87, 0.13, 0.07, 99.93),
+    "camellia": (99.92, 0.08, 0.00, 100.00),
+    "clefia": (88.08, 11.92, 0.03, 99.97),
+    "simon": (94.30, 5.70, 7.90, 92.10),
+}
+
+
+@pytest.mark.parametrize("cipher", available_ciphers())
+def test_figure3_confusion(cipher, locator_cache, benchmark):
+    locator, _ = locator_cache(cipher, 4)
+    test_set = locator.test_set
+    assert test_set is not None and len(test_set) > 0
+
+    def infer():
+        return locator.cnn.predict(test_set.x)
+
+    predictions = benchmark(infer)
+    from repro.nn.metrics import normalized_confusion
+
+    matrix = normalized_confusion(test_set.y, predictions)
+    paper = PAPER_FIGURE_3[cipher]
+    print(f"\n--- {cipher} (RD-4) ---")
+    print(format_confusion(matrix))
+    print(f"paper: [[{paper[0]:.2f} {paper[1]:.2f}] [{paper[2]:.2f} {paper[3]:.2f}]]")
+
+    # Shape expectation: strongly diagonal.  Clefia is the paper's own
+    # weakest row (88.08 % c0) and has this reproduction's smallest window
+    # (N_train 134), so the floor is looser there.
+    c0_floor = 65.0 if cipher == "clefia" else 85.0
+    assert matrix[0, 0] > c0_floor, f"{cipher}: c0 recall collapsed"
+    assert matrix[1, 1] > 80.0, f"{cipher}: c1 recall collapsed"
+
+
+def test_figure3_summary(locator_cache, benchmark):
+    """One summary table across all ciphers (paper vs measured diagonal)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for cipher in available_ciphers():
+        locator, _ = locator_cache(cipher, 4)
+        matrix = locator.test_confusion()
+        paper = PAPER_FIGURE_3[cipher]
+        rows.append([
+            cipher,
+            f"{paper[0]:.2f}/{matrix[0, 0]:.2f}",
+            f"{paper[3]:.2f}/{matrix[1, 1]:.2f}",
+        ])
+    print()
+    print(format_table(
+        ["cipher", "c0 diag paper/ours (%)", "c1 diag paper/ours (%)"],
+        rows,
+        title="Figure 3 summary: confusion diagonals, RD-4",
+    ))

@@ -1,0 +1,78 @@
+"""Section IV-B — segmentation hit rates per cipher and scenario.
+
+The paper reports a 100 % hit score for every cipher, for both scenarios
+(consecutive executions and noise-interleaved executions) and for both
+RD-2 and RD-4.  This benchmark reruns the full inference pipeline for
+every cipher under RD-4 (both scenarios) and for AES additionally under
+RD-2, printing the hit table.  The timed kernel is the inference pipeline
+(sliding-window classification + segmentation) on one session trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ciphers import available_ciphers
+from repro.evaluation import format_table, run_segmentation_scenario
+
+from _bench_common import BENCH_COS
+
+_RESULTS: list[list[str]] = []
+
+
+@pytest.mark.parametrize("cipher", available_ciphers())
+@pytest.mark.parametrize("interleaved", [False, True], ids=["consecutive", "noise"])
+def test_hits_rd4(cipher, interleaved, locator_cache, benchmark):
+    locator, _ = locator_cache(cipher, 4)
+    outcome = run_segmentation_scenario(
+        locator, cipher, max_delay=4, noise_interleaved=interleaved,
+        n_cos=BENCH_COS, seed=900,
+    )
+
+    def locate():
+        return locator.locate(outcome.session.trace)
+
+    benchmark.pedantic(locate, rounds=1, iterations=1)
+    scenario = "noise" if interleaved else "consecutive"
+    _RESULTS.append([
+        cipher, "RD-4", scenario,
+        f"{outcome.stats.hit_rate * 100:5.1f}%",
+        str(outcome.stats.false_positives),
+        f"{outcome.stats.mean_abs_error:.0f}",
+    ])
+    print(f"\n{cipher} RD-4 {scenario}: {outcome.stats} (paper: 100%)")
+    # Shape expectation: the locator finds the large majority of COs.
+    assert outcome.stats.hit_rate >= 0.5, f"{cipher}/{scenario} collapsed"
+
+
+@pytest.mark.parametrize("interleaved", [False, True], ids=["consecutive", "noise"])
+def test_hits_aes_rd2(interleaved, locator_cache, benchmark):
+    locator, _ = locator_cache("aes", 2)
+    outcome = run_segmentation_scenario(
+        locator, "aes", max_delay=2, noise_interleaved=interleaved,
+        n_cos=BENCH_COS, seed=901,
+    )
+
+    def locate():
+        return locator.locate(outcome.session.trace)
+
+    benchmark.pedantic(locate, rounds=1, iterations=1)
+    scenario = "noise" if interleaved else "consecutive"
+    _RESULTS.append([
+        "aes", "RD-2", scenario,
+        f"{outcome.stats.hit_rate * 100:5.1f}%",
+        str(outcome.stats.false_positives),
+        f"{outcome.stats.mean_abs_error:.0f}",
+    ])
+    print(f"\naes RD-2 {scenario}: {outcome.stats} (paper: 100%)")
+    assert outcome.stats.hit_rate >= 0.5
+
+
+def test_hits_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["cipher", "RD", "scenario", "hits (paper: 100%)", "FPs", "mean |err|"],
+        _RESULTS,
+        title=f"Section IV-B: segmentation hits ({BENCH_COS} COs per scenario)",
+    ))

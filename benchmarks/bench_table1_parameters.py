@@ -1,0 +1,74 @@
+"""Table I — pipeline parameters and dataset sizes per cipher.
+
+Prints the paper's Table I next to this reproduction's scaled values
+(windows/strides derived from the *measured* mean CO length on the
+simulated platform, dataset populations scaled by the benchmark scale).
+The timed kernel is the Dataset Creation block: assembling the window
+database from profiling captures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import MEAN_CO_SAMPLES_RD4, PAPER_TABLE_I
+from repro.core.dataset import build_window_dataset
+from repro.evaluation import format_table
+from repro.soc import SimulatedPlatform
+
+from _bench_common import bench_config
+
+
+def test_table1_parameters(benchmark):
+    rows = []
+    for cipher in PAPER_TABLE_I:
+        paper = PAPER_TABLE_I[cipher]
+        config = bench_config(cipher)
+        platform = SimulatedPlatform(cipher, max_delay=4, seed=0)
+        measured = platform.mean_co_samples(probes=4)
+        rows.append([
+            cipher,
+            f"{paper.mean_length:,}",
+            f"{measured:,}",
+            f"{paper.n_train:,}/{config.n_train}",
+            f"{paper.n_inf:,}/{config.n_inf}",
+            f"{paper.stride:,}/{config.stride}",
+            f"{paper.n_start_windows:,}/{config.n_start_windows}",
+            f"{paper.n_rest_windows:,}/{config.n_rest_windows}",
+            f"{paper.n_noise_windows:,}/{config.n_noise_windows}",
+        ])
+    print()
+    print(format_table(
+        ["cipher", "len paper", "len ours", "Ntrain p/o", "Ninf p/o",
+         "s p/o", "start p/o", "rest p/o", "noise p/o"],
+        rows,
+        title="Table I: pipeline parameters (paper / this reproduction)",
+    ))
+
+    # Timed kernel: Dataset Creation for AES at the benchmark scale.
+    config = bench_config("aes")
+    platform = SimulatedPlatform("aes", max_delay=4, seed=1)
+    captures = platform.capture_cipher_traces(64)
+    noise = platform.capture_noise_trace(30_000)
+    rng = np.random.default_rng(0)
+
+    def build():
+        return build_window_dataset(
+            captures, noise, window=config.n_train,
+            n_rest=256, n_noise=128, rng=rng,
+            start_jitter=2 * config.stride, starts_per_trace=4,
+            rest_mode="random",
+        )
+
+    dataset = benchmark(build)
+    assert dataset.n_start == 256
+    assert len(dataset) == 256 + 256 + 128
+
+
+def test_measured_lengths_match_recorded_constants(benchmark):
+    """The constants in repro.config must track the simulator."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for cipher, recorded in MEAN_CO_SAMPLES_RD4.items():
+        platform = SimulatedPlatform(cipher, max_delay=4, seed=0)
+        measured = platform.mean_co_samples(probes=6)
+        assert abs(measured - recorded) / recorded < 0.15, (cipher, measured, recorded)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Training a locator is the expensive step (minutes per cipher on CPU), so
+trained locators are cached per (cipher, RD) for the whole benchmark
+session.  Scale knobs live in ``_bench_common.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import train_locator
+
+from _bench_common import bench_config
+
+
+@pytest.fixture(scope="session")
+def locator_cache():
+    """Session-wide cache of trained locators keyed by (cipher, rd)."""
+    cache: dict[tuple[str, int], tuple] = {}
+
+    def get(cipher: str, max_delay: int):
+        key = (cipher, max_delay)
+        if key not in cache:
+            cache[key] = train_locator(
+                cipher, max_delay=max_delay, seed=0, config=bench_config(cipher)
+            )
+        return cache[key]
+
+    return get

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The complete attack flow of Section IV-C: locate, align, break the key.
+
+Reproduces the paper's headline demonstration: a power trace containing
+many AES-128 encryptions under an *unknown* key, protected by random
+delay, is segmented by the deep-learning locator; the located COs are cut
+and aligned; a CPA against the first-round S-box output then recovers the
+key — something that is impossible without the alignment (the script also
+shows the CPA failing on unaligned cuts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.attacks import CpaAttack, full_key_ranks
+from repro.config import default_config
+from repro.core.locator import CryptoLocator
+from repro.evaluation import match_hits
+from repro.evaluation.experiments import default_tolerance
+from repro.soc import SimulatedPlatform
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rd", type=int, default=4, choices=(2, 4))
+    parser.add_argument("--cos", type=int, default=600,
+                        help="encryptions in the attack session")
+    parser.add_argument("--aggregate", type=int, default=64,
+                        help="CPA time-aggregation width (samples)")
+    args = parser.parse_args()
+
+    config = default_config("aes", dataset_scale=1 / 32)
+
+    print(f"[1/4] training the locator against an RD-{args.rd} clone ...")
+    clone = SimulatedPlatform("aes", max_delay=args.rd, seed=0)
+    locator = CryptoLocator(config, seed=1)
+    locator.fit_from_platform(clone)
+
+    print(f"[2/4] capturing {args.cos} encryptions under an unknown key ...")
+    target = SimulatedPlatform("aes", max_delay=args.rd, seed=777)
+    session = target.capture_session_trace(args.cos, noise_interleaved=False)
+
+    print("[3/4] locating and aligning ...")
+    t0 = time.perf_counter()
+    located = locator.locate(session.trace)
+    stats = match_hits(located, session.true_starts, default_tolerance(config))
+    print(f"  located {located.size}/{args.cos} COs "
+          f"({stats.hit_rate * 100:.1f}% hits) in {time.perf_counter() - t0:.0f}s")
+    segments, kept = locator.align(session.trace, starts=located)
+
+    # Pair each aligned segment with the plaintext of the matching true CO.
+    located_kept = located[kept]
+    nearest = np.abs(
+        located_kept[:, None] - session.true_starts[None, :]
+    ).argmin(axis=1)
+    plaintexts = np.frombuffer(
+        b"".join(session.plaintexts[i] for i in nearest), dtype=np.uint8
+    ).reshape(-1, 16)
+
+    print("[4/4] mounting the CPA on the sub-bytes intermediate ...")
+    attack = CpaAttack(aggregate=args.aggregate)
+    recovered = attack.recovered_key(segments, plaintexts)
+    ranks = full_key_ranks(segments, plaintexts, session.key, aggregate=args.aggregate)
+    print(f"  true key      : {session.key.hex()}")
+    print(f"  recovered key : {recovered.hex()}")
+    print(f"  per-byte ranks: {ranks}")
+    correct = sum(a == b for a, b in zip(recovered, session.key))
+    print(f"  -> {correct}/16 key bytes recovered "
+          f"({'SUCCESS' if correct == 16 else 'partial'})")
+
+    # Control experiment: the same CPA without the locator's alignment.
+    print("\ncontrol: CPA on fixed-grid cuts (no locating) ...")
+    grid = np.arange(0, session.trace.size - 2 * config.n_inf,
+                     session.trace.size // max(args.cos, 1))[: len(session.plaintexts)]
+    blind_segments, blind_kept = locator.align(session.trace, starts=grid)
+    blind_pts = np.frombuffer(
+        b"".join(session.plaintexts[: blind_segments.shape[0]]), dtype=np.uint8
+    ).reshape(-1, 16)
+    blind = CpaAttack(aggregate=args.aggregate).recovered_key(blind_segments, blind_pts)
+    blind_correct = sum(a == b for a, b in zip(blind, session.key))
+    print(f"  unaligned CPA recovers {blind_correct}/16 bytes "
+          "(random delay defeats the attack without the locator)")
+
+
+if __name__ == "__main__":
+    main()

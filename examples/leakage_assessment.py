@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Leakage assessment of the simulated platform (SNR + TVLA).
+
+Before attacking — or before trusting a simulator — an evaluator checks
+*whether* and *where* a device leaks.  This example runs the two standard
+assessments on the simulated SoC:
+
+1. **SNR** over the first AES round, classed by the Hamming weight of the
+   first S-box output: the peak marks the exploitable samples;
+2. **fixed-vs-random TVLA** on the unprotected and the masked AES: the
+   unprotected implementation fails (|t| >> 4.5 after the key schedule),
+   the masked one shows dramatically less first-order leakage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import (
+    TVLA_THRESHOLD,
+    hw_byte,
+    snr_by_sample,
+    welch_t_by_sample,
+)
+from repro.ciphers.aes import SBOX
+from repro.soc import SimulatedPlatform
+
+
+def ascii_plot(values: np.ndarray, width: int = 72, height: int = 8) -> str:
+    """Render a 1D signal as a coarse ASCII chart."""
+    bins = np.array_split(values, width)
+    levels = np.array([chunk.max() for chunk in bins])
+    top = levels.max() if levels.max() > 0 else 1.0
+    rows = []
+    for row in range(height, 0, -1):
+        cut = top * row / height
+        rows.append("".join("#" if level >= cut else " " for level in levels))
+    rows.append("-" * width)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    sbox = np.asarray(SBOX, dtype=np.uint8)
+
+    print("[1/2] SNR over the AES trace head, classed by HW(SBOX[pt0 ^ k0])")
+    platform = SimulatedPlatform("aes", max_delay=0, seed=0)
+    traces, classes = [], []
+    length = 1400
+    for _ in range(400):
+        capture = platform.capture_cipher_trace(key=key)
+        traces.append(capture.trace[capture.co_start: capture.co_start + length])
+        inter = int(sbox[capture.plaintext[0] ^ key[0]])
+        classes.append(int(hw_byte(np.array([inter]))[0]))
+    snr = snr_by_sample(np.stack(traces), np.asarray(classes))
+    print(ascii_plot(snr))
+    print(f"peak SNR {snr.max():.2f} at sample {int(snr.argmax())} "
+          "(the first-round S-box processing)\n")
+
+    print("[2/2] fixed-vs-random TVLA: unprotected vs masked AES")
+    for cipher in ("aes", "aes_masked"):
+        platform = SimulatedPlatform(cipher, max_delay=0, seed=1)
+        fixed, rand = [], []
+        for _ in range(120):
+            cap_f = platform.capture_cipher_trace(key=key, plaintext=bytes(16))
+            cap_r = platform.capture_cipher_trace(key=key)
+            fixed.append(cap_f.trace[cap_f.co_start: cap_f.co_start + length])
+            rand.append(cap_r.trace[cap_r.co_start: cap_r.co_start + length])
+        t = welch_t_by_sample(np.stack(fixed), np.stack(rand))
+        verdict = "FAILS TVLA (leaks)" if np.abs(t).max() > TVLA_THRESHOLD else "passes"
+        print(f"  {cipher:10s}: max |t| = {np.abs(t).max():6.2f} "
+              f"(threshold {TVLA_THRESHOLD}) -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

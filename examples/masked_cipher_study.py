@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Locate a *protected* cipher: first-order masked AES-128.
+
+Section IV-B highlights that the methodology "suits protected ciphers,
+such as masked AES, whose side-channel traces have great variability":
+every execution re-randomises its masks (and recomputes the masked S-box
+table in RAM), so no two traces look alike even before random delay is
+added.  This example trains a locator on the masked implementation and
+shows it still finds every execution — and, as a sanity check, verifies
+that a first-order CPA on the aligned masked traces does *not* recover
+the key (the masking holds; only the locating problem is solved).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.attacks import full_key_ranks
+from repro.config import default_config
+from repro.core.locator import CryptoLocator
+from repro.evaluation import match_hits
+from repro.evaluation.experiments import default_tolerance
+from repro.soc import SimulatedPlatform
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rd", type=int, default=4, choices=(0, 2, 4))
+    parser.add_argument("--cos", type=int, default=24)
+    args = parser.parse_args()
+
+    config = default_config("aes_masked", dataset_scale=1 / 32)
+
+    print(f"[1/3] training the locator on masked AES (RD-{args.rd}) ...")
+    clone = SimulatedPlatform("aes_masked", max_delay=args.rd, seed=0)
+    locator = CryptoLocator(config, seed=1)
+    locator.fit_from_platform(clone)
+
+    print("[2/3] locating masked encryptions on the target ...")
+    target = SimulatedPlatform("aes_masked", max_delay=args.rd, seed=4321)
+    session = target.capture_session_trace(args.cos, noise_interleaved=True)
+    located = locator.locate(session.trace)
+    stats = match_hits(located, session.true_starts, default_tolerance(config))
+    print(f"  {stats}")
+
+    print("[3/3] sanity check: first-order CPA on the aligned masked traces ...")
+    segments, kept = locator.align(session.trace, starts=located)
+    if segments.shape[0] >= 8:
+        located_kept = located[kept]
+        nearest = np.abs(
+            located_kept[:, None] - session.true_starts[None, :]
+        ).argmin(axis=1)
+        pts = np.frombuffer(
+            b"".join(session.plaintexts[i] for i in nearest), dtype=np.uint8
+        ).reshape(-1, 16)
+        ranks = full_key_ranks(segments, pts, session.key, aggregate=64)
+        rank1 = sum(r == 1 for r in ranks)
+        print(f"  key-byte ranks: {ranks}")
+        print(f"  {rank1}/16 bytes at rank 1 — first-order masking "
+              f"{'HOLDS' if rank1 < 4 else 'BROKEN?'} "
+              "(locating works, the masking countermeasure still protects the key)")
+    else:
+        print("  not enough aligned segments for the check")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline with an old
+setuptools/wheel combination (the offline environment lacks the ``wheel``
+package needed for PEP 660 editable installs)."""
+
+from setuptools import setup
+
+setup()

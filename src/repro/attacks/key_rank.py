@@ -1,0 +1,81 @@
+"""Key-rank evaluation: the "N. COs to reach rank 1" metric of Table II."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.cpa import CpaAttack
+
+__all__ = ["key_byte_rank", "full_key_ranks", "traces_to_rank1"]
+
+
+def key_byte_rank(guess_scores: np.ndarray, true_byte: int) -> int:
+    """Rank of the true byte among the guesses (1 = best, 256 = worst).
+
+    Ties are pessimistic: guesses scoring equal to the true byte count
+    against it, so rank 1 means *strictly* no better-or-equal competitor.
+    """
+    guess_scores = np.asarray(guess_scores, dtype=np.float64)
+    if guess_scores.shape != (256,):
+        raise ValueError(f"expected 256 guess scores, got {guess_scores.shape}")
+    if not 0 <= true_byte <= 255:
+        raise ValueError("true_byte must be a byte value")
+    better = int((guess_scores > guess_scores[true_byte]).sum())
+    ties = int((guess_scores == guess_scores[true_byte]).sum()) - 1
+    return better + ties + 1
+
+
+def full_key_ranks(
+    traces: np.ndarray,
+    plaintexts: np.ndarray,
+    true_key: bytes,
+    aggregate: int = 1,
+) -> list[int]:
+    """Per-byte ranks of the true key for a given trace set."""
+    if len(true_key) != 16:
+        raise ValueError("true_key must be 16 bytes")
+    attack = CpaAttack(aggregate=aggregate)
+    results = attack.attack(traces, plaintexts)
+    return [
+        key_byte_rank(result.guess_scores, true_key[byte_index])
+        for byte_index, result in enumerate(results)
+    ]
+
+
+def traces_to_rank1(
+    traces: np.ndarray,
+    plaintexts: np.ndarray,
+    true_key: bytes,
+    checkpoints: list[int] | None = None,
+    aggregate: int = 1,
+) -> int | None:
+    """Smallest checkpoint at which *every* key byte reaches rank 1.
+
+    This is the paper's Table II metric: the number of CO executions needed
+    before the CPA ranks the correct value first for all 16 key bytes.
+    Returns ``None`` when no checkpoint succeeds (the paper's "✗").
+    """
+    traces = np.asarray(traces)
+    n = traces.shape[0]
+    if checkpoints is None:
+        checkpoints = _default_checkpoints(n)
+    for count in sorted(set(int(c) for c in checkpoints)):
+        if count < 3:
+            continue
+        if count > n:
+            break
+        ranks = full_key_ranks(traces[:count], plaintexts[:count], true_key, aggregate)
+        if all(rank == 1 for rank in ranks):
+            return count
+    return None
+
+
+def _default_checkpoints(n: int) -> list[int]:
+    """Roughly geometric checkpoint ladder up to ``n``."""
+    points = []
+    value = 25
+    while value < n:
+        points.append(value)
+        value = int(value * 1.5)
+    points.append(n)
+    return points

@@ -1,0 +1,54 @@
+"""Leakage hypothesis models for first-order attacks on AES-128.
+
+The classic CPA target: the S-box output of the first AddRoundKey +
+SubBytes, ``SBOX[pt[b] ^ k]``, whose Hamming weight the datapath leaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ciphers.aes import SBOX
+
+__all__ = ["hw_byte", "sbox_output_hypotheses", "sbox_output_msb"]
+
+_SBOX = np.asarray(SBOX, dtype=np.uint8)
+_HW8 = np.asarray([bin(v).count("1") for v in range(256)], dtype=np.float64)
+
+
+def hw_byte(values: np.ndarray) -> np.ndarray:
+    """Hamming weight of byte values (vectorised table lookup)."""
+    values = np.asarray(values)
+    if values.size and (values.min() < 0 or values.max() > 255):
+        raise ValueError("hw_byte expects byte values in [0, 255]")
+    return _HW8[values.astype(np.int64)]
+
+
+def sbox_output_hypotheses(pt_bytes: np.ndarray) -> np.ndarray:
+    """HW hypothesis matrix for all 256 key guesses of one key byte.
+
+    Parameters
+    ----------
+    pt_bytes:
+        The known plaintext byte of each trace, shape ``(n,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, 256)``: entry (i, k) is ``HW(SBOX[pt_i ^ k])``.
+    """
+    pt_bytes = np.asarray(pt_bytes, dtype=np.uint8)
+    if pt_bytes.ndim != 1:
+        raise ValueError(f"expected 1D plaintext bytes, got {pt_bytes.shape}")
+    guesses = np.arange(256, dtype=np.uint8)
+    inter = _SBOX[pt_bytes[:, None] ^ guesses[None, :]]
+    return _HW8[inter]
+
+
+def sbox_output_msb(pt_bytes: np.ndarray, key_guess: int) -> np.ndarray:
+    """DPA selection bit: MSB of the S-box output for one key guess."""
+    if not 0 <= key_guess <= 255:
+        raise ValueError("key_guess must be a byte")
+    pt_bytes = np.asarray(pt_bytes, dtype=np.uint8)
+    inter = _SBOX[pt_bytes ^ np.uint8(key_guess)]
+    return (inter >> 7).astype(np.int64)

@@ -1,0 +1,19 @@
+"""State-of-the-art CO locators the paper compares against (Table II).
+
+* :class:`~repro.baselines.matched_filter.MatchedFilterLocator` — the
+  matched-filter approach of Barenghi et al. [10]: build a CO template from
+  profiling traces, slide it over the attack trace, detect correlation
+  peaks.
+* :class:`~repro.baselines.semi_automatic.SemiAutomaticLocator` — the
+  template-light approach of Trautmann et al. [11]: exploit the internal
+  round periodicity of a CO, detecting regions whose sliding
+  autocorrelation at the profiled round lag is strong.
+
+Both work on an undefended platform (RD-0) and collapse under random
+delay — the negative results of Table II that motivate the paper.
+"""
+
+from repro.baselines.matched_filter import MatchedFilterLocator
+from repro.baselines.semi_automatic import SemiAutomaticLocator
+
+__all__ = ["MatchedFilterLocator", "SemiAutomaticLocator"]

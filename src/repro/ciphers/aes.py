@@ -1,0 +1,172 @@
+"""Instrumented AES-128 (FIPS-197), the primary attack target of the paper.
+
+The implementation mirrors a straightforward constant-time software AES on a
+32-bit CPU: byte-wise SubBytes via a precomputed table, ShiftRows as index
+shuffling, MixColumns with xtime, and on-the-fly AddRoundKey.  The round
+keys are expanded at the start of every encryption — as an embedded
+implementation that does not cache the key schedule would do — so a power
+trace of one encryption contains the key-schedule prologue followed by ten
+visually repetitive rounds.  The CPA attack of Section IV-C targets the
+first-round S-box output ``SBOX[pt[b] ^ key[b]]``, which this implementation
+leaks (through the recorder) exactly once per state byte.
+
+The S-box is derived algebraically (inversion in GF(2^8) followed by the
+affine transformation of FIPS-197 §5.1.1) rather than hard-coded, and is
+validated by the FIPS-197 test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.ciphers.base import LeakageRecorder, OpKind, TraceableCipher
+from repro.ciphers.gf import AES_POLY, gf_inverse, xtime
+
+__all__ = ["AES128", "SBOX", "INV_SBOX", "expand_key"]
+
+
+def _build_sbox() -> tuple[int, ...]:
+    """Construct the AES S-box from GF(2^8) inversion + affine transform."""
+    sbox = [0] * 256
+    for x in range(256):
+        inv = gf_inverse(x, AES_POLY)
+        y = inv
+        for shift in (1, 2, 3, 4):
+            y ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[x] = (y ^ 0x63) & 0xFF
+    return tuple(sbox)
+
+
+SBOX = _build_sbox()
+INV_SBOX = tuple(SBOX.index(i) for i in range(256))
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def expand_key(key: bytes, recorder: LeakageRecorder | None = None) -> list[list[int]]:
+    """FIPS-197 key expansion returning 11 round keys of 16 bytes each.
+
+    When a recorder is given, every produced key-schedule byte is recorded —
+    the key schedule is part of the CO's power signature and contributes to
+    the pattern the locator CNN learns.
+    """
+    words = [list(key[4 * i: 4 * i + 4]) for i in range(4)]
+    if recorder is not None:
+        for w in words:
+            recorder.record_many(w, width=8, kind=OpKind.LOAD)
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+            if recorder is not None:
+                recorder.record_many(temp, width=8, kind=OpKind.LOAD)
+        new = [words[i - 4][j] ^ temp[j] for j in range(4)]
+        if recorder is not None:
+            recorder.record_many(new, width=8, kind=OpKind.ALU)
+        words.append(new)
+    return [sum((words[4 * r + c] for c in range(4)), []) for r in range(11)]
+
+
+def _sub_bytes(state: list[int], recorder: LeakageRecorder | None) -> list[int]:
+    out = [SBOX[b] for b in state]
+    if recorder is not None:
+        recorder.record_many(out, width=8, kind=OpKind.LOAD)
+    return out
+
+
+# Column-major state layout: state[r + 4*c] is row r, column c.  ShiftRows
+# rotates row r left by r positions: output byte (r, c) takes input byte
+# (r, (c + r) mod 4).
+_SHIFT_ROWS_MAP = tuple(
+    ((i % 4) + 4 * (((i // 4) + (i % 4)) % 4)) for i in range(16)
+)
+
+
+def _shift_rows(state: list[int], recorder: LeakageRecorder | None) -> list[int]:
+    out = [state[_SHIFT_ROWS_MAP[i]] for i in range(16)]
+    if recorder is not None:
+        # Register-to-register moves leak the moved byte.
+        recorder.record_many(out, width=8, kind=OpKind.ALU)
+    return out
+
+
+def _mix_columns(state: list[int], recorder: LeakageRecorder | None) -> list[int]:
+    out = [0] * 16
+    for c in range(4):
+        a = state[4 * c: 4 * c + 4]
+        t = a[0] ^ a[1] ^ a[2] ^ a[3]
+        for r in range(4):
+            out[4 * c + r] = a[r] ^ t ^ xtime(a[r] ^ a[(r + 1) % 4])
+    if recorder is not None:
+        recorder.record_many(out, width=8, kind=OpKind.SHIFT)
+    return out
+
+
+def _add_round_key(state: list[int], round_key: list[int], recorder: LeakageRecorder | None) -> list[int]:
+    out = [state[i] ^ round_key[i] for i in range(16)]
+    if recorder is not None:
+        recorder.record_many(out, width=8, kind=OpKind.ALU)
+    return out
+
+
+class AES128(TraceableCipher):
+    """AES-128 block encryption with per-operation leakage recording."""
+
+    name = "aes"
+    block_size = 16
+    key_size = 16
+
+    def encrypt(self, plaintext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
+        """FIPS-197 encryption of one block, key schedule included."""
+        self._check_block(plaintext, "plaintext")
+        self._check_key(key)
+        round_keys = expand_key(key, recorder)
+        state = list(plaintext)
+        if recorder is not None:
+            # Loading the plaintext into registers leaks it.
+            recorder.record_many(state, width=8, kind=OpKind.LOAD)
+        state = _add_round_key(state, round_keys[0], recorder)
+        for rnd in range(1, 10):
+            state = _sub_bytes(state, recorder)
+            state = _shift_rows(state, recorder)
+            state = _mix_columns(state, recorder)
+            state = _add_round_key(state, round_keys[rnd], recorder)
+        state = _sub_bytes(state, recorder)
+        state = _shift_rows(state, recorder)
+        state = _add_round_key(state, round_keys[10], recorder)
+        return bytes(state)
+
+    def decrypt(self, ciphertext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
+        """Inverse cipher (equivalent-inverse structure is not needed here)."""
+        self._check_block(ciphertext, "ciphertext")
+        self._check_key(key)
+        round_keys = expand_key(key, None)
+        inv_shift = [0] * 16
+        for i in range(16):
+            inv_shift[_SHIFT_ROWS_MAP[i]] = i
+
+        def inv_mix(col: list[int]) -> list[int]:
+            from repro.ciphers.gf import gmul
+
+            mat = ((14, 11, 13, 9), (9, 14, 11, 13), (13, 9, 14, 11), (11, 13, 9, 14))
+            return [
+                gmul(mat[r][0], col[0]) ^ gmul(mat[r][1], col[1])
+                ^ gmul(mat[r][2], col[2]) ^ gmul(mat[r][3], col[3])
+                for r in range(4)
+            ]
+
+        state = [ciphertext[i] ^ round_keys[10][i] for i in range(16)]
+        for rnd in range(9, 0, -1):
+            state = [state[inv_shift[i]] for i in range(16)]
+            state = [INV_SBOX[b] for b in state]
+            state = [state[i] ^ round_keys[rnd][i] for i in range(16)]
+            out = []
+            for c in range(4):
+                out.extend(inv_mix(state[4 * c: 4 * c + 4]))
+            state = out
+        state = [state[inv_shift[i]] for i in range(16)]
+        state = [INV_SBOX[b] for b in state]
+        state = [state[i] ^ round_keys[0][i] for i in range(16)]
+        if recorder is not None:
+            recorder.record_many(state, width=8, kind=OpKind.ALU)
+        return bytes(state)

@@ -1,0 +1,159 @@
+"""Leakage recording infrastructure and the traceable-cipher interface.
+
+The paper measures the power consumption of a RISC-V CPU executing software
+ciphers.  In this reproduction the measurement chain starts here: a cipher
+implementation reports every intermediate value it computes to a
+:class:`LeakageRecorder`, producing an *operation stream* — the simulator's
+stand-in for the instruction stream of the real CPU.  The SoC layer
+(:mod:`repro.soc`) later maps each recorded operation to power samples via a
+Hamming-weight leakage model, inserts random-delay instructions, and applies
+the oscilloscope model.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+import numpy as np
+
+__all__ = ["OpKind", "LeakageRecorder", "NullRecorder", "TraceableCipher"]
+
+
+class OpKind(enum.IntEnum):
+    """Instruction class of a recorded operation.
+
+    Different functional units of a CPU draw measurably different power —
+    a memory access costs more than an ALU op, a multiplier more than a
+    shifter — and this instruction-type component is a large part of what
+    makes program phases visually distinct in a real power trace.  The
+    leakage model adds a per-kind power pedestal on top of the
+    data-dependent Hamming-weight term.
+    """
+
+    NOP = 0
+    ALU = 1     # xor/add/compare/register move
+    SHIFT = 2   # barrel shifter
+    MUL = 3     # multiplier
+    LOAD = 4    # memory read (incl. table lookups)
+    STORE = 5   # memory write
+
+
+class LeakageRecorder:
+    """Accumulates the (value, width, kind) stream of executed operations.
+
+    Every call to :meth:`record` corresponds to one data-processing
+    instruction of the simulated CPU.  ``value`` is the architectural result
+    of the instruction (the quantity whose Hamming weight leaks), ``width``
+    its register width in bits, and ``kind`` the functional unit it
+    exercised.
+
+    The recorder is intentionally minimal — three parallel Python lists —
+    so that the per-operation overhead inside cipher inner loops stays
+    small.
+    """
+
+    __slots__ = ("values", "widths", "kinds")
+
+    #: Width attributed to NOP instructions (they occupy a pipeline slot but
+    #: process no data, hence value 0).
+    NOP_WIDTH = 32
+
+    def __init__(self) -> None:
+        self.values: list[int] = []
+        self.widths: list[int] = []
+        self.kinds: list[int] = []
+
+    def record(self, value: int, width: int = 8, kind: int = OpKind.ALU) -> None:
+        """Record a single executed operation."""
+        self.values.append(value)
+        self.widths.append(width)
+        self.kinds.append(int(kind))
+
+    def record_many(self, values, width: int = 8, kind: int = OpKind.ALU) -> None:
+        """Record a homogeneous burst of operations (e.g. an S-box layer)."""
+        self.values.extend(int(v) for v in values)
+        self.widths.extend([width] * len(values))
+        self.kinds.extend([int(kind)] * len(values))
+
+    def record_nops(self, count: int) -> None:
+        """Record ``count`` NOP instructions (value 0).
+
+        The dataset-creation procedure of Section III-A prepends NOPs to
+        every training cipher execution; their flat, low-power signature is
+        what lets the dataset builder find the true CO start.
+        """
+        self.values.extend([0] * count)
+        self.widths.extend([self.NOP_WIDTH] * count)
+        self.kinds.extend([int(OpKind.NOP)] * count)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the operation stream as (values, widths, kinds) arrays."""
+        values = np.asarray(self.values, dtype=np.uint64)
+        widths = np.asarray(self.widths, dtype=np.uint8)
+        kinds = np.asarray(self.kinds, dtype=np.uint8)
+        return values, widths, kinds
+
+    def clear(self) -> None:
+        """Drop all recorded operations."""
+        self.values.clear()
+        self.widths.clear()
+        self.kinds.clear()
+
+
+class NullRecorder:
+    """A recorder that discards everything (for un-traced encryption)."""
+
+    __slots__ = ()
+
+    def record(self, value: int, width: int = 8, kind: int = OpKind.ALU) -> None:
+        pass
+
+    def record_many(self, values, width: int = 8, kind: int = OpKind.ALU) -> None:
+        pass
+
+    def record_nops(self, count: int) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+class TraceableCipher(abc.ABC):
+    """Interface of a block cipher instrumented for power-trace synthesis.
+
+    Concrete ciphers implement :meth:`encrypt` (and, where the specification
+    defines it and the tests need it, :meth:`decrypt`) taking an optional
+    recorder.  Passing ``recorder=None`` encrypts without instrumentation
+    overhead.
+    """
+
+    #: Human-readable cipher name, used by the registry and configs.
+    name: str = "abstract"
+    #: Block size in bytes.
+    block_size: int = 16
+    #: Key size in bytes.
+    key_size: int = 16
+
+    @abc.abstractmethod
+    def encrypt(self, plaintext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
+        """Encrypt one block, reporting intermediates to ``recorder``."""
+
+    def decrypt(self, ciphertext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
+        """Decrypt one block (optional; default: unsupported)."""
+        raise NotImplementedError(f"{self.name} does not implement decryption")
+
+    def _check_block(self, data: bytes, what: str) -> None:
+        if len(data) != self.block_size:
+            raise ValueError(
+                f"{self.name} expects a {self.block_size}-byte {what}, got {len(data)} bytes"
+            )
+
+    def _check_key(self, key: bytes) -> None:
+        if len(key) != self.key_size:
+            raise ValueError(
+                f"{self.name} expects a {self.key_size}-byte key, got {len(key)} bytes"
+            )

@@ -1,0 +1,203 @@
+"""Instrumented Camellia-128 (RFC 3713).
+
+Camellia is an 18-round Feistel cipher with ``FL``/``FL^-1`` mixing layers
+after rounds 6 and 12.  The 128-bit key schedule derives the secondary key
+``KA`` with four Feistel rounds keyed by the Sigma constants, then slices
+the round keys out of rotations of ``KL``/``KA``.
+
+S-box provenance: the Camellia specification defines ``s1`` as a table (its
+algebraic description needs affine matrices not reproducible from memory).
+The table below was recovered from the system's nettle crypto library and
+*cryptographically validated*: the full cipher built from it reproduces the
+RFC 3713 reference ciphertext, which a wrong table cannot do.  ``s2``, ``s3``
+and ``s4`` are derived from ``s1`` exactly as the specification mandates:
+``s2(x) = s1(x) <<< 1``, ``s3(x) = s1(x) >>> 1``, ``s4(x) = s1(x <<< 1)``.
+"""
+
+from __future__ import annotations
+
+from repro.ciphers.base import LeakageRecorder, OpKind, TraceableCipher
+
+__all__ = ["Camellia128"]
+
+_MASK64 = (1 << 64) - 1
+_MASK128 = (1 << 128) - 1
+
+# Sigma constants of RFC 3713 (hex expansions of square roots of primes).
+_SIGMA = (
+    0xA09E667F3BCC908B,
+    0xB67AE8584CAA73B2,
+    0xC6EF372FE94F82BE,
+    0x54FF53A5F1D36F1C,
+    0x10E527FADE682D1D,
+    0xB05688C2B3E6C1FD,
+)
+
+_S1_HEX = (
+    "70822cecb327c0e5e4855735ea0cae4123ef6b934519a521ed0e4f4e1d6592bd"
+    "86b8af8f7ceb1fce3e30dc5f5ec50b1aa6e139cad5475d3dd9015ad651566c4d"
+    "8b0d9a66fbccb02d74122b20f0b18499df4ccbc2347e76056db7a931d11704d7"
+    "14583a61de1b111c320f9c165318f222fe44cfb2c3b57a912408e8a860fc6950"
+    "aad0a07da1896297545b1e95e0ff64d210c40048a3f775db8a03e6da093fdd94"
+    "875c8302cd4a90337367f6f39d7fbfe2529bd826c837c63b81966f4b13be632e"
+    "e979a78c9f6ebc8e29f5f9b62ffdb4597898066ae74671bad425ab4288a28dfa"
+    "7207b955f8eeac0a36492a683c38f1a44028d37bbbc943c115e3adf477c7809e"
+)
+S1 = tuple(bytes.fromhex(_S1_HEX))
+S2 = tuple(((v << 1) | (v >> 7)) & 0xFF for v in S1)
+S3 = tuple(((v >> 1) | (v << 7)) & 0xFF for v in S1)
+S4 = tuple(S1[((x << 1) | (x >> 7)) & 0xFF] for x in range(256))
+
+_SBOX_ORDER = (S1, S2, S3, S4, S2, S3, S4, S1)
+
+
+def _rotl128(x: int, n: int) -> int:
+    n %= 128
+    return ((x << n) | (x >> (128 - n))) & _MASK128
+
+
+def _f(x: int, k: int, recorder: LeakageRecorder | None) -> int:
+    """Camellia F-function: key XOR, S-layer, P permutation."""
+    x ^= k
+    t = [(x >> (8 * (7 - i))) & 0xFF for i in range(8)]
+    t = [_SBOX_ORDER[i][t[i]] for i in range(8)]
+    if recorder is not None:
+        recorder.record_many(t, width=8, kind=OpKind.LOAD)
+    y0 = t[0] ^ t[2] ^ t[3] ^ t[5] ^ t[6] ^ t[7]
+    y1 = t[0] ^ t[1] ^ t[3] ^ t[4] ^ t[6] ^ t[7]
+    y2 = t[0] ^ t[1] ^ t[2] ^ t[4] ^ t[5] ^ t[7]
+    y3 = t[1] ^ t[2] ^ t[3] ^ t[4] ^ t[5] ^ t[6]
+    y4 = t[0] ^ t[1] ^ t[5] ^ t[6] ^ t[7]
+    y5 = t[1] ^ t[2] ^ t[4] ^ t[6] ^ t[7]
+    y6 = t[2] ^ t[3] ^ t[4] ^ t[5] ^ t[7]
+    y7 = t[0] ^ t[3] ^ t[4] ^ t[5] ^ t[6]
+    y = [y0, y1, y2, y3, y4, y5, y6, y7]
+    if recorder is not None:
+        recorder.record_many(y, width=8, kind=OpKind.ALU)
+    out = 0
+    for b in y:
+        out = (out << 8) | b
+    return out
+
+
+def _fl(x: int, k: int, recorder: LeakageRecorder | None) -> int:
+    xl, xr = x >> 32, x & 0xFFFFFFFF
+    kl, kr = k >> 32, k & 0xFFFFFFFF
+    t = xl & kl
+    xr ^= ((t << 1) | (t >> 31)) & 0xFFFFFFFF
+    xl ^= xr | kr
+    if recorder is not None:
+        recorder.record(xr, width=32, kind=OpKind.SHIFT)
+        recorder.record(xl, width=32, kind=OpKind.ALU)
+    return (xl << 32) | xr
+
+
+def _fl_inv(y: int, k: int, recorder: LeakageRecorder | None) -> int:
+    yl, yr = y >> 32, y & 0xFFFFFFFF
+    kl, kr = k >> 32, k & 0xFFFFFFFF
+    yl ^= yr | kr
+    t = yl & kl
+    yr ^= ((t << 1) | (t >> 31)) & 0xFFFFFFFF
+    if recorder is not None:
+        recorder.record(yl, width=32, kind=OpKind.ALU)
+        recorder.record(yr, width=32, kind=OpKind.SHIFT)
+    return (yl << 32) | yr
+
+
+def _subkeys(key: bytes, recorder: LeakageRecorder | None) -> dict[str, int]:
+    """Derive KA and slice all round keys (RFC 3713, 128-bit key path)."""
+    kl = int.from_bytes(key, "big")
+    d1 = kl >> 64
+    d2 = kl & _MASK64
+    d2 ^= _f(d1, _SIGMA[0], recorder)
+    d1 ^= _f(d2, _SIGMA[1], recorder)
+    d1 ^= kl >> 64
+    d2 ^= kl & _MASK64
+    d2 ^= _f(d1, _SIGMA[2], recorder)
+    d1 ^= _f(d2, _SIGMA[3], recorder)
+    ka = (d1 << 64) | d2
+
+    def hi(k128: int, rot: int) -> int:
+        return _rotl128(k128, rot) >> 64
+
+    def lo(k128: int, rot: int) -> int:
+        return _rotl128(k128, rot) & _MASK64
+
+    return {
+        "kw1": hi(kl, 0), "kw2": lo(kl, 0),
+        "k1": hi(ka, 0), "k2": lo(ka, 0),
+        "k3": hi(kl, 15), "k4": lo(kl, 15),
+        "k5": hi(ka, 15), "k6": lo(ka, 15),
+        "ke1": hi(ka, 30), "ke2": lo(ka, 30),
+        "k7": hi(kl, 45), "k8": lo(kl, 45),
+        "k9": hi(ka, 45), "k10": lo(kl, 60),
+        "k11": hi(ka, 60), "k12": lo(ka, 60),
+        "ke3": hi(kl, 77), "ke4": lo(kl, 77),
+        "k13": hi(kl, 94), "k14": lo(kl, 94),
+        "k15": hi(ka, 94), "k16": lo(ka, 94),
+        "k17": hi(kl, 111), "k18": lo(kl, 111),
+        "kw3": hi(ka, 111), "kw4": lo(ka, 111),
+    }
+
+
+class Camellia128(TraceableCipher):
+    """Camellia with a 128-bit key, bit-exact per RFC 3713."""
+
+    name = "camellia"
+    block_size = 16
+    key_size = 16
+
+    def encrypt(self, plaintext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
+        """RFC 3713 encryption: 18 Feistel rounds with FL layers."""
+        self._check_block(plaintext, "plaintext")
+        self._check_key(key)
+        ks = _subkeys(key, recorder)
+        m = int.from_bytes(plaintext, "big")
+        d1 = (m >> 64) ^ ks["kw1"]
+        d2 = (m & _MASK64) ^ ks["kw2"]
+        if recorder is not None:
+            recorder.record(d1, width=64, kind=OpKind.LOAD)
+            recorder.record(d2, width=64, kind=OpKind.LOAD)
+        round_keys = [ks[f"k{i}"] for i in range(1, 19)]
+        for i in range(18):
+            if i == 6:
+                d1 = _fl(d1, ks["ke1"], recorder)
+                d2 = _fl_inv(d2, ks["ke2"], recorder)
+            if i == 12:
+                d1 = _fl(d1, ks["ke3"], recorder)
+                d2 = _fl_inv(d2, ks["ke4"], recorder)
+            if i % 2 == 0:
+                d2 ^= _f(d1, round_keys[i], recorder)
+                if recorder is not None:
+                    recorder.record(d2, width=64, kind=OpKind.ALU)
+            else:
+                d1 ^= _f(d2, round_keys[i], recorder)
+                if recorder is not None:
+                    recorder.record(d1, width=64, kind=OpKind.ALU)
+        c = (((d2 ^ ks["kw3"]) & _MASK64) << 64) | ((d1 ^ ks["kw4"]) & _MASK64)
+        return c.to_bytes(16, "big")
+
+    def decrypt(self, ciphertext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
+        """Inverse of :meth:`encrypt` (round keys applied in reverse)."""
+        self._check_block(ciphertext, "ciphertext")
+        self._check_key(key)
+        ks = _subkeys(key, None)
+        c = int.from_bytes(ciphertext, "big")
+        d2 = (c >> 64) ^ ks["kw3"]
+        d1 = (c & _MASK64) ^ ks["kw4"]
+        round_keys = [ks[f"k{i}"] for i in range(1, 19)]
+        for i in range(17, -1, -1):
+            if i % 2 == 0:
+                d2 ^= _f(d1, round_keys[i], None)
+            else:
+                d1 ^= _f(d2, round_keys[i], None)
+            if i == 12:
+                d1 = _fl_inv(d1, ks["ke3"], None)
+                d2 = _fl(d2, ks["ke4"], None)
+            if i == 6:
+                d1 = _fl_inv(d1, ks["ke1"], None)
+                d2 = _fl(d2, ks["ke2"], None)
+        m = ((d1 ^ ks["kw1"]) << 64) | (d2 ^ ks["kw2"])
+        if recorder is not None:
+            recorder.record(m >> 64, width=64, kind=OpKind.ALU)
+        return m.to_bytes(16, "big")

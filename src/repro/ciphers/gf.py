@@ -1,0 +1,68 @@
+"""GF(2^8) arithmetic shared by the byte-oriented ciphers.
+
+AES uses the Rijndael polynomial ``x^8 + x^4 + x^3 + x + 1`` (0x11b);
+Clefia's diffusion matrices use ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d).
+Both the single-step :func:`xtime`/:func:`gmul` helpers and full log/antilog
+multiplication tables are provided; table construction is done once at import
+time for the polynomials the ciphers need.
+"""
+
+from __future__ import annotations
+
+import functools
+
+__all__ = ["xtime", "gmul", "gf_inverse", "multiplication_table_row", "AES_POLY", "CLEFIA_POLY"]
+
+AES_POLY = 0x11B
+CLEFIA_POLY = 0x11D
+
+
+def xtime(a: int, poly: int = AES_POLY) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) modulo ``poly``."""
+    a <<= 1
+    if a & 0x100:
+        a ^= poly
+    return a & 0xFF
+
+
+def gmul(a: int, b: int, poly: int = AES_POLY) -> int:
+    """Multiply two GF(2^8) elements modulo ``poly`` (schoolbook shift-add)."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a, poly)
+        b >>= 1
+    return result
+
+
+@functools.lru_cache(maxsize=None)
+def _inverse_table(poly: int) -> tuple[int, ...]:
+    """Full multiplicative-inverse table for GF(2^8) modulo ``poly``.
+
+    Built by brute force once per polynomial; 0 maps to 0 by the usual
+    S-box convention.
+    """
+    table = [0] * 256
+    for a in range(1, 256):
+        if table[a]:
+            continue
+        for b in range(1, 256):
+            if gmul(a, b, poly) == 1:
+                table[a] = b
+                table[b] = a
+                break
+    return tuple(table)
+
+
+def gf_inverse(a: int, poly: int = AES_POLY) -> int:
+    """Multiplicative inverse in GF(2^8) modulo ``poly`` (0 maps to 0)."""
+    return _inverse_table(poly)[a & 0xFF]
+
+
+@functools.lru_cache(maxsize=None)
+def multiplication_table_row(c: int, poly: int) -> tuple[int, ...]:
+    """Precomputed row ``c·x`` for all x — used by MixColumns-style layers."""
+    return tuple(gmul(c, x, poly) for x in range(256))

@@ -1,0 +1,37 @@
+"""Name-based cipher lookup used by configs, examples, and benchmarks."""
+
+from __future__ import annotations
+
+from repro.ciphers.aes import AES128
+from repro.ciphers.base import TraceableCipher
+from repro.ciphers.camellia import Camellia128
+from repro.ciphers.clefia import Clefia128
+from repro.ciphers.masked_aes import MaskedAES128
+from repro.ciphers.simon import Simon128
+
+__all__ = ["available_ciphers", "get_cipher"]
+
+_REGISTRY: dict[str, type[TraceableCipher]] = {
+    cls.name: cls
+    for cls in (AES128, MaskedAES128, Camellia128, Clefia128, Simon128)
+}
+
+
+def available_ciphers() -> list[str]:
+    """Names of all registered ciphers, in evaluation order of the paper."""
+    return ["aes", "aes_masked", "clefia", "camellia", "simon"]
+
+
+def get_cipher(name: str, **kwargs) -> TraceableCipher:
+    """Instantiate a cipher by registry name.
+
+    Raises ``KeyError`` with the list of known names on a bad lookup, which
+    gives config typos a actionable error message.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cipher {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,166 @@
+"""Per-cipher pipeline parameters mirroring Table I of the paper.
+
+The paper's traces are 6 k–220 k samples long (125 MS/s on real silicon);
+this reproduction's simulated traces are shorter, so every window size and
+stride is derived from the *measured* mean CO length with the same ratios
+Table I uses, capped for CPU tractability (DESIGN.md §5).  The paper's
+original Table I values are kept in :data:`PAPER_TABLE_I` for reference and
+for the Table-I benchmark printout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "PaperTableIRow",
+    "PAPER_TABLE_I",
+    "PipelineConfig",
+    "MEAN_CO_SAMPLES_RD4",
+    "default_config",
+    "derive_config",
+]
+
+
+@dataclass(frozen=True)
+class PaperTableIRow:
+    """One row of the paper's Table I (original, unscaled values)."""
+
+    cipher: str
+    mean_length: int
+    n_train: int
+    n_inf: int
+    stride: int
+    n_start_windows: int
+    n_rest_windows: int
+    n_noise_windows: int
+
+
+#: Table I exactly as printed in the paper.
+PAPER_TABLE_I: dict[str, PaperTableIRow] = {
+    "aes": PaperTableIRow("aes", 220_000, 22_000, 20_000, 1_000, 65_536, 65_536, 32_768),
+    "aes_masked": PaperTableIRow("aes_masked", 50_000, 4_800, 5_000, 100, 131_072, 65_536, 65_536),
+    "clefia": PaperTableIRow("clefia", 108_000, 6_000, 6_000, 500, 65_536, 32_768, 32_768),
+    "camellia": PaperTableIRow("camellia", 6_000, 1_400, 1_000, 100, 32_768, 65_536, 32_768),
+    "simon": PaperTableIRow("simon", 10_000, 2_000, 2_000, 100, 65_536, 32_768, 32_768),
+}
+
+#: Measured mean CO trace lengths (samples) on the simulated platform under
+#: RD-4 with the default oscilloscope (2 samples/op).  Regenerate with
+#: ``SimulatedPlatform(name, max_delay=4).mean_co_samples()``.
+MEAN_CO_SAMPLES_RD4: dict[str, int] = {
+    "aes": 5_213,
+    "aes_masked": 7_821,
+    "camellia": 2_390,
+    "clefia": 2_418,
+    "simon": 3_258,
+}
+
+#: Hard cap on the training window size: keeps a pure-numpy training run of
+#: the paper's architecture around a minute per cipher.
+_MAX_WINDOW = 512
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Every knob of the training + inference pipelines for one cipher."""
+
+    cipher: str
+    n_train: int                 # window size N during training
+    n_inf: int                   # window size N during inference
+    stride: int                  # sliding stride s
+    kernel_size: int             # CNN kernel size (paper: 64)
+    n_start_windows: int         # dataset: c1 "cipher start" population
+    n_rest_windows: int          # dataset: c0 "cipher rest" population
+    n_noise_windows: int         # dataset: c0 "noise" population
+    epochs: int = 2              # paper: 2
+    batch_size: int = 64         # paper: 64
+    learning_rate: float = 1e-3  # paper: 0.001
+    mf_size: int = 5             # segmentation median-filter size k
+    threshold: float | None = None  # segmentation threshold; None = calibrate
+                                    # on the validation margins after training
+                                    # (the paper determines it experimentally)
+    score_mode: str = "margin"   # "margin" | "class1" | "prob"
+    nop_header: int = 96         # NOP prologue length for profiling captures
+    start_augmentation: int = 3  # c1 windows per profiling trace (jittered
+                                 # within one stride); 1 = paper-literal
+    rest_mode: str = "random"    # c0 rest placement: "random" | "grid"
+
+    def __post_init__(self) -> None:
+        if self.n_train < 8 or self.n_inf < 8:
+            raise ValueError("window sizes must be >= 8")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if self.kernel_size < 3 or self.kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be an odd integer >= 3")
+        if self.mf_size < 1 or self.mf_size % 2 == 0:
+            raise ValueError("mf_size must be a positive odd integer")
+        if self.score_mode not in ("margin", "class1", "prob"):
+            raise ValueError(f"unknown score_mode {self.score_mode!r}")
+        if self.start_augmentation < 1:
+            raise ValueError("start_augmentation must be >= 1")
+        if self.rest_mode not in ("random", "grid"):
+            raise ValueError(f"unknown rest_mode {self.rest_mode!r}")
+        if min(self.n_start_windows, self.n_rest_windows, self.n_noise_windows) < 1:
+            raise ValueError("window populations must be positive")
+
+    def scaled(self, dataset_scale: float) -> "PipelineConfig":
+        """Return a copy with the dataset populations scaled (>= 8 each)."""
+        if dataset_scale <= 0:
+            raise ValueError("dataset_scale must be positive")
+        return replace(
+            self,
+            n_start_windows=max(8, int(self.n_start_windows * dataset_scale)),
+            n_rest_windows=max(8, int(self.n_rest_windows * dataset_scale)),
+            n_noise_windows=max(8, int(self.n_noise_windows * dataset_scale)),
+        )
+
+
+def _odd(value: int) -> int:
+    return value if value % 2 == 1 else value + 1
+
+
+def derive_config(cipher: str, mean_samples: int, dataset_scale: float = 1 / 64) -> PipelineConfig:
+    """Derive a scaled :class:`PipelineConfig` from a measured CO length.
+
+    Window sizes and stride keep the per-cipher ratios of Table I
+    (``N_train/L``, ``N_inf/L``, ``s/L``); the dataset populations keep
+    Table I's class mix, scaled by ``dataset_scale``.  Window sizes are
+    capped at 512 samples so pure-numpy training stays tractable; the
+    kernel size follows the window the way the paper's 64 relates to its
+    windows (never above 63 here).
+    """
+    if cipher not in PAPER_TABLE_I:
+        raise KeyError(f"unknown cipher {cipher!r}; known: {sorted(PAPER_TABLE_I)}")
+    if mean_samples < 64:
+        raise ValueError(f"mean_samples too small ({mean_samples})")
+    row = PAPER_TABLE_I[cipher]
+    ratio_train = row.n_train / row.mean_length
+    ratio_inf = row.n_inf / row.mean_length
+    ratio_stride = row.stride / row.mean_length
+    n_train = int(min(_MAX_WINDOW, max(48, round(ratio_train * mean_samples))))
+    n_inf = int(min(n_train, max(48, round(ratio_inf * mean_samples))))
+    stride = int(max(4, round(ratio_stride * mean_samples)))
+    kernel = _odd(min(63, max(9, n_train // 8)))
+    return PipelineConfig(
+        cipher=cipher,
+        n_train=n_train,
+        n_inf=n_inf,
+        stride=stride,
+        kernel_size=kernel,
+        n_start_windows=max(8, int(row.n_start_windows * dataset_scale)),
+        n_rest_windows=max(8, int(row.n_rest_windows * dataset_scale)),
+        n_noise_windows=max(8, int(row.n_noise_windows * dataset_scale)),
+        # The paper trains 2 epochs at lr 1e-3 over 130k-160k windows; at a
+        # 1/32-1/64 dataset scale the equivalent gradient budget needs more
+        # epochs and benefits from a gentler step (validated empirically,
+        # see EXPERIMENTS.md).
+        epochs=8,
+        learning_rate=5e-4,
+        start_augmentation=4,
+    )
+
+
+def default_config(cipher: str, dataset_scale: float = 1 / 64) -> PipelineConfig:
+    """The stock configuration for a cipher on the simulated RD-4 platform."""
+    return derive_config(cipher, MEAN_CO_SAMPLES_RD4[cipher], dataset_scale)

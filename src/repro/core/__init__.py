@@ -1,0 +1,37 @@
+"""The paper's contribution: CO localisation in side-channel traces.
+
+The training pipeline (Section III-A/B) lives in
+:mod:`repro.core.dataset` (window extraction and c0/c1 labelling) and
+:mod:`repro.core.model` (the 1D-ResNet binary classifier of Figure 2).
+The inference pipeline (Section III-C/D) is
+:mod:`repro.core.sliding_window` (Slicing + CNN scoring),
+:mod:`repro.core.segmentation` (threshold, median filter, rising edges) and
+:mod:`repro.core.alignment` (cutting and aligning the located COs).
+:class:`repro.core.locator.CryptoLocator` wires the whole thing into the
+two-phase workflow of Figure 1.
+"""
+
+from repro.core.windows import extract_cipher_windows, extract_noise_windows, label_windows
+from repro.core.dataset import WindowDataset, build_window_dataset
+from repro.core.model import LocatorCNN, build_locator_cnn
+from repro.core.sliding_window import SlidingWindowClassifier
+from repro.core.segmentation import SegmentationConfig, segment_swc
+from repro.core.alignment import align_cos, cut_cos
+from repro.core.locator import CryptoLocator, LocatorResult
+
+__all__ = [
+    "extract_cipher_windows",
+    "extract_noise_windows",
+    "label_windows",
+    "WindowDataset",
+    "build_window_dataset",
+    "LocatorCNN",
+    "build_locator_cnn",
+    "SlidingWindowClassifier",
+    "SegmentationConfig",
+    "segment_swc",
+    "align_cos",
+    "cut_cos",
+    "CryptoLocator",
+    "LocatorResult",
+]

@@ -1,0 +1,76 @@
+"""Alignment stage: cut the located COs out of the trace and stack them.
+
+Once segmentation has produced the CO start samples, mounting the CPA only
+needs the trace cut at those starts and stacked on a common time origin
+(Figure 1, Alignment block).  An optional refinement pass fine-tunes each
+cut by maximising normalised cross-correlation against the ensemble mean,
+absorbing the +-stride quantisation of the segmentation output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signalproc import normalized_cross_correlation
+
+__all__ = ["cut_cos", "align_cos"]
+
+
+def cut_cos(
+    trace: np.ndarray,
+    starts: np.ndarray,
+    length: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cut ``length``-sample segments at each start.
+
+    Returns ``(segments, kept)`` where ``segments`` is ``(n_kept, length)``
+    and ``kept`` holds the indices of the starts whose segment fit inside
+    the trace (a CO too close to the end of the capture is dropped, as it
+    would be on the real scope).
+    """
+    trace = np.asarray(trace)
+    starts = np.asarray(starts, dtype=np.int64)
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    if starts.size == 0:
+        return np.zeros((0, length), dtype=trace.dtype), np.zeros(0, dtype=np.int64)
+    valid = (starts >= 0) & (starts + length <= trace.size)
+    kept = np.nonzero(valid)[0]
+    idx = starts[kept][:, None] + np.arange(length)[None, :]
+    return trace[idx], kept
+
+
+def align_cos(
+    trace: np.ndarray,
+    starts: np.ndarray,
+    length: int,
+    refine: bool = False,
+    max_shift: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cut and (optionally) fine-align the located COs.
+
+    With ``refine=True`` each segment is re-cut at the offset within
+    ``+-max_shift`` that best NCC-matches the mean of the initial cuts.
+    Returns ``(aligned_segments, kept_indices)``.
+    """
+    segments, kept = cut_cos(trace, starts, length)
+    if not refine or segments.shape[0] < 2 or max_shift < 1:
+        return segments, kept
+    template = segments.mean(axis=0)
+    trace = np.asarray(trace)
+    starts = np.asarray(starts, dtype=np.int64)
+    refined = []
+    refined_kept = []
+    for i in kept:
+        lo = max(0, int(starts[i]) - max_shift)
+        hi = min(trace.size, int(starts[i]) + max_shift + length)
+        ncc = normalized_cross_correlation(trace[lo:hi], template)
+        if ncc.size == 0:
+            continue
+        best = lo + int(np.argmax(ncc))
+        if best + length <= trace.size:
+            refined.append(trace[best: best + length])
+            refined_kept.append(i)
+    if not refined:
+        return segments, kept
+    return np.stack(refined), np.asarray(refined_kept, dtype=np.int64)

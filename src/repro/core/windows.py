@@ -1,0 +1,168 @@
+"""Window extraction and labelling (Dataset Creation, Section III-A).
+
+For each cipher trace of length ``L`` the first ``N`` samples starting at
+the CO beginning are the one ``c1`` ("beginning of the CO") window; the
+remaining ``L - N`` samples are split into consecutive non-overlapping
+``N``-sample windows labelled ``c0``.  Noise traces contribute randomly
+positioned ``c0`` windows.  Windows are standardised (zero mean / unit
+variance) individually, so the classifier sees shape, not absolute power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signalproc import standardize
+
+__all__ = [
+    "CLASS_NOT_START",
+    "CLASS_START",
+    "extract_cipher_windows",
+    "extract_start_windows",
+    "extract_interior_windows",
+    "extract_noise_windows",
+    "label_windows",
+]
+
+CLASS_NOT_START = 0
+CLASS_START = 1
+
+
+def extract_cipher_windows(
+    trace: np.ndarray,
+    co_start: int,
+    window: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split one profiling cipher trace into (start_window, rest_windows).
+
+    Parameters
+    ----------
+    trace:
+        The captured trace, including any NOP prologue.
+    co_start:
+        Ground-truth sample index of the CO beginning (from the NOP
+        boundary in the profiling capture).
+    window:
+        Window size ``N``.
+
+    Returns
+    -------
+    (start, rest):
+        ``start`` has shape ``(window,)``; ``rest`` has shape
+        ``(n_rest, window)`` with the consecutive post-start windows.
+    """
+    trace = np.asarray(trace, dtype=np.float32)
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    if not 0 <= co_start <= trace.size - window:
+        raise ValueError(
+            f"co_start {co_start} leaves no full {window}-sample window in a "
+            f"{trace.size}-sample trace"
+        )
+    start = trace[co_start: co_start + window].copy()
+    tail = trace[co_start + window:]
+    n_rest = tail.size // window
+    rest = tail[: n_rest * window].reshape(n_rest, window).copy()
+    return start, rest
+
+
+def extract_start_windows(
+    trace: np.ndarray,
+    co_start: int,
+    window: int,
+    jitter: int,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``count`` c1 windows starting within ``[co_start, co_start+jitter)``.
+
+    At inference the slicer lands a window anywhere within one stride of
+    the true start; sampling the c1 class over the same offset range makes
+    the training distribution match what the sliding-window classifier will
+    actually score (``jitter`` is normally the stride ``s``).  The first
+    window is always the exact start, so ``count=1, jitter=anything``
+    degenerates to the paper's literal labelling.
+    """
+    trace = np.asarray(trace, dtype=np.float32)
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if jitter < 0:
+        raise ValueError("jitter must be non-negative")
+    offsets = [0]
+    if count > 1 and jitter > 0:
+        offsets.extend(int(v) for v in rng.integers(0, jitter, count - 1))
+    elif count > 1:
+        offsets.extend([0] * (count - 1))
+    out = []
+    for offset in offsets:
+        begin = co_start + offset
+        if begin + window > trace.size:
+            begin = max(0, trace.size - window)
+        out.append(trace[begin: begin + window])
+    return np.stack(out)
+
+
+def extract_interior_windows(
+    trace: np.ndarray,
+    co_start: int,
+    window: int,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``count`` c0 windows at random offsets inside the CO body.
+
+    Random placement (instead of the grid of :func:`extract_cipher_windows`)
+    exposes the classifier to every phase alignment it will meet at
+    inference time.  Windows start at least one window past the CO start,
+    so none of them qualifies as "beginning of the CO".
+    """
+    trace = np.asarray(trace, dtype=np.float32)
+    lo = co_start + window
+    hi = trace.size - window
+    if hi <= lo:
+        return np.zeros((0, window), dtype=np.float32)
+    starts = rng.integers(lo, hi + 1, size=count)
+    idx = starts[:, None] + np.arange(window)[None, :]
+    return trace[idx]
+
+
+def extract_noise_windows(
+    trace: np.ndarray,
+    window: int,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``count`` random ``window``-sample slices from a noise trace."""
+    trace = np.asarray(trace, dtype=np.float32)
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    if trace.size < window:
+        raise ValueError(f"noise trace ({trace.size}) shorter than window ({window})")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    starts = rng.integers(0, trace.size - window + 1, size=count)
+    idx = starts[:, None] + np.arange(window)[None, :]
+    return trace[idx]
+
+
+def label_windows(
+    start_windows: np.ndarray,
+    other_windows: np.ndarray,
+    normalize: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack c1/c0 windows into CNN inputs ``(n, 1, N)`` and labels ``(n,)``."""
+    start_windows = np.atleast_2d(np.asarray(start_windows, dtype=np.float32))
+    other_windows = np.atleast_2d(np.asarray(other_windows, dtype=np.float32))
+    if start_windows.size and other_windows.size:
+        if start_windows.shape[1] != other_windows.shape[1]:
+            raise ValueError("window sizes differ between classes")
+    x = np.concatenate([start_windows, other_windows], axis=0)
+    if normalize:
+        x = standardize(x, axis=1).astype(np.float32)
+    y = np.concatenate(
+        [
+            np.full(start_windows.shape[0], CLASS_START, dtype=np.int64),
+            np.full(other_windows.shape[0], CLASS_NOT_START, dtype=np.int64),
+        ]
+    )
+    return x[:, None, :], y

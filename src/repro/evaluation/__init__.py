@@ -1,0 +1,28 @@
+"""Experiment harness: hit scoring, scenario runners, table rendering.
+
+Everything the benchmarks (and the examples) need to turn a locator + a
+simulated platform into the numbers of the paper's evaluation section.
+"""
+
+from repro.evaluation.hits import HitStats, match_hits
+from repro.evaluation.reporting import format_table
+from repro.evaluation.experiments import (
+    SegmentationOutcome,
+    default_tolerance,
+    train_locator,
+    run_segmentation_scenario,
+    run_baseline_scenario,
+    run_cpa_scenario,
+)
+
+__all__ = [
+    "HitStats",
+    "match_hits",
+    "format_table",
+    "SegmentationOutcome",
+    "default_tolerance",
+    "train_locator",
+    "run_segmentation_scenario",
+    "run_baseline_scenario",
+    "run_cpa_scenario",
+]

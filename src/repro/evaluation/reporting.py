@@ -1,0 +1,22 @@
+"""Plain-text table rendering for benchmark printouts."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Render an aligned ASCII table (monospace, benchmark-log friendly)."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("all rows must have the same arity as the header")
+    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""A from-scratch numpy deep-learning framework (PyTorch stand-in).
+
+The paper trains its 1D-ResNet with PyTorch on a Titan Xp; this offline
+reproduction implements the needed subset of a deep-learning framework
+directly on numpy, with manually derived backward passes that the test
+suite verifies against numerical gradients:
+
+* layers: :class:`Conv1d`, :class:`BatchNorm1d`, :class:`ReLU`,
+  :class:`Linear`, :class:`GlobalAvgPool1d`, :class:`Flatten`;
+* composites: :class:`Sequential`, :class:`ResidualBlock1d`;
+* loss: :class:`SoftmaxCrossEntropy` (Equation 1 of the paper);
+* optimisers: :class:`Adam` (the paper's choice) and :class:`SGD`;
+* training: :class:`Trainer` with best-validation-model selection, exactly
+  the procedure of Section IV-B;
+* data handling, metrics (accuracy, confusion matrix) and npz
+  (de)serialisation.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Conv1d, Linear, ReLU, GlobalAvgPool1d, Flatten
+from repro.nn.norm import BatchNorm1d
+from repro.nn.residual import ResidualBlock1d
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.data import ArrayDataset, DataLoader, train_val_test_split
+from repro.nn.trainer import Trainer, TrainHistory
+from repro.nn.metrics import accuracy, confusion_matrix, normalized_confusion
+from repro.nn.serialize import load_state, save_state
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Conv1d",
+    "Linear",
+    "ReLU",
+    "GlobalAvgPool1d",
+    "Flatten",
+    "BatchNorm1d",
+    "ResidualBlock1d",
+    "SoftmaxCrossEntropy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ArrayDataset",
+    "DataLoader",
+    "train_val_test_split",
+    "Trainer",
+    "TrainHistory",
+    "accuracy",
+    "confusion_matrix",
+    "normalized_confusion",
+    "save_state",
+    "load_state",
+]

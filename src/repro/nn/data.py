@@ -1,0 +1,103 @@
+"""Dataset containers, batching, and the 80/15/5 split of the paper."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "train_val_test_split"]
+
+
+class ArrayDataset:
+    """A pair of aligned arrays: inputs and integer labels."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"inputs ({x.shape[0]}) and labels ({y.shape[0]}) disagree")
+        self.x = x
+        self.y = y
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        return ArrayDataset(self.x[indices], self.y[indices])
+
+    def class_counts(self) -> dict[int, int]:
+        labels, counts = np.unique(self.y, return_counts=True)
+        return {int(label): int(count) for label, count in zip(labels, counts)}
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling.
+
+    The final incomplete batch is kept (dropping it would bias small
+    validation sets).
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 64,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for begin in range(0, order.size, self.batch_size):
+            idx = order[begin: begin + self.batch_size]
+            yield self.dataset.x[idx], self.dataset.y[idx]
+
+
+def train_val_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    fractions: tuple[float, float, float] = (0.80, 0.15, 0.05),
+    rng: np.random.Generator | None = None,
+    stratify: bool = True,
+) -> tuple[ArrayDataset, ArrayDataset, ArrayDataset]:
+    """Split into train/validation/test datasets (paper: 80 % / 15 % / 5 %).
+
+    With ``stratify=True`` the class proportions are preserved per split,
+    which matters because the window classes are imbalanced by design.
+    """
+    if abs(sum(fractions) - 1.0) > 1e-9 or any(f < 0 for f in fractions):
+        raise ValueError(f"fractions must be non-negative and sum to 1, got {fractions}")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    rng = rng if rng is not None else np.random.default_rng()
+    train_idx: list[np.ndarray] = []
+    val_idx: list[np.ndarray] = []
+    test_idx: list[np.ndarray] = []
+    groups = [np.nonzero(y == label)[0] for label in np.unique(y)] if stratify else [np.arange(y.size)]
+    for group in groups:
+        order = group[rng.permutation(group.size)]
+        n_train = int(round(fractions[0] * order.size))
+        n_val = int(round(fractions[1] * order.size))
+        train_idx.append(order[:n_train])
+        val_idx.append(order[n_train: n_train + n_val])
+        test_idx.append(order[n_train + n_val:])
+    train = np.concatenate(train_idx)
+    val = np.concatenate(val_idx)
+    test = np.concatenate(test_idx)
+    rng.shuffle(train)
+    return (
+        ArrayDataset(x[train], y[train]),
+        ArrayDataset(x[val], y[val]),
+        ArrayDataset(x[test], y[test]),
+    )

@@ -1,0 +1,58 @@
+"""Softmax cross-entropy, the loss of Equation 1 in the paper.
+
+Softmax and cross-entropy are fused: the combined backward pass is the
+numerically stable ``(softmax(logits) - onehot) / batch`` and the forward
+uses the log-sum-exp trick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SoftmaxCrossEntropy", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max subtraction for stability."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return (exp / exp.sum(axis=1, keepdims=True)).astype(np.float32)
+
+
+class SoftmaxCrossEntropy:
+    """Mean cross-entropy between integer labels and logits."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError(f"expected (B, classes) logits, got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(f"labels shape {labels.shape} does not match batch {logits.shape[0]}")
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ValueError("label outside class range")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=1))
+        log_probs = shifted[np.arange(labels.size), labels] - log_norm
+        self._probs = softmax(logits)
+        self._labels = labels
+        return float(-log_probs.mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.astype(np.float64).copy()
+        grad[np.arange(self._labels.size), self._labels] -= 1.0
+        grad /= self._labels.size
+        self._probs = None
+        self._labels = None
+        return grad.astype(np.float32)
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)

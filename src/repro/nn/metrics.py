@@ -1,0 +1,54 @@
+"""Classification metrics: accuracy and confusion matrices (Figure 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "confusion_matrix", "normalized_confusion", "format_confusion"]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int = 2) -> np.ndarray:
+    """Count matrix ``M[t, p]`` = samples of true class t predicted as p."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size and (min(y_true.min(), y_pred.min()) < 0
+                        or max(y_true.max(), y_pred.max()) >= n_classes):
+        raise ValueError("labels outside [0, n_classes)")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def normalized_confusion(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int = 2) -> np.ndarray:
+    """Row-normalised confusion matrix in percent, as printed in Figure 3.
+
+    Row t sums to 100 (up to rounding); rows with no true samples are all
+    zeros.
+    """
+    counts = confusion_matrix(y_true, y_pred, n_classes).astype(np.float64)
+    totals = counts.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        percent = np.where(totals > 0, counts / totals * 100.0, 0.0)
+    return percent
+
+
+def format_confusion(percent: np.ndarray, class_names: tuple[str, ...] = ("0", "1")) -> str:
+    """Render a normalised confusion matrix like the paper's Figure 3 cells."""
+    lines = ["true\\pred  " + "  ".join(f"{n:>8s}" for n in class_names)]
+    for t, name in enumerate(class_names):
+        cells = "  ".join(f"{percent[t, p]:7.2f}%" for p in range(len(class_names)))
+        lines.append(f"{name:>9s}  {cells}")
+    return "\n".join(lines)

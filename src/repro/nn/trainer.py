@@ -1,0 +1,125 @@
+"""Training loop with best-validation-model selection (Section IV-B).
+
+The paper trains each network for 2 epochs with Adam (batch 64, lr 0.001),
+evaluates the validation error after each epoch, and keeps the network with
+the lowest error.  :class:`Trainer` implements exactly that procedure on
+top of the numpy framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+
+__all__ = ["TrainHistory", "Trainer"]
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch record of a training run."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+
+    def __str__(self) -> str:
+        lines = []
+        for epoch, (tl, vl, va) in enumerate(
+            zip(self.train_loss, self.val_loss, self.val_accuracy)
+        ):
+            marker = " *" if epoch == self.best_epoch else ""
+            lines.append(
+                f"epoch {epoch}: train_loss={tl:.4f} val_loss={vl:.4f} "
+                f"val_acc={va:.4f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+class Trainer:
+    """Mini-batch trainer with early model selection on validation loss."""
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss: SoftmaxCrossEntropy | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def fit(
+        self,
+        train: ArrayDataset,
+        val: ArrayDataset,
+        epochs: int = 2,
+        batch_size: int = 64,
+        verbose: bool = False,
+    ) -> TrainHistory:
+        """Train and restore the lowest-validation-loss parameters."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        loader = DataLoader(train, batch_size=batch_size, shuffle=True, rng=self._rng)
+        history = TrainHistory()
+        best_state: dict[str, np.ndarray] | None = None
+        best_val = np.inf
+        for epoch in range(epochs):
+            self.model.train()
+            losses = []
+            for xb, yb in loader:
+                logits = self.model.forward(xb)
+                batch_loss = self.loss.forward(logits, yb)
+                self.model.zero_grad()
+                self.model.backward(self.loss.backward())
+                self.optimizer.step()
+                losses.append(batch_loss)
+            val_loss, val_acc = self.evaluate(val, batch_size=batch_size)
+            history.train_loss.append(float(np.mean(losses)))
+            history.val_loss.append(val_loss)
+            history.val_accuracy.append(val_acc)
+            if val_loss < best_val:
+                best_val = val_loss
+                best_state = self.model.state_dict()
+                history.best_epoch = epoch
+            if verbose:
+                print(
+                    f"epoch {epoch}: train_loss={history.train_loss[-1]:.4f} "
+                    f"val_loss={val_loss:.4f} val_acc={val_acc:.4f}"
+                )
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return history
+
+    def evaluate(self, dataset: ArrayDataset, batch_size: int = 64) -> tuple[float, float]:
+        """Mean loss and accuracy over a dataset in eval mode."""
+        self.model.eval()
+        loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+        losses = []
+        correct = 0
+        for xb, yb in loader:
+            logits = self.model.forward(xb)
+            losses.append(self.loss.forward(logits, yb) * len(yb))
+            correct += int((np.argmax(logits, axis=1) == yb).sum())
+        n = len(dataset)
+        if n == 0:
+            raise ValueError("cannot evaluate on an empty dataset")
+        return float(np.sum(losses) / n), correct / n
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions (argmax of logits) in eval mode."""
+        self.model.eval()
+        preds = []
+        for begin in range(0, x.shape[0], batch_size):
+            logits = self.model.forward(x[begin: begin + batch_size])
+            preds.append(np.argmax(logits, axis=1))
+        return np.concatenate(preds) if preds else np.zeros(0, dtype=np.int64)

@@ -1,0 +1,44 @@
+"""Signal-processing primitives shared across the locating pipeline.
+
+This subpackage collects the low-level 1D signal operations that the paper's
+inference pipeline relies on: median filtering and square-wave thresholding
+for the segmentation stage (Section III-D), normalisation utilities for
+dataset creation, and cross-correlation helpers used by the alignment stage
+and by the matched-filter baseline.
+"""
+
+from repro.signalproc.filters import (
+    median_filter,
+    moving_average,
+    boxcar_aggregate,
+)
+from repro.signalproc.normalize import (
+    standardize,
+    min_max_scale,
+    remove_dc,
+)
+from repro.signalproc.edges import (
+    threshold_to_square_wave,
+    rising_edges,
+    falling_edges,
+)
+from repro.signalproc.align import (
+    normalized_cross_correlation,
+    best_alignment_offset,
+    shift_signal,
+)
+
+__all__ = [
+    "median_filter",
+    "moving_average",
+    "boxcar_aggregate",
+    "standardize",
+    "min_max_scale",
+    "remove_dc",
+    "threshold_to_square_wave",
+    "rising_edges",
+    "falling_edges",
+    "normalized_cross_correlation",
+    "best_alignment_offset",
+    "shift_signal",
+]

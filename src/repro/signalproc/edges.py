@@ -1,0 +1,49 @@
+"""Square-wave thresholding and edge extraction (Section III-D).
+
+The segmentation stage turns the sliding-window classification signal into a
+±1 square wave by thresholding (the ``Th`` block of Figure 1), cleans it with
+a median filter, and finally reads off the rising edges: the positions where
+two consecutive samples take the values -1 and +1.  Those positions, scaled
+by the stride ``s``, are the CO start samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["threshold_to_square_wave", "rising_edges", "falling_edges"]
+
+
+def threshold_to_square_wave(signal: np.ndarray, threshold: float) -> np.ndarray:
+    """Map each sample to +1 if it is above ``threshold``, else -1.
+
+    Samples exactly equal to the threshold map to -1, i.e. only strictly
+    greater values count as "above", so a flat signal at the threshold does
+    not produce spurious CO detections.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    return np.where(signal > threshold, 1.0, -1.0)
+
+
+def rising_edges(square_wave: np.ndarray) -> np.ndarray:
+    """Indices ``i`` where ``square_wave[i-1] < 0 <= square_wave[i]``.
+
+    The returned index points at the first +1 sample of each positive
+    plateau, matching the paper's definition of the CO start marker.
+    """
+    square_wave = np.asarray(square_wave, dtype=np.float64)
+    if square_wave.size < 2:
+        return np.zeros(0, dtype=np.int64)
+    prev_low = square_wave[:-1] < 0
+    curr_high = square_wave[1:] >= 0
+    return np.nonzero(prev_low & curr_high)[0].astype(np.int64) + 1
+
+
+def falling_edges(square_wave: np.ndarray) -> np.ndarray:
+    """Indices ``i`` where ``square_wave[i-1] >= 0 > square_wave[i]``."""
+    square_wave = np.asarray(square_wave, dtype=np.float64)
+    if square_wave.size < 2:
+        return np.zeros(0, dtype=np.int64)
+    prev_high = square_wave[:-1] >= 0
+    curr_low = square_wave[1:] < 0
+    return np.nonzero(prev_high & curr_low)[0].astype(np.int64) + 1

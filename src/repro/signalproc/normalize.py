@@ -1,0 +1,43 @@
+"""Normalisation utilities for side-channel traces and CNN inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["standardize", "min_max_scale", "remove_dc"]
+
+_EPS = 1e-12
+
+
+def standardize(signal: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Zero-mean, unit-variance normalisation along ``axis``.
+
+    Constant signals are mapped to all-zeros instead of dividing by zero,
+    which is the behaviour the window classifier needs for e.g. all-NOP
+    windows.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    mean = signal.mean(axis=axis, keepdims=True)
+    std = signal.std(axis=axis, keepdims=True)
+    return (signal - mean) / np.maximum(std, _EPS)
+
+
+def min_max_scale(signal: np.ndarray, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Affinely map a signal to the range ``[low, high]``.
+
+    Constant signals map to ``low`` everywhere.
+    """
+    if high <= low:
+        raise ValueError(f"invalid range [{low}, {high}]")
+    signal = np.asarray(signal, dtype=np.float64)
+    lo = signal.min()
+    hi = signal.max()
+    if hi - lo < _EPS:
+        return np.full_like(signal, low)
+    return low + (signal - lo) * (high - low) / (hi - lo)
+
+
+def remove_dc(signal: np.ndarray) -> np.ndarray:
+    """Subtract the mean of the signal (DC component removal)."""
+    signal = np.asarray(signal, dtype=np.float64)
+    return signal - signal.mean()

@@ -1,0 +1,46 @@
+"""Simulated RISC-V system-on-chip and measurement chain.
+
+The paper's testbed is a CW305 FPGA board running a 32-bit RISC-V SoC at
+50 MHz, measured with a 125 MS/s 12-bit oscilloscope, with a hardware-TRNG
+driven random-delay countermeasure.  This subpackage is the reproduction's
+stand-in for all of that:
+
+* :mod:`repro.soc.trng` — the random source driving the countermeasure;
+* :mod:`repro.soc.leakage` — Hamming-weight / Hamming-distance power models
+  of the 32-bit datapath;
+* :mod:`repro.soc.random_delay` — the RD-k countermeasure (0..k random
+  instructions inserted between every pair of program instructions);
+* :mod:`repro.soc.noise_apps` — the "noise applications" whose execution
+  surrounds the COs in the heterogeneous scenario;
+* :mod:`repro.soc.oscilloscope` — sampling, amplifier noise, and 12-bit
+  quantisation;
+* :mod:`repro.soc.trace_synth` — glue that turns an operation stream into a
+  power trace while tracking ground-truth positions;
+* :mod:`repro.soc.platform` — the :class:`SimulatedPlatform` façade the rest
+  of the library (and the examples) talk to, mimicking "a clone device the
+  attacker can run chosen applications on".
+"""
+
+from repro.soc.trng import TrngModel
+from repro.soc.leakage import HammingWeightLeakage, HammingDistanceLeakage, hamming_weight
+from repro.soc.random_delay import RandomDelayCountermeasure
+from repro.soc.oscilloscope import Oscilloscope
+from repro.soc.noise_apps import NOISE_APPS, run_random_noise_program
+from repro.soc.trace_synth import OpStream, synthesize_trace
+from repro.soc.platform import CipherTrace, SessionTrace, SimulatedPlatform
+
+__all__ = [
+    "TrngModel",
+    "HammingWeightLeakage",
+    "HammingDistanceLeakage",
+    "hamming_weight",
+    "RandomDelayCountermeasure",
+    "Oscilloscope",
+    "NOISE_APPS",
+    "run_random_noise_program",
+    "OpStream",
+    "synthesize_trace",
+    "CipherTrace",
+    "SessionTrace",
+    "SimulatedPlatform",
+]

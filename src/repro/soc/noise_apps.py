@@ -1,0 +1,169 @@
+"""Noise applications: the non-cryptographic workloads of the evaluation.
+
+Section III-A: "The noise trace is obtained from executing multiple
+applications different from the CO."  Section IV-B interleaves cipher
+executions with "random applications" to build the heterogeneous scenario.
+
+Each function here is a small but real program — it computes an actual
+result — instrumented with the same :class:`LeakageRecorder` hook as the
+ciphers, so its power signature comes from genuinely executed data flow.
+The mix deliberately spans byte-oriented loops (CRC, sorting, string search)
+and word-oriented arithmetic (matrix multiply, PRNG, checksums) so that no
+trivial mean-power cue separates noise from cipher code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ciphers.base import LeakageRecorder, OpKind
+
+__all__ = [
+    "bubble_sort_app",
+    "matmul_app",
+    "crc32_app",
+    "fibonacci_app",
+    "xorshift_app",
+    "memcpy_app",
+    "string_search_app",
+    "adler32_app",
+    "NOISE_APPS",
+    "run_random_noise_program",
+]
+
+_M32 = 0xFFFFFFFF
+
+
+def bubble_sort_app(recorder: LeakageRecorder, rng: np.random.Generator, size: int = 24) -> list[int]:
+    """Sort a random byte array with bubble sort, leaking every comparison."""
+    data = [int(v) for v in rng.integers(0, 256, size)]
+    n = len(data)
+    for i in range(n):
+        for j in range(n - 1 - i):
+            a, b = data[j], data[j + 1]
+            recorder.record(a ^ b, width=8, kind=OpKind.ALU)
+            if a > b:
+                data[j], data[j + 1] = b, a
+                recorder.record(b, width=8, kind=OpKind.STORE)
+    return data
+
+
+def matmul_app(recorder: LeakageRecorder, rng: np.random.Generator, dim: int = 6) -> list[list[int]]:
+    """Integer matrix multiply with 32-bit accumulators."""
+    a = rng.integers(0, 256, (dim, dim))
+    b = rng.integers(0, 256, (dim, dim))
+    out = [[0] * dim for _ in range(dim)]
+    for i in range(dim):
+        for j in range(dim):
+            acc = 0
+            for k in range(dim):
+                prod = int(a[i, k]) * int(b[k, j])
+                acc = (acc + prod) & _M32
+                recorder.record(prod, width=16, kind=OpKind.MUL)
+                recorder.record(acc, width=32, kind=OpKind.ALU)
+            out[i][j] = acc
+    return out
+
+
+def crc32_app(recorder: LeakageRecorder, rng: np.random.Generator, size: int = 48) -> int:
+    """Bitwise CRC-32 (reflected 0xEDB88320) over a random buffer."""
+    crc = _M32
+    for byte in rng.integers(0, 256, size):
+        crc ^= int(byte)
+        recorder.record(crc & 0xFF, width=8, kind=OpKind.LOAD)
+        for _ in range(8):
+            lsb = crc & 1
+            crc >>= 1
+            if lsb:
+                crc ^= 0xEDB88320
+            recorder.record(crc, width=32, kind=OpKind.SHIFT)
+    return crc ^ _M32
+
+
+def fibonacci_app(recorder: LeakageRecorder, rng: np.random.Generator, count: int = 64) -> int:
+    """Iterative Fibonacci with 32-bit wraparound."""
+    a, b = 0, 1
+    for _ in range(count):
+        a, b = b, (a + b) & _M32
+        recorder.record(b, width=32, kind=OpKind.ALU)
+    return a
+
+
+def xorshift_app(recorder: LeakageRecorder, rng: np.random.Generator, count: int = 64) -> int:
+    """xorshift32 PRNG loop — dense 32-bit register activity."""
+    state = int(rng.integers(1, _M32))
+    for _ in range(count):
+        state ^= (state << 13) & _M32
+        state ^= state >> 17
+        state ^= (state << 5) & _M32
+        recorder.record(state, width=32, kind=OpKind.SHIFT)
+    return state
+
+
+def memcpy_app(recorder: LeakageRecorder, rng: np.random.Generator, words: int = 48) -> list[int]:
+    """Word-wise buffer copy (loads/stores leak the moved words)."""
+    src = [int(v) for v in rng.integers(0, 1 << 32, words, dtype=np.int64)]
+    dst = []
+    for w in src:
+        dst.append(w)
+        recorder.record(w, width=32, kind=OpKind.LOAD)
+    return dst
+
+
+def string_search_app(recorder: LeakageRecorder, rng: np.random.Generator, hay_len: int = 64) -> int:
+    """Naive substring search over random bytes, leaking comparisons."""
+    hay = [int(v) for v in rng.integers(0, 8, hay_len)]
+    needle = [int(v) for v in rng.integers(0, 8, 3)]
+    found = -1
+    for i in range(hay_len - len(needle) + 1):
+        match = True
+        for j, nb in enumerate(needle):
+            diff = hay[i + j] ^ nb
+            recorder.record(diff, width=8, kind=OpKind.LOAD)
+            if diff:
+                match = False
+                break
+        if match and found < 0:
+            found = i
+    return found
+
+
+def adler32_app(recorder: LeakageRecorder, rng: np.random.Generator, size: int = 96) -> int:
+    """Adler-32 checksum over random bytes (two 16-bit accumulators)."""
+    a, b = 1, 0
+    for byte in rng.integers(0, 256, size):
+        a = (a + int(byte)) % 65521
+        b = (b + a) % 65521
+        recorder.record(a, width=16, kind=OpKind.ALU)
+        recorder.record(b, width=16, kind=OpKind.ALU)
+    return (b << 16) | a
+
+
+#: The application mix used to build noise traces and interleaving gaps.
+NOISE_APPS = (
+    bubble_sort_app,
+    matmul_app,
+    crc32_app,
+    fibonacci_app,
+    xorshift_app,
+    memcpy_app,
+    string_search_app,
+    adler32_app,
+)
+
+
+def run_random_noise_program(
+    recorder: LeakageRecorder,
+    rng: np.random.Generator,
+    min_ops: int,
+) -> int:
+    """Execute randomly chosen noise applications until >= min_ops recorded.
+
+    Returns the number of operations actually recorded (always >= min_ops
+    unless ``min_ops`` is 0).
+    """
+    start = len(recorder)
+    while len(recorder) - start < min_ops:
+        app = NOISE_APPS[int(rng.integers(0, len(NOISE_APPS)))]
+        app(recorder, rng)
+    return len(recorder) - start

@@ -1,0 +1,99 @@
+"""Digital sampling oscilloscope model (Picoscope 5244d stand-in).
+
+The paper samples at 125 MS/s with 12-bit resolution while the CPU runs at
+50 MHz, i.e. ~2.5 samples per CPU cycle.  The model reproduces the chain's
+three distortions:
+
+1. **sampling** — each executed operation is expanded into
+   ``samples_per_op`` samples shaped by a pulse (default 2 samples/op,
+   the nearest integer ratio to the paper's 2.5);
+2. **analog front-end** — a short low-pass kernel smears adjacent
+   operations into each other, like limited probe/amplifier bandwidth;
+3. **acquisition noise + 12-bit quantisation** — additive Gaussian noise
+   followed by clipping and rounding to the ADC grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Oscilloscope"]
+
+
+class Oscilloscope:
+    """Converts an instantaneous-power sequence into a sampled trace.
+
+    Parameters
+    ----------
+    samples_per_op:
+        How many trace samples one executed operation spans.
+    noise_std:
+        Standard deviation of the additive Gaussian acquisition noise, in
+        the same (power) units the leakage model outputs.
+    adc_bits:
+        ADC resolution (the paper's scope: 12 bits).
+    v_range:
+        Full-scale input range.  Power above the range clips, like an
+        over-driven scope input.  The default comfortably fits the
+        Hamming-weight model's maximum output.
+    bandwidth_kernel:
+        Low-pass FIR kernel applied before quantisation (unit DC gain).
+    """
+
+    def __init__(
+        self,
+        samples_per_op: int = 2,
+        noise_std: float = 1.0,
+        adc_bits: int = 12,
+        v_range: float = 48.0,
+        bandwidth_kernel: tuple[float, ...] = (0.2, 0.6, 0.2),
+    ) -> None:
+        if samples_per_op < 1:
+            raise ValueError("samples_per_op must be >= 1")
+        if noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if not 1 <= adc_bits <= 24:
+            raise ValueError("adc_bits out of range")
+        if v_range <= 0:
+            raise ValueError("v_range must be positive")
+        kernel = np.asarray(bandwidth_kernel, dtype=np.float64)
+        if kernel.ndim != 1 or kernel.size == 0 or abs(kernel.sum() - 1.0) > 1e-9:
+            raise ValueError("bandwidth_kernel must be 1D with unit sum")
+        self.samples_per_op = int(samples_per_op)
+        self.noise_std = float(noise_std)
+        self.adc_bits = int(adc_bits)
+        self.v_range = float(v_range)
+        self._kernel = kernel
+        # Falling pulse: an instruction's switching activity is strongest in
+        # its first sample, like the current spike on a clock edge.
+        self._pulse = np.linspace(1.0, 0.55, self.samples_per_op)
+
+    @property
+    def lsb(self) -> float:
+        """Volts-per-code of the ADC."""
+        return self.v_range / (2**self.adc_bits - 1)
+
+    def capture(self, power: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample an instantaneous-power sequence into a quantised trace.
+
+        Returns a ``float32`` array of length ``len(power) * samples_per_op``
+        holding the reconstructed voltages (code * LSB).
+        """
+        power = np.asarray(power, dtype=np.float64)
+        if power.ndim != 1:
+            raise ValueError(f"expected 1D power sequence, got shape {power.shape}")
+        if power.size == 0:
+            return np.zeros(0, dtype=np.float32)
+        analog = (power[:, None] * self._pulse[None, :]).ravel()
+        if self._kernel.size > 1:
+            pad = self._kernel.size // 2
+            padded = np.pad(analog, (pad, self._kernel.size - 1 - pad), mode="edge")
+            analog = np.convolve(padded, self._kernel, mode="valid")
+        if self.noise_std > 0:
+            analog = analog + rng.normal(0.0, self.noise_std, analog.size)
+        codes = np.clip(np.round(analog / self.lsb), 0, 2**self.adc_bits - 1)
+        return (codes * self.lsb).astype(np.float32)
+
+    def op_to_sample(self, op_index: int | np.ndarray):
+        """Map an operation index to the index of its first trace sample."""
+        return op_index * self.samples_per_op

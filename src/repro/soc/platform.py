@@ -1,0 +1,257 @@
+"""The simulated target/clone device the attacker interacts with.
+
+The paper's threat model (Section III): the attacker owns a clone of the
+target device on which they can run applications of choice and measure the
+side channel, but they can neither disable the random-delay countermeasure
+nor add trigger pins.  :class:`SimulatedPlatform` exposes exactly those
+capabilities:
+
+* :meth:`capture_cipher_traces` — run a single CO per capture, with a NOP
+  prologue replacing the missing trigger infrastructure (Section III-A);
+* :meth:`capture_noise_trace` — run a long sequence of non-cryptographic
+  applications;
+* :meth:`capture_session_trace` — the *attack* measurement: many COs under
+  an unknown key, either back-to-back or interleaved with noise
+  applications, with ground-truth start positions carried along for
+  evaluation only.
+
+The random-delay countermeasure is active in every capture.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ciphers.base import LeakageRecorder
+from repro.ciphers.registry import get_cipher
+from repro.soc.leakage import HammingWeightLeakage
+from repro.soc.noise_apps import run_random_noise_program
+from repro.soc.oscilloscope import Oscilloscope
+from repro.soc.random_delay import RandomDelayCountermeasure
+from repro.soc.trace_synth import OpStream, synthesize_trace
+from repro.soc.trng import TrngModel
+
+__all__ = ["CipherTrace", "SessionTrace", "SimulatedPlatform"]
+
+
+@dataclass
+class CipherTrace:
+    """A profiling capture: one CO execution with a known start position."""
+
+    trace: np.ndarray
+    co_start: int
+    plaintext: bytes
+    key: bytes
+
+
+@dataclass
+class SessionTrace:
+    """An attack capture: many COs, ground truth attached for scoring only."""
+
+    trace: np.ndarray
+    true_starts: np.ndarray
+    plaintexts: list[bytes]
+    ciphertexts: list[bytes]
+    key: bytes
+    rd_name: str
+    noise_interleaved: bool
+    extras: dict = field(default_factory=dict)
+
+
+class SimulatedPlatform:
+    """A CW305-like board with a RISC-V SoC and an attached oscilloscope.
+
+    Parameters
+    ----------
+    cipher_name:
+        Registry name of the CO to execute (``aes``, ``aes_masked``,
+        ``camellia``, ``clefia``, ``simon``).
+    max_delay:
+        Random-delay configuration: 0 (off, sanity only), 2 (RD-2) or
+        4 (RD-4).
+    seed:
+        Master seed; every stochastic component (TRNG, mask randomness,
+        acquisition noise, workload data) derives from it.
+    leakage, oscilloscope:
+        Measurement-chain overrides; sensible defaults otherwise.
+    """
+
+    def __init__(
+        self,
+        cipher_name: str,
+        max_delay: int = 4,
+        seed: int | None = 0,
+        leakage: HammingWeightLeakage | None = None,
+        oscilloscope: Oscilloscope | None = None,
+    ) -> None:
+        self.cipher_name = cipher_name
+        self._rng = np.random.default_rng(seed)
+        kwargs = {}
+        if cipher_name == "aes_masked":
+            kwargs["rng"] = random.Random(int(self._rng.integers(0, 2**63)))
+        self.cipher = get_cipher(cipher_name, **kwargs)
+        self.countermeasure = RandomDelayCountermeasure(
+            max_delay, TrngModel(int(self._rng.integers(0, 2**63)))
+        )
+        self.leakage = leakage if leakage is not None else HammingWeightLeakage()
+        self.oscilloscope = oscilloscope if oscilloscope is not None else Oscilloscope()
+
+    # ------------------------------------------------------------------ #
+    # profiling captures (clone device)                                  #
+    # ------------------------------------------------------------------ #
+
+    def capture_cipher_trace(
+        self,
+        key: bytes | None = None,
+        plaintext: bytes | None = None,
+        nop_header: int = 96,
+    ) -> CipherTrace:
+        """Capture one CO execution preceded by a NOP prologue.
+
+        The NOPs replace the trigger pin the threat model forbids: their
+        flat power makes the CO start findable in the profiling trace
+        (Section III-A).  The random delay stays active, so the start
+        position still varies capture to capture.
+        """
+        key = key if key is not None else self._random_block()
+        plaintext = plaintext if plaintext is not None else self._random_block()
+        recorder = LeakageRecorder()
+        recorder.record_nops(nop_header)
+        marker_op = len(recorder)
+        self.cipher.encrypt(plaintext, key, recorder)
+        trace, marker_samples = synthesize_trace(
+            OpStream.from_recorder(recorder),
+            np.array([marker_op]),
+            self.countermeasure,
+            self.leakage,
+            self.oscilloscope,
+            self._rng,
+        )
+        return CipherTrace(
+            trace=trace, co_start=int(marker_samples[0]), plaintext=plaintext, key=key
+        )
+
+    def capture_cipher_traces(
+        self,
+        count: int,
+        key: bytes | None = None,
+        nop_header: int = 96,
+    ) -> list[CipherTrace]:
+        """Capture ``count`` single-CO profiling traces.
+
+        Keys and plaintexts are drawn fresh per capture unless a fixed key
+        is supplied, matching the paper's "balanced between the key bytes"
+        dataset construction.
+        """
+        return [
+            self.capture_cipher_trace(key=key, nop_header=nop_header)
+            for _ in range(count)
+        ]
+
+    def capture_noise_trace(self, min_ops: int = 50_000) -> np.ndarray:
+        """Capture the execution of noise applications (no CO anywhere)."""
+        recorder = LeakageRecorder()
+        run_random_noise_program(recorder, self._rng, min_ops)
+        trace, _ = synthesize_trace(
+            OpStream.from_recorder(recorder),
+            np.zeros(0, dtype=np.int64),
+            self.countermeasure,
+            self.leakage,
+            self.oscilloscope,
+            self._rng,
+        )
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # attack captures (target device)                                    #
+    # ------------------------------------------------------------------ #
+
+    def capture_session_trace(
+        self,
+        n_cos: int,
+        key: bytes | None = None,
+        noise_interleaved: bool = True,
+        noise_ops: tuple[int, int] = (400, 1600),
+        lead_ops: int = 300,
+        gap_ops: int = 8,
+    ) -> SessionTrace:
+        """Capture a long trace containing ``n_cos`` CO executions.
+
+        ``noise_interleaved=True`` is the heterogeneous scenario of
+        Section IV-B: a random amount of noise-application activity (between
+        the two bounds of ``noise_ops``) runs between consecutive COs.  With
+        ``False``, the COs run back-to-back separated only by ``gap_ops``
+        loop-overhead operations.  Plaintexts are random and recorded in the
+        result, as an attacker observing the I/O would know them.
+        """
+        key = key if key is not None else self._random_block()
+        recorder = LeakageRecorder()
+        marker_ops: list[int] = []
+        plaintexts: list[bytes] = []
+        ciphertexts: list[bytes] = []
+
+        run_random_noise_program(recorder, self._rng, lead_ops)
+        for i in range(n_cos):
+            marker_ops.append(len(recorder))
+            pt = self._random_block()
+            ct = self.cipher.encrypt(pt, key, recorder)
+            plaintexts.append(pt)
+            ciphertexts.append(ct)
+            if i != n_cos - 1:
+                if noise_interleaved:
+                    span = int(self._rng.integers(noise_ops[0], noise_ops[1] + 1))
+                    run_random_noise_program(recorder, self._rng, span)
+                else:
+                    # Loop overhead between back-to-back encryptions.
+                    for counter in range(gap_ops):
+                        recorder.record(i * gap_ops + counter, width=32)
+        run_random_noise_program(recorder, self._rng, lead_ops)
+
+        trace, marker_samples = synthesize_trace(
+            OpStream.from_recorder(recorder),
+            np.asarray(marker_ops, dtype=np.int64),
+            self.countermeasure,
+            self.leakage,
+            self.oscilloscope,
+            self._rng,
+        )
+        return SessionTrace(
+            trace=trace,
+            true_starts=marker_samples,
+            plaintexts=plaintexts,
+            ciphertexts=ciphertexts,
+            key=key,
+            rd_name=self.countermeasure.config_name,
+            noise_interleaved=noise_interleaved,
+        )
+
+    # ------------------------------------------------------------------ #
+    # utilities                                                          #
+    # ------------------------------------------------------------------ #
+
+    def mean_co_samples(self, probes: int = 8) -> int:
+        """Empirical mean CO length in trace samples (delay included).
+
+        This is the "Mean length" column of Table I for this platform; the
+        pipeline configuration derives window sizes and strides from it.
+        """
+        lengths = []
+        for _ in range(probes):
+            recorder = LeakageRecorder()
+            self.cipher.encrypt(self._random_block(), self._random_block(), recorder)
+            trace, _ = synthesize_trace(
+                OpStream.from_recorder(recorder),
+                np.zeros(0, dtype=np.int64),
+                self.countermeasure,
+                self.leakage,
+                self.oscilloscope,
+                self._rng,
+            )
+            lengths.append(trace.size)
+        return int(np.mean(lengths))
+
+    def _random_block(self) -> bytes:
+        return self._rng.bytes(self.cipher.block_size)

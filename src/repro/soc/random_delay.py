@@ -1,0 +1,104 @@
+"""The random-delay desynchronisation countermeasure (RD-k).
+
+The paper's CPU inserts, between every pair of consecutive program
+instructions, a TRNG-chosen number of random instructions bounded by a
+configuration constant: RD-2 inserts 0..2, RD-4 inserts 0..4.  The effect on
+the power trace is a non-uniform time warp — each real instruction lands at
+an unpredictable offset whose variance grows along the program — plus
+random-instruction power in the gaps (the inserted instructions have both
+random operand values and random instruction kinds, so they mimic genuine
+code).  That combination is what defeats the pattern-matching locators of
+[10] and [11].
+
+This module applies the countermeasure to an operation stream *and reports
+where every original operation ended up*, which the trace synthesiser uses
+to carry ground-truth CO positions through the warp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ciphers.base import OpKind
+from repro.soc.trng import TrngModel
+
+__all__ = ["RandomDelayCountermeasure", "DUMMY_KIND_POOL"]
+
+#: Instruction kinds the hardware inserter draws from.  A real random-delay
+#: unit issues innocuous-looking arithmetic, shifts and multiplies; it does
+#: not issue memory traffic (which could fault) — the same restriction the
+#: paper's hardware TRNG-driven inserter has.
+DUMMY_KIND_POOL = (int(OpKind.ALU), int(OpKind.SHIFT), int(OpKind.MUL))
+
+
+@dataclass(frozen=True)
+class _DelayedStream:
+    """Result of applying random delay to an operation stream."""
+
+    values: np.ndarray        # uint64, real + dummy operation values
+    kinds: np.ndarray         # uint8, instruction kinds
+    is_dummy: np.ndarray      # bool, True where an op was inserted
+    new_positions: np.ndarray  # int64, index of each original op in `values`
+
+
+class RandomDelayCountermeasure:
+    """Insert 0..max_delay random instructions between consecutive ops.
+
+    ``max_delay = 0`` disables the countermeasure (the RD-0 sanity
+    configuration used to validate the baselines).
+    """
+
+    def __init__(self, max_delay: int, trng: TrngModel | None = None) -> None:
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.max_delay = int(max_delay)
+        self.trng = trng if trng is not None else TrngModel()
+
+    @property
+    def config_name(self) -> str:
+        """The paper's name for this configuration (RD-0 / RD-2 / RD-4)."""
+        return f"RD-{self.max_delay}"
+
+    def apply(self, values: np.ndarray, kinds: np.ndarray) -> _DelayedStream:
+        """Apply the countermeasure to a stream of (value, kind) operations.
+
+        Returns the expanded stream together with the mapping from original
+        op index to its position in the expanded stream.
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        kinds = np.asarray(kinds, dtype=np.uint8)
+        if values.shape != kinds.shape:
+            raise ValueError("values and kinds must have the same length")
+        n = values.size
+        if n == 0 or self.max_delay == 0:
+            return _DelayedStream(
+                values=values.copy(),
+                kinds=kinds.copy(),
+                is_dummy=np.zeros(n, dtype=bool),
+                new_positions=np.arange(n, dtype=np.int64),
+            )
+        # One gap before each op except the first.
+        counts = self.trng.uniform_ints(0, self.max_delay, n - 1)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        new_positions = np.arange(n, dtype=np.int64) + offsets
+        total = n + int(counts.sum())
+        out_values = np.empty(total, dtype=np.uint64)
+        out_kinds = np.empty(total, dtype=np.uint8)
+        is_dummy = np.ones(total, dtype=bool)
+        out_values[new_positions] = values
+        out_kinds[new_positions] = kinds
+        is_dummy[new_positions] = False
+        n_dummy = total - n
+        if n_dummy:
+            out_values[is_dummy] = self.trng.random_words(n_dummy, width=32)
+            pool = np.asarray(DUMMY_KIND_POOL, dtype=np.uint8)
+            picks = self.trng.uniform_ints(0, len(pool) - 1, n_dummy)
+            out_kinds[is_dummy] = pool[picks]
+        return _DelayedStream(
+            values=out_values,
+            kinds=out_kinds,
+            is_dummy=is_dummy,
+            new_positions=new_positions,
+        )

@@ -1,0 +1,111 @@
+"""Operation-stream to power-trace synthesis with ground-truth tracking.
+
+This is the glue of the measurement chain: it takes the operation stream a
+cipher (plus surrounding workloads) recorded, compiles 64-bit operations
+down to the 32-bit datapath, applies the random-delay countermeasure, runs
+the leakage model, and captures the result through the oscilloscope — all
+while tracking where caller-designated *marker* operations (CO starts) end
+up in the final sample stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ciphers.base import LeakageRecorder
+from repro.soc.leakage import HammingWeightLeakage
+from repro.soc.oscilloscope import Oscilloscope
+from repro.soc.random_delay import RandomDelayCountermeasure
+
+__all__ = ["OpStream", "synthesize_trace"]
+
+_M32 = np.uint64(0xFFFFFFFF)
+
+
+@dataclass
+class OpStream:
+    """A stream of executed operations: values, bit widths, and kinds."""
+
+    values: np.ndarray  # uint64
+    widths: np.ndarray  # uint8
+    kinds: np.ndarray   # uint8 (OpKind)
+
+    @classmethod
+    def from_recorder(cls, recorder: LeakageRecorder) -> "OpStream":
+        """Snapshot a recorder's accumulated operations."""
+        values, widths, kinds = recorder.as_arrays()
+        return cls(values=values, widths=widths, kinds=kinds)
+
+    @classmethod
+    def concatenate(cls, streams: list["OpStream"]) -> "OpStream":
+        """Join several streams back to back."""
+        if not streams:
+            empty8 = np.zeros(0, dtype=np.uint8)
+            return cls(np.zeros(0, dtype=np.uint64), empty8, empty8.copy())
+        return cls(
+            values=np.concatenate([s.values for s in streams]),
+            widths=np.concatenate([s.widths for s in streams]),
+            kinds=np.concatenate([s.kinds for s in streams]),
+        )
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def to_datapath_ops(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compile to 32-bit datapath operations.
+
+        Operations wider than 32 bits become two operations (low word then
+        high word) of the same kind, as on an RV32 core.  Returns
+        ``(values32, kinds32, op_starts)`` where ``op_starts[i]`` is the
+        datapath index of original op ``i``.
+        """
+        widths = self.widths.astype(np.int64)
+        chunks = np.where(widths > 32, 2, 1)
+        starts = np.concatenate(([0], np.cumsum(chunks)[:-1]))
+        idx = np.repeat(np.arange(len(self), dtype=np.int64), chunks)
+        within = np.arange(idx.size, dtype=np.int64) - starts[idx]
+        vals = self.values[idx]
+        out = np.where(within == 0, vals & _M32, vals >> np.uint64(32))
+        return out.astype(np.uint64), self.kinds[idx], starts
+
+
+def synthesize_trace(
+    stream: OpStream,
+    markers: np.ndarray,
+    countermeasure: RandomDelayCountermeasure,
+    leakage: HammingWeightLeakage,
+    oscilloscope: Oscilloscope,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthesise the power trace for an operation stream.
+
+    Parameters
+    ----------
+    stream:
+        The recorded operation stream (any widths up to 64 bits).
+    markers:
+        Indices *into the stream* whose final sample positions the caller
+        needs (e.g. the first operation of every CO).
+    countermeasure:
+        Random-delay configuration to apply (RD-0 disables it).
+    leakage, oscilloscope, rng:
+        The measurement chain.
+
+    Returns
+    -------
+    (trace, marker_samples):
+        The captured trace (float32) and, for each marker, the index of the
+        first trace sample of the marked operation.
+    """
+    markers = np.asarray(markers, dtype=np.int64)
+    if markers.size and (markers.min() < 0 or markers.max() >= len(stream)):
+        raise IndexError("marker index outside the operation stream")
+    values32, kinds32, op_starts = stream.to_datapath_ops()
+    delayed = countermeasure.apply(values32, kinds32)
+    power = leakage.power(delayed.values, delayed.kinds)
+    trace = oscilloscope.capture(power, rng)
+    marker_ops = delayed.new_positions[op_starts[markers]] if markers.size else markers
+    marker_samples = oscilloscope.op_to_sample(marker_ops)
+    return trace, np.asarray(marker_samples, dtype=np.int64)

@@ -1,0 +1,43 @@
+"""Model of the SoC's true random number generator.
+
+The paper's platform embeds a hardware TRNG [22] that decides, at run time,
+how many random instructions to insert between each pair of program
+instructions.  A software reproduction cannot have true randomness, so this
+model wraps a deterministic, seedable PCG64 stream behind the narrow
+interface the countermeasure needs.  Determinism is a feature here: every
+experiment in the benchmark suite is exactly reproducible from its seed,
+while the statistical properties relevant to the countermeasure (i.i.d.
+uniform delay counts, uniform dummy operand values) match the hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TrngModel"]
+
+
+class TrngModel:
+    """Seedable stand-in for the platform's hardware TRNG."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def uniform_ints(self, low: int, high: int, size: int) -> np.ndarray:
+        """``size`` i.i.d. integers uniform on the inclusive range [low, high]."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return self._rng.integers(low, high + 1, size=size, dtype=np.int64)
+
+    def random_words(self, size: int, width: int = 32) -> np.ndarray:
+        """``size`` uniform random operand values of ``width`` bits."""
+        if not 1 <= width <= 64:
+            raise ValueError(f"width must be in [1, 64], got {width}")
+        high = (1 << width) - 1
+        return self._rng.integers(0, high, size=size, dtype=np.uint64, endpoint=True)
+
+    def spawn(self) -> "TrngModel":
+        """Derive an independent child stream (for parallel captures)."""
+        child = TrngModel.__new__(TrngModel)
+        child._rng = np.random.default_rng(self._rng.integers(0, 2**63))
+        return child

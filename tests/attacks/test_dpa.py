@@ -1,0 +1,47 @@
+"""Difference-of-means DPA."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.dpa import dpa_attack_byte, dpa_byte_difference
+from repro.attacks.leakage_models import hw_byte
+from repro.ciphers.aes import SBOX
+
+_SBOX = np.asarray(SBOX, dtype=np.uint8)
+
+
+class TestDifference:
+    def test_no_leakage_small_difference(self, rng):
+        traces = rng.normal(0, 1, (500, 20))
+        pts = rng.integers(0, 256, 500, dtype=np.uint8)
+        diff = dpa_byte_difference(traces, pts, 0x42)
+        assert np.abs(diff).max() < 0.5
+
+    def test_leaky_trace_shows_spike(self, rng):
+        key = 0x42
+        n = 3000
+        pts = rng.integers(0, 256, n, dtype=np.uint8)
+        traces = rng.normal(0, 0.5, (n, 20))
+        traces[:, 7] += hw_byte(_SBOX[pts ^ key])
+        diff = dpa_byte_difference(traces, pts, key)
+        assert np.abs(diff).argmax() == 7
+        assert np.abs(diff[7]) > 0.5
+
+    def test_degenerate_partition_returns_zero(self):
+        traces = np.ones((4, 5))
+        pts = np.zeros(4, dtype=np.uint8)  # all same partition for any guess
+        diff = dpa_byte_difference(traces, pts, 0)
+        np.testing.assert_array_equal(diff, np.zeros(5))
+
+
+class TestAttack:
+    def test_recovers_byte(self, rng):
+        key = 0xA7
+        n = 4000
+        pts = rng.integers(0, 256, n, dtype=np.uint8)
+        traces = rng.normal(0, 0.5, (n, 12))
+        traces[:, 5] += hw_byte(_SBOX[pts ^ key])
+        guess, scores = dpa_attack_byte(traces, pts)
+        assert guess == key
+        assert scores.shape == (256,)

@@ -1,0 +1,79 @@
+"""Key-rank bookkeeping and the traces-to-rank-1 ladder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import key_byte_rank, full_key_ranks, traces_to_rank1
+from repro.attacks.key_rank import _default_checkpoints
+from repro.attacks.leakage_models import hw_byte
+from repro.ciphers.aes import SBOX
+
+_SBOX = np.asarray(SBOX, dtype=np.uint8)
+
+
+class TestByteRank:
+    def test_best_guess_is_rank_one(self):
+        scores = np.zeros(256)
+        scores[42] = 1.0
+        assert key_byte_rank(scores, 42) == 1
+
+    def test_worst_guess_is_rank_256(self):
+        scores = np.arange(256, dtype=float)
+        assert key_byte_rank(scores, 0) == 256
+
+    def test_ties_are_pessimistic(self):
+        scores = np.zeros(256)
+        scores[[1, 2]] = 1.0
+        assert key_byte_rank(scores, 1) == 2
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            key_byte_rank(np.zeros(10), 0)
+
+
+class TestTracesToRank1:
+    def _traces(self, rng, n, key, noise):
+        pts = rng.integers(0, 256, (n, 16), dtype=np.uint8)
+        traces = rng.normal(0, noise, (n, 40))
+        for b in range(16):
+            inter = _SBOX[pts[:, b] ^ key[b]]
+            traces[:, 2 * b] += hw_byte(inter)
+        return traces, pts
+
+    def test_succeeds_with_enough_traces(self, rng):
+        key = bytes(range(16))
+        traces, pts = self._traces(rng, 600, key, noise=0.5)
+        needed = traces_to_rank1(traces, pts, key)
+        assert needed is not None
+        assert needed <= 600
+
+    def test_fails_without_leakage(self, rng):
+        key = bytes(range(16))
+        traces = rng.normal(0, 1, (300, 40))
+        pts = rng.integers(0, 256, (300, 16), dtype=np.uint8)
+        assert traces_to_rank1(traces, pts, key) is None
+
+    def test_more_noise_needs_more_traces(self, rng_factory):
+        key = bytes(range(16))
+        clean_t, clean_p = self._traces(rng_factory(0), 2000, key, noise=0.3)
+        noisy_t, noisy_p = self._traces(rng_factory(0), 2000, key, noise=3.0)
+        n_clean = traces_to_rank1(clean_t, clean_p, key)
+        n_noisy = traces_to_rank1(noisy_t, noisy_p, key)
+        assert n_clean is not None and n_noisy is not None
+        assert n_noisy > n_clean
+
+    def test_full_key_ranks_all_ones_when_leaky(self, rng):
+        key = bytes(range(16))
+        traces, pts = self._traces(rng, 800, key, noise=0.3)
+        assert full_key_ranks(traces, pts, key) == [1] * 16
+
+    def test_rejects_short_key(self, rng):
+        with pytest.raises(ValueError):
+            full_key_ranks(np.zeros((10, 4)), np.zeros((10, 16), dtype=np.uint8), b"short")
+
+    def test_checkpoint_ladder_monotone(self):
+        points = _default_checkpoints(1000)
+        assert points == sorted(points)
+        assert points[-1] == 1000

@@ -1,0 +1,53 @@
+"""CPA/DPA hypothesis models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import hw_byte, sbox_output_hypotheses, sbox_output_msb
+from repro.ciphers.aes import SBOX
+
+
+class TestHwByte:
+    def test_known_values(self):
+        np.testing.assert_array_equal(hw_byte(np.array([0, 1, 255])), [0, 1, 8])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            hw_byte(np.array([256]))
+
+
+class TestSboxHypotheses:
+    def test_shape(self):
+        h = sbox_output_hypotheses(np.arange(10, dtype=np.uint8))
+        assert h.shape == (10, 256)
+
+    def test_correct_key_column(self):
+        pts = np.array([0x12, 0x34, 0xAB], dtype=np.uint8)
+        key = 0x5C
+        h = sbox_output_hypotheses(pts)
+        expected = [bin(SBOX[p ^ key]).count("1") for p in pts]
+        np.testing.assert_array_equal(h[:, key], expected)
+
+    def test_values_are_hamming_weights(self):
+        h = sbox_output_hypotheses(np.arange(256, dtype=np.uint8))
+        assert h.min() >= 0 and h.max() <= 8
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            sbox_output_hypotheses(np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestMsb:
+    def test_values_binary(self):
+        bits = sbox_output_msb(np.arange(256, dtype=np.uint8), 0x3D)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_matches_sbox(self):
+        bits = sbox_output_msb(np.array([0x00], dtype=np.uint8), 0x10)
+        assert bits[0] == SBOX[0x10] >> 7
+
+    def test_rejects_bad_guess(self):
+        with pytest.raises(ValueError):
+            sbox_output_msb(np.zeros(1, dtype=np.uint8), 300)

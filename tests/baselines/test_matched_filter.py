@@ -1,0 +1,78 @@
+"""Matched-filter baseline [10]: works on RD-0, collapses under RD-4."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MatchedFilterLocator
+from repro.baselines.matched_filter import _peak_pick
+from repro.evaluation import match_hits
+from repro.soc import SimulatedPlatform
+
+
+class TestTemplate:
+    def test_fit_builds_template(self):
+        platform = SimulatedPlatform("camellia", max_delay=0, seed=0)
+        captures = platform.capture_cipher_traces(4)
+        locator = MatchedFilterLocator().fit(captures)
+        assert locator.template is not None
+        assert locator.template.size > 100
+
+    def test_template_length_override(self):
+        platform = SimulatedPlatform("camellia", max_delay=0, seed=1)
+        captures = platform.capture_cipher_traces(3)
+        locator = MatchedFilterLocator(template_length=200).fit(captures)
+        assert locator.template.size == 200
+
+    def test_locate_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MatchedFilterLocator().locate(np.zeros(100))
+
+    def test_rejects_empty_profiling(self):
+        with pytest.raises(ValueError):
+            MatchedFilterLocator().fit([])
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            MatchedFilterLocator(threshold=1.5)
+
+
+class TestBehaviour:
+    def test_finds_cos_without_countermeasure(self):
+        """On the undefended platform the matched filter must work."""
+        clone = SimulatedPlatform("camellia", max_delay=0, seed=2)
+        locator = MatchedFilterLocator().fit(clone.capture_cipher_traces(8))
+        target = SimulatedPlatform("camellia", max_delay=0, seed=3)
+        session = target.capture_session_trace(8, noise_interleaved=True)
+        located = locator.locate(session.trace)
+        stats = match_hits(located, session.true_starts, tolerance=100)
+        assert stats.hit_rate >= 0.9
+
+    def test_fails_under_rd4(self):
+        """Random delay must collapse the correlation peaks (Table II)."""
+        clone = SimulatedPlatform("camellia", max_delay=4, seed=4)
+        locator = MatchedFilterLocator().fit(clone.capture_cipher_traces(8))
+        target = SimulatedPlatform("camellia", max_delay=4, seed=5)
+        session = target.capture_session_trace(8, noise_interleaved=True)
+        located = locator.locate(session.trace)
+        stats = match_hits(located, session.true_starts, tolerance=100)
+        assert stats.hit_rate <= 0.25
+
+    def test_correlation_signal_range(self):
+        clone = SimulatedPlatform("camellia", max_delay=0, seed=6)
+        locator = MatchedFilterLocator().fit(clone.capture_cipher_traces(3))
+        trace = clone.capture_noise_trace(3_000)
+        ncc = locator.correlation_signal(trace)
+        assert np.abs(ncc).max() <= 1.0
+
+
+class TestPeakPick:
+    def test_non_maximum_suppression(self):
+        signal = np.zeros(100)
+        signal[[10, 12, 50]] = [0.9, 0.95, 0.8]
+        peaks = _peak_pick(signal, threshold=0.5, min_distance=10)
+        np.testing.assert_array_equal(peaks, [12, 50])
+
+    def test_empty_below_threshold(self):
+        assert _peak_pick(np.zeros(50), 0.5, 10).size == 0

@@ -1,0 +1,70 @@
+"""Semi-automatic baseline [11]: round periodicity detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SemiAutomaticLocator
+from repro.baselines.semi_automatic import _sliding_autocorrelation
+from repro.evaluation import match_hits
+from repro.soc import SimulatedPlatform
+
+
+class TestAutocorrelation:
+    def test_periodic_signal_scores_high(self):
+        signal = np.tile(np.array([1.0, 5.0, 2.0, 8.0]), 50)
+        rho = _sliding_autocorrelation(signal, lag=4, window=40)
+        assert rho.max() > 0.99
+
+    def test_white_noise_scores_low(self, rng):
+        rho = _sliding_autocorrelation(rng.normal(0, 1, 2000), lag=16, window=64)
+        assert np.abs(rho).max() < 0.6
+
+    def test_too_short_trace(self):
+        assert _sliding_autocorrelation(np.ones(10), lag=8, window=8).size == 0
+
+
+class TestFit:
+    def test_estimates_round_lag(self):
+        platform = SimulatedPlatform("camellia", max_delay=0, seed=0)
+        locator = SemiAutomaticLocator().fit(platform.capture_cipher_traces(6))
+        assert locator.round_lag is not None
+        assert locator.round_lag >= locator.min_lag
+        assert locator.co_length is not None
+
+    def test_locate_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SemiAutomaticLocator().locate(np.zeros(100))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SemiAutomaticLocator().fit([])
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SemiAutomaticLocator(threshold=0.0)
+
+
+class TestBehaviour:
+    def test_finds_cos_without_countermeasure(self):
+        clone = SimulatedPlatform("camellia", max_delay=0, seed=1)
+        locator = SemiAutomaticLocator().fit(clone.capture_cipher_traces(8))
+        target = SimulatedPlatform("camellia", max_delay=0, seed=2)
+        session = target.capture_session_trace(6, noise_interleaved=True)
+        located = locator.locate(session.trace)
+        # Onset detection is coarser than the CNN: a generous tolerance of
+        # half a CO still demonstrates "working" vs the RD-4 collapse below.
+        tolerance = (locator.co_length or 1000) // 2
+        stats = match_hits(located, session.true_starts, tolerance=tolerance)
+        assert stats.hit_rate >= 0.8
+
+    def test_fails_under_rd4(self):
+        clone = SimulatedPlatform("camellia", max_delay=4, seed=3)
+        locator = SemiAutomaticLocator().fit(clone.capture_cipher_traces(8))
+        target = SimulatedPlatform("camellia", max_delay=4, seed=4)
+        session = target.capture_session_trace(6, noise_interleaved=True)
+        located = locator.locate(session.trace)
+        tolerance = (locator.co_length or 1000) // 2
+        stats = match_hits(located, session.true_starts, tolerance=tolerance)
+        assert stats.hit_rate <= 0.4

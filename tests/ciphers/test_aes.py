@@ -1,0 +1,120 @@
+"""AES-128: FIPS-197 vectors, structure, and recording behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers import AES128, LeakageRecorder
+from repro.ciphers.aes import INV_SBOX, SBOX, expand_key
+from repro.ciphers.base import OpKind
+
+KEY_C1 = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+PT_C1 = bytes.fromhex("00112233445566778899aabbccddeeff")
+CT_C1 = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+KEY_B = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+PT_B = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+CT_B = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+
+class TestSbox:
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_known_sbox_entries(self):
+        # FIPS-197 Figure 7 spot checks.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_sbox_inverts(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+
+
+class TestKeyExpansion:
+    def test_round_key_count_and_width(self):
+        keys = expand_key(KEY_B)
+        assert len(keys) == 11
+        assert all(len(k) == 16 for k in keys)
+
+    def test_first_round_key_is_the_key(self):
+        keys = expand_key(KEY_B)
+        assert bytes(keys[0]) == KEY_B
+
+    def test_fips_appendix_a_final_word(self):
+        # FIPS-197 Appendix A.1: w43 = b6 63 0c a6 for the Appendix-B key.
+        keys = expand_key(KEY_B)
+        assert bytes(keys[10][12:16]) == bytes.fromhex("b6630ca6")
+
+
+class TestEncryption:
+    def test_fips_appendix_c1(self):
+        assert AES128().encrypt(PT_C1, KEY_C1) == CT_C1
+
+    def test_fips_appendix_b(self):
+        assert AES128().encrypt(PT_B, KEY_B) == CT_B
+
+    def test_decrypt_inverts_appendix_c1(self):
+        assert AES128().decrypt(CT_C1, KEY_C1) == PT_C1
+
+    def test_rejects_bad_plaintext_length(self):
+        with pytest.raises(ValueError, match="plaintext"):
+            AES128().encrypt(b"short", KEY_C1)
+
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(ValueError, match="key"):
+            AES128().encrypt(PT_C1, b"bad")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_roundtrip_property(self, pt, key):
+        aes = AES128()
+        assert aes.decrypt(aes.encrypt(pt, key), key) == pt
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_recording_does_not_change_ciphertext(self, pt, key):
+        aes = AES128()
+        rec = LeakageRecorder()
+        assert aes.encrypt(pt, key, rec) == aes.encrypt(pt, key)
+
+
+class TestRecording:
+    def test_operation_count_is_constant_time(self):
+        aes = AES128()
+        counts = set()
+        for seed in range(5):
+            rec = LeakageRecorder()
+            rng = np.random.default_rng(seed)
+            aes.encrypt(rng.bytes(16), rng.bytes(16), rec)
+            counts.add(len(rec))
+        assert len(counts) == 1, "AES trace length must not depend on data"
+
+    def test_first_round_sbox_outputs_are_recorded(self):
+        """The CPA target SBOX[pt ^ key] must appear in the trace."""
+        aes = AES128()
+        rec = LeakageRecorder()
+        aes.encrypt(PT_C1, KEY_C1, rec)
+        expected = {SBOX[p ^ k] for p, k in zip(PT_C1, KEY_C1)}
+        assert expected <= set(rec.values)
+
+    def test_kinds_cover_expected_units(self):
+        rec = LeakageRecorder()
+        AES128().encrypt(PT_C1, KEY_C1, rec)
+        kinds = set(rec.kinds)
+        assert int(OpKind.LOAD) in kinds
+        assert int(OpKind.ALU) in kinds
+        assert int(OpKind.SHIFT) in kinds
+        assert int(OpKind.NOP) not in kinds
+
+    def test_all_recorded_values_are_bytes(self):
+        rec = LeakageRecorder()
+        AES128().encrypt(PT_C1, KEY_C1, rec)
+        values, widths, _ = rec.as_arrays()
+        assert values.max() <= 0xFF
+        assert set(widths.tolist()) == {8}

@@ -1,0 +1,72 @@
+"""Clefia-128: structural correctness (see module docs for fidelity note)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers import Clefia128, LeakageRecorder
+from repro.ciphers.clefia import S0, S1, _double_swap, _generate_con
+
+
+class TestComponents:
+    def test_s0_is_a_permutation(self):
+        assert sorted(S0) == list(range(256))
+
+    def test_s1_is_a_permutation(self):
+        assert sorted(S1) == list(range(256))
+
+    def test_sboxes_differ(self):
+        assert S0 != S1
+
+    def test_double_swap_is_a_permutation_of_bits(self):
+        x = 0x0123456789ABCDEF0123456789ABCDEF
+        y = _double_swap(x)
+        assert bin(x).count("1") == bin(y).count("1")
+
+    def test_double_swap_dimension(self):
+        assert _double_swap((1 << 128) - 1) == (1 << 128) - 1
+        assert _double_swap(0) == 0
+
+    def test_con_generation_is_deterministic(self):
+        assert _generate_con(60) == _generate_con(60)
+
+    def test_con_values_are_distinct(self):
+        con = _generate_con(60)
+        assert len(set(con)) == 60
+
+
+class TestCipher:
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_roundtrip_property(self, pt, key):
+        clefia = Clefia128()
+        assert clefia.decrypt(clefia.encrypt(pt, key), key) == pt
+
+    def test_encryption_changes_data(self):
+        clefia = Clefia128()
+        assert clefia.encrypt(bytes(16), bytes(16)) != bytes(16)
+
+    def test_avalanche(self):
+        clefia = Clefia128()
+        ct1 = clefia.encrypt(bytes(16), bytes(16))
+        ct2 = clefia.encrypt(bytes([1] + [0] * 15), bytes(16))
+        diff = int.from_bytes(ct1, "big") ^ int.from_bytes(ct2, "big")
+        assert 40 <= bin(diff).count("1") <= 90
+
+    def test_key_avalanche(self):
+        clefia = Clefia128()
+        ct1 = clefia.encrypt(bytes(16), bytes(16))
+        ct2 = clefia.encrypt(bytes(16), bytes([1] + [0] * 15))
+        assert ct1 != ct2
+
+    def test_constant_operation_count(self):
+        import numpy as np
+
+        counts = set()
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            rec = LeakageRecorder()
+            Clefia128().encrypt(rng.bytes(16), rng.bytes(16), rec)
+            counts.add(len(rec))
+        assert len(counts) == 1

@@ -1,0 +1,64 @@
+"""GF(2^8) arithmetic properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.gf import AES_POLY, CLEFIA_POLY, gf_inverse, gmul, xtime
+
+BYTE = st.integers(min_value=0, max_value=255)
+
+
+class TestXtime:
+    def test_matches_gmul_by_two(self):
+        for x in range(256):
+            assert xtime(x) == gmul(2, x)
+
+    def test_known_values(self):
+        assert xtime(0x57) == 0xAE
+        assert xtime(0xAE) == 0x47  # wraps through the polynomial
+
+
+class TestGmul:
+    def test_fips_example(self):
+        # FIPS-197 section 4.2: {57} x {13} = {fe}.
+        assert gmul(0x57, 0x13) == 0xFE
+
+    @settings(max_examples=60, deadline=None)
+    @given(BYTE, BYTE)
+    def test_commutative(self, a, b):
+        assert gmul(a, b) == gmul(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(BYTE, BYTE, BYTE)
+    def test_distributive_over_xor(self, a, b, c):
+        assert gmul(a, b ^ c) == gmul(a, b) ^ gmul(a, c)
+
+    @settings(max_examples=30, deadline=None)
+    @given(BYTE)
+    def test_identity(self, a):
+        assert gmul(a, 1) == a
+
+    @settings(max_examples=30, deadline=None)
+    @given(BYTE)
+    def test_zero_annihilates(self, a):
+        assert gmul(a, 0) == 0
+
+
+class TestInverse:
+    @pytest.mark.parametrize("poly", [AES_POLY, CLEFIA_POLY])
+    def test_inverse_property(self, poly):
+        for a in range(1, 256):
+            assert gmul(a, gf_inverse(a, poly), poly) == 1
+
+    @pytest.mark.parametrize("poly", [AES_POLY, CLEFIA_POLY])
+    def test_zero_maps_to_zero(self, poly):
+        assert gf_inverse(0, poly) == 0
+
+    def test_polynomials_give_different_inverses(self):
+        diffs = sum(
+            gf_inverse(a, AES_POLY) != gf_inverse(a, CLEFIA_POLY) for a in range(256)
+        )
+        assert diffs > 200

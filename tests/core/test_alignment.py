@@ -1,0 +1,72 @@
+"""Alignment stage: cutting and stacking located COs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import align_cos, cut_cos
+
+
+class TestCut:
+    def test_cuts_at_starts(self):
+        trace = np.arange(100, dtype=np.float64)
+        segments, kept = cut_cos(trace, np.array([10, 40]), 20)
+        assert segments.shape == (2, 20)
+        np.testing.assert_array_equal(segments[0], np.arange(10, 30))
+        np.testing.assert_array_equal(kept, [0, 1])
+
+    def test_drops_overrunning_start(self):
+        trace = np.arange(50, dtype=np.float64)
+        segments, kept = cut_cos(trace, np.array([10, 45]), 20)
+        assert segments.shape == (1, 20)
+        np.testing.assert_array_equal(kept, [0])
+
+    def test_drops_negative_start(self):
+        segments, kept = cut_cos(np.arange(50.0), np.array([-5, 10]), 10)
+        np.testing.assert_array_equal(kept, [1])
+
+    def test_empty_starts(self):
+        segments, kept = cut_cos(np.arange(50.0), np.zeros(0, dtype=np.int64), 10)
+        assert segments.shape == (0, 10)
+        assert kept.size == 0
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            cut_cos(np.arange(50.0), np.array([0]), 0)
+
+
+class TestAlign:
+    def test_no_refine_equals_cut(self, rng):
+        trace = rng.normal(0, 1, 300)
+        starts = np.array([20, 120, 220])
+        plain, kept_a = align_cos(trace, starts, 50, refine=False)
+        cut, kept_b = cut_cos(trace, starts, 50)
+        np.testing.assert_array_equal(plain, cut)
+        np.testing.assert_array_equal(kept_a, kept_b)
+
+    def test_refine_restores_mutual_alignment(self, rng):
+        """Segments cut a few samples off a repeating pattern re-align.
+
+        Refinement guarantees *mutual* consistency (every segment lands on
+        the same offset of the repeating structure) — which is what the CPA
+        needs — not alignment to any absolute origin.
+        """
+        pattern = rng.normal(0, 1, 60)
+        trace = np.concatenate([rng.normal(0, 0.05, 30), pattern,
+                                rng.normal(0, 0.05, 40), pattern,
+                                rng.normal(0, 0.05, 30)])
+        true_starts = np.array([30, 130])
+        jittered = true_starts + np.array([3, -2])
+        unrefined, _ = align_cos(trace, jittered, 60, refine=False)
+        refined, kept = align_cos(trace, jittered, 60, refine=True, max_shift=5)
+        assert refined.shape[0] == 2
+        before = np.corrcoef(unrefined[0], unrefined[1])[0, 1]
+        after = np.corrcoef(refined[0], refined[1])[0, 1]
+        assert after > 0.95
+        assert after > before
+
+    def test_refine_with_single_segment_returns_plain(self, rng):
+        trace = rng.normal(0, 1, 100)
+        segments, _ = align_cos(trace, np.array([10]), 30, refine=True, max_shift=5)
+        assert segments.shape == (1, 30)

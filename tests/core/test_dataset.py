@@ -1,0 +1,109 @@
+"""Window database assembly (Dataset Creation block)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import build_window_dataset
+from repro.core.windows import CLASS_NOT_START, CLASS_START
+from repro.soc.platform import CipherTrace
+
+
+def fake_captures(rng, count=6, length=600, co_start=80):
+    captures = []
+    for _ in range(count):
+        captures.append(
+            CipherTrace(
+                trace=rng.normal(10, 2, length).astype(np.float32),
+                co_start=co_start,
+                plaintext=bytes(16),
+                key=bytes(16),
+            )
+        )
+    return captures
+
+
+class TestPopulations:
+    def test_default_counts(self, rng):
+        captures = fake_captures(rng)
+        ds = build_window_dataset(captures, rng.normal(0, 1, 2000), window=64)
+        assert ds.n_start == 6  # one per trace by default
+        assert ds.n_noise == 6
+        assert ds.n_rest > 0
+        assert len(ds) == ds.n_start + ds.n_rest + ds.n_noise
+
+    def test_rest_subsampling(self, rng):
+        captures = fake_captures(rng, count=8)
+        ds = build_window_dataset(captures, rng.normal(0, 1, 2000), window=64, n_rest=5)
+        assert ds.n_rest == 5
+
+    def test_augmented_starts(self, rng):
+        captures = fake_captures(rng, count=4)
+        ds = build_window_dataset(
+            captures, rng.normal(0, 1, 2000), window=64,
+            start_jitter=8, starts_per_trace=3,
+        )
+        assert ds.n_start == 12
+
+    def test_random_rest_mode(self, rng):
+        captures = fake_captures(rng, count=4)
+        ds = build_window_dataset(
+            captures, rng.normal(0, 1, 2000), window=64,
+            n_rest=20, rest_mode="random",
+        )
+        assert ds.n_rest == 20
+
+    def test_labels_consistent(self, rng):
+        captures = fake_captures(rng)
+        ds = build_window_dataset(captures, rng.normal(0, 1, 2000), window=64)
+        assert (ds.y[: ds.n_start] == CLASS_START).all()
+        assert (ds.y[ds.n_start:] == CLASS_NOT_START).all()
+
+    def test_x_shape(self, rng):
+        captures = fake_captures(rng)
+        ds = build_window_dataset(captures, rng.normal(0, 1, 2000), window=48)
+        assert ds.x.shape[1:] == (1, 48)
+        assert ds.x.dtype == np.float32
+
+
+class TestTransform:
+    def test_transform_applied(self, rng):
+        captures = fake_captures(rng)
+        shift = lambda t: (np.asarray(t, dtype=np.float32) - 10.0)
+        ds = build_window_dataset(
+            captures, rng.normal(10, 2, 2000), window=64, transform=shift
+        )
+        # Traces had mean ~10; after the transform windows should be ~0-mean
+        # *without* per-window standardisation.
+        assert abs(float(ds.x.mean())) < 1.0
+        assert ds.x.std() > 0.5  # not standardised per window
+
+    def test_no_transform_standardises(self, rng):
+        captures = fake_captures(rng)
+        ds = build_window_dataset(captures, rng.normal(0, 1, 2000), window=64)
+        np.testing.assert_allclose(ds.x.mean(axis=2), 0, atol=1e-4)
+
+
+class TestSplit:
+    def test_split_fractions(self, rng):
+        captures = fake_captures(rng, count=30)
+        ds = build_window_dataset(
+            captures, rng.normal(0, 1, 4000), window=64, n_noise=30
+        )
+        train, val, test = ds.split(rng=rng)
+        total = len(train) + len(val) + len(test)
+        assert total == len(ds)
+        assert len(train) > len(val) > len(test)
+
+
+class TestValidation:
+    def test_rejects_empty_captures(self, rng):
+        with pytest.raises(ValueError):
+            build_window_dataset([], rng.normal(0, 1, 100), window=32)
+
+    def test_rejects_unknown_rest_mode(self, rng):
+        with pytest.raises(ValueError):
+            build_window_dataset(
+                fake_captures(rng), rng.normal(0, 1, 1000), window=32, rest_mode="x"
+            )

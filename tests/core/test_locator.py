@@ -1,0 +1,125 @@
+"""CryptoLocator: end-to-end mechanics on a deliberately tiny setup.
+
+These tests exercise the full train + infer pipeline with a small, fast
+configuration.  They assert *mechanics* (shapes, bookkeeping, persistence
+of calibration); the *performance* reproduction lives in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PipelineConfig
+from repro.core.locator import CryptoLocator
+from repro.soc import SimulatedPlatform
+
+TINY = PipelineConfig(
+    cipher="camellia",
+    n_train=128,
+    n_inf=112,
+    stride=16,
+    kernel_size=17,
+    n_start_windows=64,
+    n_rest_windows=64,
+    n_noise_windows=48,
+    epochs=3,
+    start_augmentation=4,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    platform = SimulatedPlatform("camellia", max_delay=2, seed=3)
+    locator = CryptoLocator(TINY, seed=4)
+    locator.fit_from_platform(platform, noise_ops=20_000)
+    return locator, platform
+
+
+class TestFit:
+    def test_history_recorded(self, fitted):
+        locator, _ = fitted
+        assert locator.history is not None
+        assert len(locator.history.train_loss) == TINY.epochs
+
+    def test_calibration_learned(self, fitted):
+        locator, _ = fitted
+        assert locator.calibration.std > 0
+        assert locator.co_length > 500
+
+    def test_test_confusion_shape(self, fitted):
+        locator, _ = fitted
+        matrix = locator.test_confusion()
+        assert matrix.shape == (2, 2)
+        assert np.all(matrix >= 0) and np.all(matrix <= 100)
+
+    def test_required_traces_accounts_for_augmentation(self):
+        locator = CryptoLocator(TINY, seed=0)
+        assert locator.required_profiling_traces() == 16  # 64 / 4
+
+    def test_fit_rejects_too_few_traces(self):
+        locator = CryptoLocator(TINY, seed=0)
+        platform = SimulatedPlatform("camellia", max_delay=2, seed=5)
+        captures = platform.capture_cipher_traces(3)
+        with pytest.raises(ValueError, match="cipher traces"):
+            locator.fit(captures, platform.capture_noise_trace(5_000))
+
+
+class TestInference:
+    def test_locate_returns_sorted_starts(self, fitted):
+        locator, platform = fitted
+        session = platform.capture_session_trace(6, noise_interleaved=True)
+        starts = locator.locate(session.trace)
+        assert starts.dtype == np.int64
+        assert np.all(np.diff(starts) > 0)
+
+    def test_locate_result_carries_swc(self, fitted):
+        locator, platform = fitted
+        session = platform.capture_session_trace(4, noise_interleaved=False)
+        result = locator.locate_result(session.trace)
+        assert result.swc.size == result.window_offsets.size
+        assert result.stride == TINY.stride
+
+    def test_unfitted_locator_refuses_inference(self):
+        locator = CryptoLocator(TINY, seed=0)
+        with pytest.raises(RuntimeError):
+            locator.locate(np.zeros(10_000, dtype=np.float32))
+
+    def test_align_produces_segments(self, fitted):
+        locator, platform = fitted
+        session = platform.capture_session_trace(6, noise_interleaved=True)
+        starts = locator.locate(session.trace)
+        segments, kept = locator.align(session.trace, starts=starts)
+        assert segments.shape[1] == 2 * TINY.n_inf
+        assert kept.size == segments.shape[0]
+
+    def test_starts_from_swc_matches_locate(self, fitted):
+        locator, platform = fitted
+        session = platform.capture_session_trace(4, noise_interleaved=True)
+        result = locator.locate_result(session.trace)
+        replayed = locator.starts_from_swc(result.swc)
+        np.testing.assert_array_equal(replayed, result.starts)
+
+    def test_suppression_keeps_strongest(self, fitted):
+        locator, _ = fitted
+        from repro.core.segmentation import SegmentedRegion
+
+        weak = SegmentedRegion(onset=100, begin=100, end=200, peak=1.0)
+        strong = SegmentedRegion(onset=300, begin=300, end=400, peak=5.0)
+        kept = locator._suppress_double_detections([weak, strong])
+        assert kept == [strong]
+
+    def test_suppression_keeps_distant_detections(self, fitted):
+        locator, _ = fitted
+        from repro.core.segmentation import SegmentedRegion
+
+        far = locator.co_length * 2
+        a = SegmentedRegion(onset=0, begin=0, end=10, peak=1.0)
+        b = SegmentedRegion(onset=far, begin=far, end=far + 10, peak=5.0)
+        assert locator._suppress_double_detections([a, b]) == [a, b]
+
+
+class TestBiasCalibration:
+    def test_bias_is_bounded(self, fitted):
+        locator, _ = fitted
+        assert abs(locator.start_bias) < locator.co_length

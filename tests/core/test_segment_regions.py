@@ -1,0 +1,86 @@
+"""Region-level segmentation API (plateaus, peaks, onset modes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.segmentation import (
+    SegmentationConfig,
+    SegmentedRegion,
+    segment_regions,
+)
+
+
+def make_swc(length=120, low=-4.0):
+    return np.full(length, low)
+
+
+class TestRegions:
+    def test_single_region_fields(self):
+        swc = make_swc()
+        swc[40:60] = 5.0
+        swc[50] = 9.0
+        (region,) = segment_regions(swc, stride=10)
+        assert region.begin == 400
+        assert region.end == 600
+        assert region.peak == 9.0
+        assert isinstance(region, SegmentedRegion)
+
+    def test_edge_onset_is_region_begin(self):
+        swc = make_swc()
+        swc[30:50] = 2.0
+        config = SegmentationConfig(onset_mode="edge")
+        (region,) = segment_regions(swc, stride=4, config=config)
+        assert region.onset == region.begin == 120
+
+    def test_peak_fraction_onset_skips_weak_flank(self):
+        swc = make_swc()
+        swc[30:40] = 0.5    # weak left flank
+        swc[40:50] = 8.0    # strong core
+        config = SegmentationConfig(onset_mode="peak_fraction", peak_fraction=0.5)
+        (region,) = segment_regions(swc, stride=10, config=config)
+        assert region.begin == 300
+        assert region.onset == 400  # first window at >= half peak
+
+    def test_peak_fraction_zero_equals_edge(self):
+        swc = make_swc()
+        swc[20:35] = np.linspace(1, 5, 15)
+        edge = segment_regions(swc, 7, SegmentationConfig(onset_mode="edge"))
+        frac0 = segment_regions(
+            swc, 7, SegmentationConfig(onset_mode="peak_fraction", peak_fraction=0.0)
+        )
+        assert edge[0].onset == frac0[0].onset
+
+    def test_multiple_regions_ordered(self):
+        swc = make_swc(300)
+        swc[50:70] = 3.0
+        swc[150:170] = 4.0
+        swc[250:270] = 5.0
+        regions = segment_regions(swc, stride=2)
+        assert [r.begin for r in regions] == [100, 300, 500]
+        assert [r.peak for r in regions] == [3.0, 4.0, 5.0]
+
+    def test_region_open_at_both_ends(self):
+        swc = np.full(50, 5.0)
+        (region,) = segment_regions(swc, stride=3)
+        assert region.begin == 0
+        assert region.end == 150
+
+    def test_no_regions(self):
+        assert segment_regions(make_swc(), stride=5) == []
+
+    def test_rejects_bad_onset_mode(self):
+        with pytest.raises(ValueError):
+            SegmentationConfig(onset_mode="left")
+
+    def test_rejects_bad_peak_fraction(self):
+        with pytest.raises(ValueError):
+            SegmentationConfig(peak_fraction=1.5)
+
+    def test_median_filter_merges_chopped_plateau(self):
+        swc = make_swc()
+        swc[40:60] = 5.0
+        swc[47] = -5.0  # dropout
+        regions = segment_regions(swc, 1, SegmentationConfig(mf_size=5))
+        assert len(regions) == 1

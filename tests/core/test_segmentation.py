@@ -1,0 +1,91 @@
+"""Segmentation stage (Section III-D): threshold, MF, rising edges."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.segmentation import SegmentationConfig, segment_swc
+
+
+def plateau_signal(length, plateaus, low=-5.0, high=5.0):
+    """swc with positive plateaus at the given (start, width) spans."""
+    swc = np.full(length, low)
+    for start, width in plateaus:
+        swc[start: start + width] = high
+    return swc
+
+
+class TestBasicSegmentation:
+    def test_single_plateau(self):
+        swc = plateau_signal(100, [(40, 20)])
+        starts = segment_swc(swc, stride=10)
+        np.testing.assert_array_equal(starts, [400])
+
+    def test_multiple_plateaus(self):
+        swc = plateau_signal(300, [(50, 20), (150, 20), (250, 20)])
+        starts = segment_swc(swc, stride=4)
+        np.testing.assert_array_equal(starts, [200, 600, 1000])
+
+    def test_stride_scales_positions(self):
+        swc = plateau_signal(100, [(30, 10)])
+        assert segment_swc(swc, stride=1)[0] == 30
+        assert segment_swc(swc, stride=7)[0] == 210
+
+    def test_all_low_yields_nothing(self):
+        assert segment_swc(np.full(50, -1.0), stride=5).size == 0
+
+    def test_trace_opening_high_counts_as_co(self):
+        swc = plateau_signal(60, [(0, 20)])
+        starts = segment_swc(swc, stride=3)
+        assert starts[0] == 0
+
+    def test_empty_swc(self):
+        assert segment_swc(np.zeros(0), stride=5).size == 0
+
+
+class TestMedianFilter:
+    def test_spike_removed(self):
+        swc = np.full(100, -5.0)
+        swc[50] = 5.0  # single-window false positive
+        starts = segment_swc(swc, stride=10, config=SegmentationConfig(mf_size=5))
+        assert starts.size == 0
+
+    def test_gap_inside_plateau_bridged(self):
+        swc = plateau_signal(100, [(40, 20)])
+        swc[48] = -5.0  # one-window dropout inside the CO region
+        starts = segment_swc(swc, stride=10, config=SegmentationConfig(mf_size=5))
+        np.testing.assert_array_equal(starts, [400])
+
+    def test_disabled_median_filter_keeps_spike(self):
+        swc = np.full(100, -5.0)
+        swc[50] = 5.0
+        config = SegmentationConfig(mf_size=5, use_median_filter=False)
+        starts = segment_swc(swc, stride=10, config=config)
+        np.testing.assert_array_equal(starts, [500])
+
+    def test_rejects_even_mf(self):
+        with pytest.raises(ValueError):
+            SegmentationConfig(mf_size=4)
+
+
+class TestThreshold:
+    def test_threshold_selects_plateau(self):
+        swc = np.concatenate([np.full(40, 1.0), np.full(20, 3.0), np.full(40, 1.0)])
+        starts = segment_swc(swc, stride=2, config=SegmentationConfig(threshold=2.0))
+        np.testing.assert_array_equal(starts, [80])
+
+    def test_threshold_zero_default(self):
+        swc = np.concatenate([np.full(40, -1.0), np.full(20, 1.0), np.full(40, -1.0)])
+        starts = segment_swc(swc, stride=1)
+        np.testing.assert_array_equal(starts, [40])
+
+
+class TestValidation:
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            segment_swc(np.zeros(10), stride=0)
+
+    def test_rejects_2d_swc(self):
+        with pytest.raises(ValueError):
+            segment_swc(np.zeros((2, 5)), stride=1)

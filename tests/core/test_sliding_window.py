@@ -1,0 +1,100 @@
+"""Sliding-window classifier: slicing math and dense/windowed agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import LocatorCNN, build_locator_cnn
+from repro.core.sliding_window import SlidingWindowClassifier
+
+
+@pytest.fixture(scope="module")
+def cnn():
+    net = build_locator_cnn(kernel_size=9, rng=np.random.default_rng(0))
+    # Freeze BN statistics on representative data so eval mode is sane.
+    net.train()
+    rng = np.random.default_rng(1)
+    for _ in range(5):
+        net.forward(rng.normal(0, 1, (16, 1, 64)).astype(np.float32))
+    net.eval()
+    return LocatorCNN(net)
+
+
+class TestSlicing:
+    def test_num_windows(self, cnn):
+        classifier = SlidingWindowClassifier(cnn, window=64, stride=16)
+        assert classifier.num_windows(64) == 1
+        assert classifier.num_windows(65) == 1
+        assert classifier.num_windows(80) == 2
+        assert classifier.num_windows(63) == 0
+
+    def test_window_offsets(self, cnn):
+        classifier = SlidingWindowClassifier(cnn, window=64, stride=10)
+        np.testing.assert_array_equal(classifier.window_offsets(100), [0, 10, 20, 30])
+
+    def test_short_trace_gives_empty_swc(self, cnn, rng):
+        classifier = SlidingWindowClassifier(cnn, window=64, stride=8)
+        assert classifier.score_trace(rng.normal(0, 1, 32).astype(np.float32)).size == 0
+
+    def test_rejects_bad_params(self, cnn):
+        with pytest.raises(ValueError):
+            SlidingWindowClassifier(cnn, window=4, stride=8)
+        with pytest.raises(ValueError):
+            SlidingWindowClassifier(cnn, window=64, stride=0)
+        with pytest.raises(ValueError):
+            SlidingWindowClassifier(cnn, window=64, stride=8, method="magic")
+
+
+class TestEngines:
+    @pytest.mark.parametrize("mode", ["margin", "class1", "prob"])
+    def test_engines_exact_when_window_spans_trace(self, cnn, rng, mode):
+        """With a single full-trace window there is no context difference,
+        so the two engines must agree to float tolerance."""
+        trace = rng.normal(0, 1, 64).astype(np.float32)
+        windowed = SlidingWindowClassifier(cnn, 64, 16, score_mode=mode, method="windowed")
+        dense = SlidingWindowClassifier(cnn, 64, 16, score_mode=mode, method="dense")
+        np.testing.assert_allclose(
+            windowed.score_trace(trace), dense.score_trace(trace), atol=1e-3
+        )
+
+    def test_windowed_and_dense_agree_statistically(self, cnn, rng):
+        """At realistic window/kernel ratios the engines differ only at
+        window borders (full-trace context vs per-window zero padding);
+        the scores must stay strongly correlated."""
+        trace = rng.normal(0, 1, 4000).astype(np.float32)
+        windowed = SlidingWindowClassifier(cnn, 256, 32, method="windowed")
+        dense = SlidingWindowClassifier(cnn, 256, 32, method="dense")
+        sw = windowed.score_trace(trace)
+        sd = dense.score_trace(trace)
+        assert sw.shape == sd.shape
+        corr = np.corrcoef(sw, sd)[0, 1]
+        assert corr > 0.9
+
+    def test_dense_chunking_invariant(self, cnn, rng):
+        """Chunk size must not change the dense scores."""
+        trace = rng.normal(0, 1, 2000).astype(np.float32)
+        big = SlidingWindowClassifier(cnn, 64, 16, chunk_size=65_536)
+        small = SlidingWindowClassifier(cnn, 64, 16, chunk_size=512)
+        np.testing.assert_allclose(
+            big.score_trace(trace), small.score_trace(trace), atol=1e-3
+        )
+
+    def test_swc_length_matches_num_windows(self, cnn, rng):
+        trace = rng.normal(0, 1, 500).astype(np.float32)
+        classifier = SlidingWindowClassifier(cnn, 64, 8)
+        swc = classifier.score_trace(trace)
+        assert swc.size == classifier.num_windows(500)
+
+    def test_rejects_2d_trace(self, cnn):
+        classifier = SlidingWindowClassifier(cnn, 64, 8)
+        with pytest.raises(ValueError):
+            classifier.score_trace(np.zeros((2, 100), dtype=np.float32))
+
+    def test_network_without_gap_rejected(self, rng):
+        from repro.nn import Linear, Sequential
+
+        bogus = LocatorCNN.__new__(LocatorCNN)
+        bogus.network = Sequential(Linear(4, 2, rng=rng))
+        with pytest.raises(ValueError):
+            SlidingWindowClassifier(bogus, window=64, stride=8)

@@ -1,0 +1,120 @@
+"""Window extraction and labelling (Section III-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.windows import (
+    CLASS_NOT_START,
+    CLASS_START,
+    extract_cipher_windows,
+    extract_interior_windows,
+    extract_noise_windows,
+    extract_start_windows,
+    label_windows,
+)
+
+
+class TestCipherWindows:
+    def test_start_window_at_co_start(self):
+        trace = np.arange(100, dtype=np.float32)
+        start, rest = extract_cipher_windows(trace, co_start=10, window=20)
+        np.testing.assert_array_equal(start, np.arange(10, 30))
+
+    def test_rest_windows_are_consecutive(self):
+        trace = np.arange(100, dtype=np.float32)
+        _, rest = extract_cipher_windows(trace, co_start=10, window=20)
+        assert rest.shape == (3, 20)  # 70 trailing samples -> 3 full windows
+        np.testing.assert_array_equal(rest[0], np.arange(30, 50))
+        np.testing.assert_array_equal(rest[2], np.arange(70, 90))
+
+    def test_no_rest_when_trace_exactly_one_window(self):
+        trace = np.arange(30, dtype=np.float32)
+        start, rest = extract_cipher_windows(trace, co_start=10, window=20)
+        assert rest.shape == (0, 20)
+
+    def test_rejects_start_too_late(self):
+        with pytest.raises(ValueError):
+            extract_cipher_windows(np.zeros(50), co_start=40, window=20)
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            extract_cipher_windows(np.zeros(50), co_start=0, window=1)
+
+
+class TestStartWindows:
+    def test_first_window_is_exact_start(self, rng):
+        trace = np.arange(200, dtype=np.float32)
+        windows = extract_start_windows(trace, 50, 30, jitter=10, count=4, rng=rng)
+        np.testing.assert_array_equal(windows[0], np.arange(50, 80))
+
+    def test_jittered_windows_start_within_range(self, rng):
+        trace = np.arange(500, dtype=np.float32)
+        windows = extract_start_windows(trace, 100, 50, jitter=16, count=8, rng=rng)
+        firsts = windows[:, 0]
+        assert np.all((firsts >= 100) & (firsts < 116))
+
+    def test_count_one_is_paper_literal(self, rng):
+        trace = np.arange(100, dtype=np.float32)
+        windows = extract_start_windows(trace, 20, 30, jitter=50, count=1, rng=rng)
+        assert windows.shape == (1, 30)
+        np.testing.assert_array_equal(windows[0], np.arange(20, 50))
+
+    def test_rejects_bad_count(self, rng):
+        with pytest.raises(ValueError):
+            extract_start_windows(np.zeros(50), 0, 10, jitter=0, count=0, rng=rng)
+
+
+class TestInteriorWindows:
+    def test_windows_avoid_start_region(self, rng):
+        trace = np.arange(1000, dtype=np.float32)
+        windows = extract_interior_windows(trace, co_start=100, window=50, count=30, rng=rng)
+        firsts = windows[:, 0]
+        assert np.all(firsts >= 150)  # at least one window past the start
+
+    def test_short_trace_yields_empty(self, rng):
+        out = extract_interior_windows(np.zeros(60), co_start=10, window=40, count=5, rng=rng)
+        assert out.shape == (0, 40)
+
+
+class TestNoiseWindows:
+    def test_count_and_shape(self, rng):
+        out = extract_noise_windows(np.arange(500, dtype=np.float32), 32, 10, rng)
+        assert out.shape == (10, 32)
+
+    def test_windows_come_from_trace(self, rng):
+        trace = np.arange(200, dtype=np.float32)
+        out = extract_noise_windows(trace, 16, 5, rng)
+        for row in out:
+            assert row[0] + 15 == row[-1]  # contiguous slice of arange
+
+    def test_rejects_short_trace(self, rng):
+        with pytest.raises(ValueError):
+            extract_noise_windows(np.zeros(10), 32, 1, rng)
+
+
+class TestLabelling:
+    def test_labels_and_shapes(self):
+        starts = np.ones((3, 8), dtype=np.float32)
+        others = np.zeros((5, 8), dtype=np.float32)
+        x, y = label_windows(starts, others)
+        assert x.shape == (8, 1, 8)
+        assert (y[:3] == CLASS_START).all()
+        assert (y[3:] == CLASS_NOT_START).all()
+
+    def test_normalization_standardises_each_window(self, rng):
+        starts = rng.normal(10, 5, (2, 16)).astype(np.float32)
+        others = rng.normal(-3, 2, (2, 16)).astype(np.float32)
+        x, _ = label_windows(starts, others, normalize=True)
+        np.testing.assert_allclose(x.mean(axis=2), 0, atol=1e-5)
+
+    def test_normalize_false_keeps_values(self):
+        starts = np.full((1, 4), 7.0, dtype=np.float32)
+        others = np.full((1, 4), 3.0, dtype=np.float32)
+        x, _ = label_windows(starts, others, normalize=False)
+        assert x[0, 0, 0] == 7.0
+
+    def test_rejects_mismatched_window_sizes(self):
+        with pytest.raises(ValueError):
+            label_windows(np.zeros((1, 8)), np.zeros((1, 9)))

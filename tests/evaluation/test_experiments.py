@@ -1,0 +1,74 @@
+"""Experiment runners (light smoke tests — the heavy runs live in benchmarks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PipelineConfig
+from repro.evaluation.experiments import (
+    default_tolerance,
+    run_baseline_scenario,
+    run_segmentation_scenario,
+    train_locator,
+)
+
+FAST = PipelineConfig(
+    cipher="camellia",
+    n_train=128,
+    n_inf=112,
+    stride=16,
+    kernel_size=17,
+    n_start_windows=48,
+    n_rest_windows=48,
+    n_noise_windows=32,
+    epochs=2,
+    start_augmentation=4,
+)
+
+
+class TestTolerance:
+    def test_scales_with_stride_and_window(self):
+        assert default_tolerance(FAST) == max(3 * 16, 112 // 2)
+
+    def test_never_below_three_strides(self):
+        wide_stride = PipelineConfig(
+            cipher="aes", n_train=64, n_inf=64, stride=40, kernel_size=9,
+            n_start_windows=8, n_rest_windows=8, n_noise_windows=8,
+        )
+        assert default_tolerance(wide_stride) == 120
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        return train_locator("camellia", max_delay=2, seed=0, config=FAST,
+                             noise_ops=15_000)
+
+    def test_train_locator_returns_fitted(self, trained):
+        locator, clone = trained
+        assert locator.history is not None
+        assert clone.cipher_name == "camellia"
+
+    def test_segmentation_scenario_structure(self, trained):
+        locator, _ = trained
+        outcome = run_segmentation_scenario(
+            locator, "camellia", max_delay=2, noise_interleaved=True,
+            n_cos=4, seed=50,
+        )
+        assert outcome.stats.total_true == 4
+        assert outcome.session.true_starts.size == 4
+        assert outcome.located.dtype == np.int64
+
+    def test_baseline_scenario_structure(self):
+        from repro.baselines import MatchedFilterLocator
+        from repro.soc import SimulatedPlatform
+
+        clone = SimulatedPlatform("camellia", max_delay=0, seed=1)
+        baseline = MatchedFilterLocator().fit(clone.capture_cipher_traces(4))
+        stats, session, located = run_baseline_scenario(
+            baseline, "camellia", max_delay=0, noise_interleaved=True,
+            tolerance=200, n_cos=4, seed=51,
+        )
+        assert stats.total_true == 4
+        assert session.trace.size > 0

@@ -1,0 +1,63 @@
+"""Hit matching against ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import match_hits
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        stats = match_hits(np.array([100, 200]), np.array([100, 200]), tolerance=10)
+        assert stats.hits == 2
+        assert stats.misses == 0
+        assert stats.false_positives == 0
+        assert stats.hit_rate == 1.0
+        assert stats.mean_abs_error == 0.0
+
+    def test_within_tolerance(self):
+        stats = match_hits(np.array([105]), np.array([100]), tolerance=10)
+        assert stats.hits == 1
+        assert stats.mean_abs_error == 5.0
+
+    def test_outside_tolerance_is_miss_plus_fp(self):
+        stats = match_hits(np.array([150]), np.array([100]), tolerance=10)
+        assert stats.hits == 0
+        assert stats.misses == 1
+        assert stats.false_positives == 1
+
+    def test_one_detection_cannot_claim_two_cos(self):
+        stats = match_hits(np.array([100]), np.array([95, 105]), tolerance=10)
+        assert stats.hits == 1
+        assert stats.misses == 1
+
+    def test_extra_detections_are_false_positives(self):
+        stats = match_hits(np.array([100, 300, 500]), np.array([100]), tolerance=10)
+        assert stats.hits == 1
+        assert stats.false_positives == 2
+
+    def test_empty_located(self):
+        stats = match_hits(np.zeros(0), np.array([10, 20]), tolerance=5)
+        assert stats.hits == 0
+        assert stats.misses == 2
+        assert stats.hit_rate == 0.0
+
+    def test_empty_truth(self):
+        stats = match_hits(np.array([10]), np.zeros(0), tolerance=5)
+        assert stats.total_true == 0
+        assert stats.hit_rate == 0.0
+        assert stats.false_positives == 1
+
+    def test_unsorted_inputs_handled(self):
+        stats = match_hits(np.array([200, 100]), np.array([199, 101]), tolerance=5)
+        assert stats.hits == 2
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            match_hits(np.array([1]), np.array([1]), tolerance=-1)
+
+    def test_str_contains_rate(self):
+        stats = match_hits(np.array([100]), np.array([100]), tolerance=5)
+        assert "100.0%" in str(stats)

@@ -1,0 +1,28 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="Table II")
+        assert text.splitlines()[0] == "Table II"
+
+    def test_alignment_width(self):
+        text = format_table(["col"], [["wide-value"]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["1"]])

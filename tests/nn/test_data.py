@@ -1,0 +1,83 @@
+"""Datasets, loaders, and the 80/15/5 split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import ArrayDataset, DataLoader, train_val_test_split
+
+
+class TestArrayDataset:
+    def test_length(self, rng):
+        ds = ArrayDataset(rng.normal(0, 1, (10, 3)), rng.integers(0, 2, 10))
+        assert len(ds) == 10
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 2)), np.zeros(4))
+
+    def test_class_counts(self):
+        ds = ArrayDataset(np.zeros((4, 1)), np.array([0, 1, 1, 1]))
+        assert ds.class_counts() == {0: 1, 1: 3}
+
+    def test_subset(self, rng):
+        ds = ArrayDataset(np.arange(10)[:, None], np.arange(10))
+        sub = ds.subset(np.array([1, 3]))
+        np.testing.assert_array_equal(sub.y, [1, 3])
+
+
+class TestDataLoader:
+    def test_batches_cover_everything(self, rng):
+        ds = ArrayDataset(np.arange(10)[:, None], np.arange(10))
+        loader = DataLoader(ds, batch_size=3, shuffle=False)
+        seen = np.concatenate([y for _, y in loader])
+        np.testing.assert_array_equal(seen, np.arange(10))
+
+    def test_keeps_final_partial_batch(self):
+        ds = ArrayDataset(np.zeros((7, 1)), np.zeros(7))
+        loader = DataLoader(ds, batch_size=3)
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [3, 3, 1]
+        assert len(loader) == 3
+
+    def test_shuffle_permutes_but_preserves_content(self, rng_factory):
+        ds = ArrayDataset(np.arange(20)[:, None], np.arange(20))
+        loader = DataLoader(ds, batch_size=20, shuffle=True, rng=rng_factory(1))
+        (_, y1), = list(loader)
+        assert not np.array_equal(y1, np.arange(20))
+        np.testing.assert_array_equal(np.sort(y1), np.arange(20))
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(ArrayDataset(np.zeros((2, 1)), np.zeros(2)), batch_size=0)
+
+
+class TestSplit:
+    def test_fractions_respected(self, rng):
+        x = rng.normal(0, 1, (1000, 2))
+        y = rng.integers(0, 2, 1000)
+        train, val, test = train_val_test_split(x, y, rng=rng)
+        assert abs(len(train) - 800) <= 2
+        assert abs(len(val) - 150) <= 2
+        assert abs(len(test) - 50) <= 2
+
+    def test_partition_is_exact(self, rng):
+        x = np.arange(100)[:, None]
+        y = np.zeros(100, dtype=int)
+        train, val, test = train_val_test_split(x, y, rng=rng)
+        combined = np.sort(
+            np.concatenate([train.x[:, 0], val.x[:, 0], test.x[:, 0]])
+        )
+        np.testing.assert_array_equal(combined, np.arange(100))
+
+    def test_stratification_preserves_class_ratio(self, rng):
+        y = np.array([0] * 900 + [1] * 100)
+        x = np.zeros((1000, 1))
+        train, val, test = train_val_test_split(x, y, rng=rng)
+        ratio = train.class_counts()[1] / len(train)
+        assert 0.08 <= ratio <= 0.12
+
+    def test_rejects_bad_fractions(self, rng):
+        with pytest.raises(ValueError):
+            train_val_test_split(np.zeros((4, 1)), np.zeros(4), fractions=(0.5, 0.5, 0.5))

@@ -1,0 +1,81 @@
+"""Softmax cross-entropy (Equation 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SoftmaxCrossEntropy
+from repro.nn.loss import softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(0, 5, (10, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probs, [[0.5, 0.5]], rtol=1e-5)
+
+    def test_order_preserved(self):
+        probs = softmax(np.array([[1.0, 3.0, 2.0]]))
+        assert np.argmax(probs) == 1
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-6
+
+    def test_uniform_prediction_is_log_classes(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+        assert abs(value - np.log(2)) < 1e-6
+
+    def test_gradient_matches_probs_minus_onehot(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(0, 1, (5, 3))
+        labels = np.array([0, 2, 1, 1, 0])
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        probs = softmax(logits)
+        expected = probs.copy()
+        expected[np.arange(5), labels] -= 1
+        expected /= 5
+        np.testing.assert_allclose(grad, expected, atol=1e-5)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = SoftmaxCrossEntropy()
+        loss.forward(rng.normal(0, 2, (7, 2)), rng.integers(0, 2, 7))
+        np.testing.assert_allclose(loss.backward().sum(axis=1), 0, atol=1e-6)
+
+    def test_numerical_gradient(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(0, 1, (3, 2)).astype(np.float64)
+        labels = np.array([1, 0, 1])
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        eps = 1e-5
+        for i in range(3):
+            for j in range(2):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                lp = loss.forward(bumped, labels)
+                bumped[i, j] -= 2 * eps
+                lm = loss.forward(bumped, labels)
+                numeric = (lp - lm) / (2 * eps)
+                assert abs(numeric - grad[i, j]) < 1e-4
+
+    def test_rejects_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 2)), np.array([0, 2]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros((2, 2)), np.array([0]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()

@@ -1,0 +1,58 @@
+"""Accuracy and confusion matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import accuracy, confusion_matrix, normalized_confusion
+from repro.nn.metrics import format_confusion
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 1])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 1]), np.array([0, 0])) == 0.5
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(0), np.zeros(0))
+
+
+class TestConfusion:
+    def test_counts(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        m = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(m, [[1, 1], [1, 2]])
+
+    def test_total_preserved(self, rng):
+        y_true = rng.integers(0, 2, 50)
+        y_pred = rng.integers(0, 2, 50)
+        assert confusion_matrix(y_true, y_pred).sum() == 50
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 3]), np.array([0, 1]))
+
+    def test_normalized_rows_sum_100(self, rng):
+        y_true = rng.integers(0, 2, 200)
+        y_pred = rng.integers(0, 2, 200)
+        percent = normalized_confusion(y_true, y_pred)
+        np.testing.assert_allclose(percent.sum(axis=1), [100.0, 100.0], rtol=1e-9)
+
+    def test_normalized_empty_row_is_zero(self):
+        percent = normalized_confusion(np.array([1, 1]), np.array([1, 1]))
+        np.testing.assert_array_equal(percent[0], [0.0, 0.0])
+        np.testing.assert_array_equal(percent[1], [0.0, 100.0])
+
+    def test_format_contains_percentages(self):
+        percent = normalized_confusion(np.array([0, 1]), np.array([0, 1]))
+        text = format_confusion(percent)
+        assert "100.00%" in text

@@ -1,0 +1,89 @@
+"""Module tree: parameter discovery, train/eval, state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d, Conv1d, Linear, ReLU, Sequential
+from repro.nn.module import Parameter
+
+
+class TestDiscovery:
+    def test_named_parameters_cover_tree(self, rng):
+        model = Sequential(Conv1d(1, 2, 3, rng=rng), BatchNorm1d(2), ReLU(), Linear(2, 2, rng=rng))
+        names = {name for name, _ in model.named_parameters()}
+        assert "steps.0.weight" in names
+        assert "steps.1.gamma" in names
+        assert "steps.3.bias" in names
+
+    def test_parameter_count(self, rng):
+        model = Sequential(Linear(4, 3, rng=rng), Linear(3, 2, rng=rng))
+        assert len(model.parameters()) == 4  # two weights + two biases
+
+    def test_zero_grad_resets_all(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer.weight.grad[...] = 5.0
+        layer.zero_grad()
+        np.testing.assert_array_equal(layer.weight.grad, np.zeros((2, 3)))
+
+
+class TestModes:
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(BatchNorm1d(2), Sequential(BatchNorm1d(2)))
+        model.eval()
+        assert model.steps[0].training is False
+        assert model.steps[1].steps[0].training is False
+        model.train()
+        assert model.steps[1].steps[0].training is True
+
+
+class TestState:
+    def test_state_roundtrip(self, rng):
+        model = Sequential(Conv1d(1, 2, 3, rng=rng), BatchNorm1d(2), Linear(2, 2, rng=rng))
+        state = model.state_dict()
+        clone = Sequential(
+            Conv1d(1, 2, 3, rng=np.random.default_rng(9)),
+            BatchNorm1d(2),
+            Linear(2, 2, rng=np.random.default_rng(10)),
+        )
+        clone.load_state_dict(state)
+        for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_load_rejects_missing_keys(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_load_rejects_extra_keys(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        state = model.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_shape_mismatch(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        state = model.state_dict()
+        state["steps.0.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestSequential:
+    def test_len_and_indexing(self, rng):
+        model = Sequential(ReLU(), ReLU())
+        assert len(model) == 2
+        assert isinstance(model[0], ReLU)
+
+    def test_forward_backward_chain(self, rng):
+        model = Sequential(Linear(3, 3, rng=rng), ReLU(), Linear(3, 1, rng=rng))
+        x = rng.normal(0, 1, (2, 3)).astype(np.float32)
+        y = model.forward(x)
+        assert y.shape == (2, 1)
+        dx = model.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+    def test_parameter_repr(self):
+        assert "shape" in repr(Parameter(np.zeros((2, 2))))

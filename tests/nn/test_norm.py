@@ -1,0 +1,104 @@
+"""BatchNorm1d: statistics, modes, gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d
+
+
+class TestForward:
+    def test_training_output_is_normalized(self, rng):
+        bn = BatchNorm1d(3)
+        x = rng.normal(5, 4, (8, 3, 20)).astype(np.float32)
+        y = bn.forward(x)
+        np.testing.assert_allclose(y.mean(axis=(0, 2)), 0, atol=1e-4)
+        np.testing.assert_allclose(y.std(axis=(0, 2)), 1, atol=1e-2)
+
+    def test_gamma_beta_scale_shift(self, rng):
+        bn = BatchNorm1d(2)
+        bn.gamma.data[...] = 3.0
+        bn.beta.data[...] = -1.0
+        x = rng.normal(0, 1, (4, 2, 10)).astype(np.float32)
+        y = bn.forward(x)
+        np.testing.assert_allclose(y.mean(axis=(0, 2)), -1.0, atol=1e-4)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm1d(1, momentum=0.5)
+        for _ in range(30):
+            bn.forward(rng.normal(7.0, 2.0, (16, 1, 8)).astype(np.float32))
+        assert abs(bn.running_mean[0] - 7.0) < 0.5
+        assert abs(np.sqrt(bn.running_var[0]) - 2.0) < 0.5
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm1d(1, momentum=0.3)
+        for _ in range(40):
+            bn.forward(rng.normal(3.0, 1.0, (16, 1, 4)).astype(np.float32))
+        bn.eval()
+        x = np.full((1, 1, 4), 3.0, dtype=np.float32)
+        y = bn.forward(x)
+        np.testing.assert_allclose(y, 0, atol=0.3)
+
+    def test_eval_is_deterministic_per_sample(self, rng):
+        """In eval mode the output of a sample must not depend on the batch."""
+        bn = BatchNorm1d(2)
+        bn.forward(rng.normal(0, 1, (8, 2, 5)).astype(np.float32))
+        bn.eval()
+        a = rng.normal(0, 1, (1, 2, 5)).astype(np.float32)
+        b = rng.normal(0, 1, (1, 2, 5)).astype(np.float32)
+        alone = bn.forward(a)
+        batched = bn.forward(np.concatenate([a, b]))[0:1]
+        np.testing.assert_allclose(alone, batched, rtol=1e-6)
+
+    def test_rejects_wrong_channels(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(2).forward(np.zeros((1, 3, 4), dtype=np.float32))
+
+
+class TestBackward:
+    def test_gradient_directional_check(self, rng):
+        bn = BatchNorm1d(2)
+        x = rng.normal(0, 2, (6, 2, 9)).astype(np.float32)
+        g = rng.normal(0, 1, (6, 2, 9)).astype(np.float32)
+
+        def loss():
+            return float((bn.forward(x) * g).sum())
+
+        loss()
+        bn.zero_grad()
+        dx = bn.backward(g)
+        # gamma gradient
+        direction = rng.normal(0, 1, bn.gamma.data.shape).astype(np.float32)
+        direction /= np.linalg.norm(direction)
+        eps = 1e-2
+        predicted = float((bn.gamma.grad * direction).sum())
+        orig = bn.gamma.data.copy()
+        bn.gamma.data[...] = orig + eps * direction
+        lp = loss()
+        bn.gamma.data[...] = orig - eps * direction
+        lm = loss()
+        bn.gamma.data[...] = orig
+        actual = (lp - lm) / (2 * eps)
+        assert abs(predicted - actual) / (abs(actual) + 1e-8) < 5e-2
+        # input gradient sums to ~0 per channel (normalisation invariance)
+        np.testing.assert_allclose(dx.sum(axis=(0, 2)), 0, atol=1e-2)
+
+    def test_backward_in_eval_mode_raises(self, rng):
+        bn = BatchNorm1d(1)
+        bn.forward(rng.normal(0, 1, (2, 1, 3)).astype(np.float32))
+        bn.eval()
+        bn.forward(rng.normal(0, 1, (2, 1, 3)).astype(np.float32))
+        with pytest.raises(RuntimeError):
+            bn.backward(np.ones((2, 1, 3), dtype=np.float32))
+
+
+class TestState:
+    def test_running_stats_serialize(self, rng):
+        bn = BatchNorm1d(2)
+        bn.forward(rng.normal(3, 2, (8, 2, 6)).astype(np.float32))
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+        fresh = BatchNorm1d(2)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.running_mean, bn.running_mean)

@@ -1,0 +1,96 @@
+"""Optimisers: SGD and Adam update rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam
+from repro.nn.module import Parameter
+
+
+def quadratic_params(start=5.0):
+    p = Parameter(np.array([start], dtype=np.float32))
+    return p
+
+
+class TestSGD:
+    def test_single_step(self):
+        p = quadratic_params()
+        p.grad[...] = 2.0
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [4.8], rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        p = quadratic_params()
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad[...] = 1.0
+        opt.step()
+        first = p.data.copy()
+        p.grad[...] = 1.0
+        opt.step()
+        second_delta = first - p.data
+        assert second_delta[0] > 0.1  # momentum makes the step larger
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            p.grad[...] = 2 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_params()], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_params()], momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction the first Adam step is ~lr in magnitude."""
+        p = quadratic_params()
+        p.grad[...] = 123.0
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [5.0 - 0.01], rtol=1e-4)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = Adam([p], lr=0.05)
+        for _ in range(400):
+            p.grad[...] = 2 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_matches_reference_implementation(self, rng):
+        """Cross-check two steps against a hand-rolled Adam."""
+        value = rng.normal(0, 1, (3,)).astype(np.float32)
+        grads = [rng.normal(0, 1, (3,)).astype(np.float32) for _ in range(2)]
+        p = Parameter(value.copy())
+        opt = Adam([p], lr=0.001)
+        m = np.zeros(3)
+        v = np.zeros(3)
+        ref = value.astype(np.float64).copy()
+        for t, g in enumerate(grads, start=1):
+            p.grad[...] = g
+            opt.step()
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g * g
+            m_hat = m / (1 - 0.9**t)
+            v_hat = v / (1 - 0.999**t)
+            ref -= 0.001 * m_hat / (np.sqrt(v_hat) + 1e-8)
+        np.testing.assert_allclose(p.data, ref, rtol=1e-4)
+
+    def test_zero_grad_clears(self):
+        p = quadratic_params()
+        p.grad[...] = 7.0
+        opt = Adam([p])
+        opt.zero_grad()
+        np.testing.assert_array_equal(p.grad, [0.0])
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_params()], betas=(1.0, 0.999))

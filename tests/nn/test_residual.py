@@ -1,0 +1,74 @@
+"""Residual block structure and gradient flow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import ResidualBlock1d
+
+
+class TestStructure:
+    def test_identity_shortcut_when_channels_match(self, rng):
+        block = ResidualBlock1d(4, 4, 5, rng=rng)
+        assert block.proj_conv is None
+
+    def test_projection_when_channels_change(self, rng):
+        block = ResidualBlock1d(4, 8, 5, rng=rng)
+        assert block.proj_conv is not None
+        assert block.proj_conv.kernel_size == 1
+
+    def test_output_shape(self, rng):
+        block = ResidualBlock1d(4, 8, 5, rng=rng)
+        x = rng.normal(0, 1, (2, 4, 20)).astype(np.float32)
+        assert block.forward(x).shape == (2, 8, 20)
+
+    def test_output_nonnegative(self, rng):
+        """The block ends in a ReLU."""
+        block = ResidualBlock1d(2, 2, 3, rng=rng)
+        y = block.forward(rng.normal(0, 1, (2, 2, 10)).astype(np.float32))
+        assert y.min() >= 0
+
+
+class TestGradients:
+    @pytest.mark.parametrize("channels", [(3, 3), (3, 6)])
+    def test_directional_gradient_all_params(self, channels, rng):
+        cin, cout = channels
+        block = ResidualBlock1d(cin, cout, 5, rng=np.random.default_rng(3))
+        x = rng.normal(0, 1, (4, cin, 16)).astype(np.float32)
+        g = rng.normal(0, 1, (4, cout, 16)).astype(np.float32)
+
+        def loss():
+            return float((block.forward(x) * g).sum())
+
+        loss()
+        block.zero_grad()
+        block.backward(g)
+        for name, param in block.named_parameters():
+            if "bias" in name:
+                continue  # conv biases before BN have zero true gradient
+            direction = rng.normal(0, 1, param.data.shape).astype(np.float32)
+            direction /= np.linalg.norm(direction) + 1e-12
+            predicted = float((param.grad * direction).sum())
+            eps = 1e-2
+            orig = param.data.copy()
+            param.data[...] = orig + eps * direction
+            lp = loss()
+            param.data[...] = orig - eps * direction
+            lm = loss()
+            param.data[...] = orig
+            actual = (lp - lm) / (2 * eps)
+            if abs(actual) < 1e-4 and abs(predicted) < 1e-4:
+                continue
+            assert abs(predicted - actual) / (abs(actual) + 1e-8) < 8e-2, name
+
+    def test_shortcut_carries_gradient(self, rng):
+        """Zeroing the branch convs must still propagate input gradient."""
+        block = ResidualBlock1d(2, 2, 3, rng=rng)
+        block.conv1.weight.data[...] = 0.0
+        block.conv2.weight.data[...] = 0.0
+        x = rng.normal(0, 1, (2, 2, 8)).astype(np.float32) + 2.0
+        block.forward(x)
+        block.zero_grad()
+        dx = block.backward(np.ones((2, 2, 8), dtype=np.float32))
+        assert np.abs(dx).max() > 0

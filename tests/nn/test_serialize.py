@@ -1,0 +1,51 @@
+"""Model persistence via .npz archives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm1d,
+    Conv1d,
+    GlobalAvgPool1d,
+    Linear,
+    Sequential,
+    load_state,
+    save_state,
+)
+
+
+def make_model(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv1d(1, 2, 5, rng=rng),
+        BatchNorm1d(2),
+        GlobalAvgPool1d(),
+        Linear(2, 2, rng=rng),
+    )
+
+
+class TestRoundtrip:
+    def test_save_load_restores_output(self, tmp_path, rng):
+        model = make_model(0)
+        x = rng.normal(0, 1, (2, 1, 12)).astype(np.float32)
+        model.forward(x)  # update BN running stats
+        model.eval()
+        reference = model.forward(x)
+        path = tmp_path / "model.npz"
+        save_state(model, path)
+        clone = make_model(1)
+        load_state(clone, path)
+        clone.eval()
+        np.testing.assert_allclose(clone.forward(x), reference, rtol=1e-6)
+
+    def test_buffers_roundtrip(self, tmp_path, rng):
+        model = make_model(2)
+        model.forward(rng.normal(3, 2, (8, 1, 6)).astype(np.float32))
+        path = tmp_path / "model.npz"
+        save_state(model, path)
+        clone = make_model(3)
+        load_state(clone, path)
+        np.testing.assert_array_equal(
+            clone.steps[1].running_mean, model.steps[1].running_mean
+        )

@@ -1,0 +1,102 @@
+"""Trainer: loss decreases, best-validation selection, prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    ArrayDataset,
+    Linear,
+    ReLU,
+    Sequential,
+    Trainer,
+)
+
+
+def toy_problem(rng, n=400):
+    """Linearly separable two-class blobs."""
+    x0 = rng.normal(-1.5, 1.0, (n // 2, 4)).astype(np.float32)
+    x1 = rng.normal(+1.5, 1.0, (n // 2, 4)).astype(np.float32)
+    x = np.concatenate([x0, x1])
+    y = np.concatenate([np.zeros(n // 2, dtype=np.int64), np.ones(n // 2, dtype=np.int64)])
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+def small_model(rng):
+    return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+
+
+class TestFit:
+    def test_learns_separable_blobs(self, rng):
+        x, y = toy_problem(rng)
+        train = ArrayDataset(x[:300], y[:300])
+        val = ArrayDataset(x[300:], y[300:])
+        model = small_model(rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), rng=rng)
+        history = trainer.fit(train, val, epochs=5, batch_size=32)
+        assert history.val_accuracy[-1] > 0.9
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_history_lengths(self, rng):
+        x, y = toy_problem(rng, n=80)
+        ds = ArrayDataset(x, y)
+        model = small_model(rng)
+        trainer = Trainer(model, Adam(model.parameters()), rng=rng)
+        history = trainer.fit(ds, ds, epochs=3)
+        assert len(history.train_loss) == 3
+        assert len(history.val_loss) == 3
+        assert 0 <= history.best_epoch < 3
+
+    def test_best_model_restored(self, rng):
+        """After fit, evaluation must reproduce the best recorded val loss."""
+        x, y = toy_problem(rng, n=200)
+        train = ArrayDataset(x[:150], y[:150])
+        val = ArrayDataset(x[150:], y[150:])
+        model = small_model(rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.05), rng=rng)
+        history = trainer.fit(train, val, epochs=4)
+        final_loss, _ = trainer.evaluate(val)
+        assert abs(final_loss - min(history.val_loss)) < 1e-6
+
+    def test_model_left_in_eval_mode(self, rng):
+        x, y = toy_problem(rng, n=64)
+        ds = ArrayDataset(x, y)
+        model = small_model(rng)
+        trainer = Trainer(model, Adam(model.parameters()), rng=rng)
+        trainer.fit(ds, ds, epochs=1)
+        assert model.training is False
+
+    def test_rejects_zero_epochs(self, rng):
+        x, y = toy_problem(rng, n=32)
+        ds = ArrayDataset(x, y)
+        model = small_model(rng)
+        trainer = Trainer(model, Adam(model.parameters()), rng=rng)
+        with pytest.raises(ValueError):
+            trainer.fit(ds, ds, epochs=0)
+
+
+class TestEvaluatePredict:
+    def test_predict_shape(self, rng):
+        model = small_model(rng)
+        trainer = Trainer(model, Adam(model.parameters()), rng=rng)
+        preds = trainer.predict(rng.normal(0, 1, (10, 4)).astype(np.float32))
+        assert preds.shape == (10,)
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_evaluate_on_empty_raises(self, rng):
+        model = small_model(rng)
+        trainer = Trainer(model, Adam(model.parameters()), rng=rng)
+        with pytest.raises(ValueError):
+            trainer.evaluate(ArrayDataset(np.zeros((0, 4)), np.zeros(0)))
+
+    def test_history_str_contains_epochs(self, rng):
+        x, y = toy_problem(rng, n=64)
+        ds = ArrayDataset(x, y)
+        model = small_model(rng)
+        trainer = Trainer(model, Adam(model.parameters()), rng=rng)
+        history = trainer.fit(ds, ds, epochs=2)
+        text = str(history)
+        assert "epoch 0" in text and "epoch 1" in text

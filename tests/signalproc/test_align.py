@@ -1,0 +1,93 @@
+"""Cross-correlation alignment helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signalproc import (
+    best_alignment_offset,
+    normalized_cross_correlation,
+    shift_signal,
+)
+
+
+class TestNcc:
+    def test_perfect_match_scores_one(self):
+        rng = np.random.default_rng(0)
+        template = rng.normal(0, 1, 32)
+        trace = np.concatenate([np.zeros(40), template, np.zeros(40)])
+        ncc = normalized_cross_correlation(trace, template)
+        assert np.argmax(ncc) == 40
+        assert ncc[40] > 0.999
+
+    def test_anticorrelation_scores_minus_one(self):
+        rng = np.random.default_rng(1)
+        template = rng.normal(0, 1, 16)
+        ncc = normalized_cross_correlation(-template, template)
+        assert ncc[0] < -0.999
+
+    def test_output_length(self):
+        ncc = normalized_cross_correlation(np.ones(100), np.arange(10.0))
+        assert ncc.shape == (91,)
+
+    def test_values_bounded(self):
+        rng = np.random.default_rng(2)
+        trace = rng.normal(0, 1, 200)
+        template = rng.normal(0, 1, 20)
+        ncc = normalized_cross_correlation(trace, template)
+        assert np.all(ncc <= 1.0) and np.all(ncc >= -1.0)
+
+    def test_constant_window_scores_zero(self):
+        template = np.arange(8.0)
+        trace = np.concatenate([np.full(20, 3.0), template])
+        ncc = normalized_cross_correlation(trace, template)
+        assert ncc[0] == 0.0
+
+    def test_constant_template_is_all_zero(self):
+        ncc = normalized_cross_correlation(np.arange(20.0), np.full(5, 1.0))
+        np.testing.assert_array_equal(ncc, np.zeros(16))
+
+    def test_trace_shorter_than_template(self):
+        assert normalized_cross_correlation(np.ones(3), np.ones(5)).size == 0
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_cross_correlation(np.ones(5), np.zeros(0))
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(3)
+        template = rng.normal(0, 1, 16)
+        trace = rng.normal(0, 1, 64)
+        ncc1 = normalized_cross_correlation(trace, template)
+        ncc2 = normalized_cross_correlation(5.0 * trace + 3.0, template)
+        np.testing.assert_allclose(ncc1, ncc2, atol=1e-9)
+
+
+class TestBestOffset:
+    def test_finds_planted_template(self):
+        rng = np.random.default_rng(4)
+        template = rng.normal(0, 1, 24)
+        trace = rng.normal(0, 0.1, 150)
+        trace[77:101] += 3 * template
+        assert best_alignment_offset(trace, template) == 77
+
+
+class TestShift:
+    def test_right_shift(self):
+        out = shift_signal(np.array([1.0, 2.0, 3.0]), 1)
+        np.testing.assert_array_equal(out, [0.0, 1.0, 2.0])
+
+    def test_left_shift(self):
+        out = shift_signal(np.array([1.0, 2.0, 3.0]), -1)
+        np.testing.assert_array_equal(out, [2.0, 3.0, 0.0])
+
+    def test_zero_shift_is_copy(self):
+        signal = np.array([1.0, 2.0])
+        out = shift_signal(signal, 0)
+        np.testing.assert_array_equal(out, signal)
+        assert out is not signal
+
+    def test_shift_beyond_length_gives_fill(self):
+        out = shift_signal(np.ones(3), 5, fill=-1.0)
+        np.testing.assert_array_equal(out, [-1.0, -1.0, -1.0])

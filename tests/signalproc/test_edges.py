@@ -1,0 +1,68 @@
+"""Square-wave thresholding and edge detection."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.signalproc import falling_edges, rising_edges, threshold_to_square_wave
+
+
+class TestThreshold:
+    def test_maps_to_plus_minus_one(self):
+        wave = threshold_to_square_wave(np.array([-1.0, 0.0, 0.5, 2.0]), 0.4)
+        np.testing.assert_array_equal(wave, [-1.0, -1.0, 1.0, 1.0])
+
+    def test_exact_threshold_maps_low(self):
+        wave = threshold_to_square_wave(np.array([1.0]), 1.0)
+        assert wave[0] == -1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrays(np.float64, st.integers(1, 50),
+               elements=st.floats(-100, 100, allow_nan=False)),
+        st.floats(-50, 50, allow_nan=False),
+    )
+    def test_output_is_always_binary(self, signal, threshold):
+        wave = threshold_to_square_wave(signal, threshold)
+        assert set(np.unique(wave)) <= {-1.0, 1.0}
+
+
+class TestEdges:
+    def test_single_pulse(self):
+        wave = np.array([-1, -1, 1, 1, 1, -1, -1], dtype=float)
+        np.testing.assert_array_equal(rising_edges(wave), [2])
+        np.testing.assert_array_equal(falling_edges(wave), [5])
+
+    def test_multiple_pulses(self):
+        wave = np.array([-1, 1, -1, 1, -1], dtype=float)
+        np.testing.assert_array_equal(rising_edges(wave), [1, 3])
+        np.testing.assert_array_equal(falling_edges(wave), [2, 4])
+
+    def test_no_edges_in_constant(self):
+        assert rising_edges(np.ones(10)).size == 0
+        assert rising_edges(-np.ones(10)).size == 0
+
+    def test_empty_and_single_sample(self):
+        assert rising_edges(np.zeros(0)).size == 0
+        assert rising_edges(np.array([1.0])).size == 0
+
+    def test_opening_high_is_not_an_edge(self):
+        wave = np.array([1, 1, -1, -1], dtype=float)
+        assert rising_edges(wave).size == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrays(np.float64, st.integers(2, 80), elements=st.sampled_from([-1.0, 1.0])))
+    def test_rising_and_falling_alternate(self, wave):
+        """Between two rising edges there must be a falling edge."""
+        rises = rising_edges(wave)
+        falls = falling_edges(wave)
+        for a, b in zip(rises[:-1], rises[1:]):
+            assert np.any((falls > a) & (falls < b))
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrays(np.float64, st.integers(2, 80), elements=st.sampled_from([-1.0, 1.0])))
+    def test_edge_count_difference_at_most_one(self, wave):
+        assert abs(rising_edges(wave).size - falling_edges(wave).size) <= 1

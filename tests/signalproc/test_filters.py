@@ -1,0 +1,110 @@
+"""Median filter, moving average, boxcar aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.signalproc import boxcar_aggregate, median_filter, moving_average
+
+FLOAT_SIGNALS = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=64),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestMedianFilter:
+    def test_removes_isolated_spike(self):
+        signal = np.zeros(21)
+        signal[10] = 100.0
+        assert np.all(median_filter(signal, 3) == 0.0)
+
+    def test_preserves_wide_plateau(self):
+        signal = -np.ones(30)
+        signal[10:20] = 1.0
+        filtered = median_filter(signal, 5)
+        assert np.all(filtered[12:18] == 1.0)
+
+    def test_size_one_is_identity(self):
+        signal = np.arange(10.0)
+        np.testing.assert_array_equal(median_filter(signal, 1), signal)
+
+    def test_output_length_matches(self):
+        assert median_filter(np.ones(17), 5).shape == (17,)
+
+    @pytest.mark.parametrize("size", [0, 2, -3])
+    def test_rejects_non_odd_sizes(self, size):
+        with pytest.raises(ValueError):
+            median_filter(np.ones(5), size)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            median_filter(np.ones((3, 3)), 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(FLOAT_SIGNALS)
+    def test_idempotent_on_constant(self, signal):
+        constant = np.full_like(signal, signal[0])
+        np.testing.assert_array_equal(median_filter(constant, 3), constant)
+
+    @settings(max_examples=30, deadline=None)
+    @given(FLOAT_SIGNALS)
+    def test_output_within_input_range(self, signal):
+        filtered = median_filter(signal, 3)
+        assert filtered.min() >= signal.min() - 1e-12
+        assert filtered.max() <= signal.max() + 1e-12
+
+
+class TestMovingAverage:
+    def test_flat_signal_unchanged(self):
+        signal = np.full(20, 3.5)
+        np.testing.assert_allclose(moving_average(signal, 5), signal)
+
+    def test_smooths_step(self):
+        signal = np.concatenate([np.zeros(10), np.ones(10)])
+        smoothed = moving_average(signal, 4)
+        assert 0 < smoothed[10] < 1
+
+    def test_preserves_mean_approximately(self):
+        rng = np.random.default_rng(0)
+        signal = rng.normal(0, 1, 500)
+        assert abs(moving_average(signal, 7).mean() - signal.mean()) < 0.05
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)
+
+
+class TestBoxcarAggregate:
+    def test_sums_windows(self):
+        out = boxcar_aggregate(np.arange(6.0), 2)
+        np.testing.assert_array_equal(out, [1.0, 5.0, 9.0])
+
+    def test_drops_trailing_partial_window(self):
+        out = boxcar_aggregate(np.arange(7.0), 2)
+        assert out.shape == (3,)
+
+    def test_2d_batch(self):
+        traces = np.arange(12.0).reshape(2, 6)
+        out = boxcar_aggregate(traces, 3)
+        np.testing.assert_array_equal(out, [[3.0, 12.0], [21.0, 30.0]])
+
+    def test_width_one_is_identity(self):
+        signal = np.arange(5.0)
+        np.testing.assert_array_equal(boxcar_aggregate(signal, 1), signal)
+
+    def test_preserves_total_sum(self):
+        rng = np.random.default_rng(1)
+        signal = rng.normal(0, 1, 12)
+        assert np.isclose(boxcar_aggregate(signal, 4).sum(), signal.sum())
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            boxcar_aggregate(np.ones(4), 0)
+
+    def test_window_wider_than_signal(self):
+        assert boxcar_aggregate(np.ones(3), 10).shape == (0,)

@@ -1,0 +1,70 @@
+"""Property tests of the datapath compilation and the RD warp."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers import LeakageRecorder
+from repro.ciphers.base import OpKind
+from repro.soc import RandomDelayCountermeasure, TrngModel
+from repro.soc.trace_synth import OpStream
+
+
+@st.composite
+def op_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    rec = LeakageRecorder()
+    for _ in range(n):
+        width = draw(st.sampled_from([8, 16, 32, 64]))
+        value = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        kind = draw(st.sampled_from([OpKind.ALU, OpKind.LOAD, OpKind.MUL]))
+        rec.record(value, width=width, kind=kind)
+    return OpStream.from_recorder(rec)
+
+
+class TestDatapathCompilation:
+    @settings(max_examples=30, deadline=None)
+    @given(op_streams())
+    def test_total_hamming_weight_preserved(self, stream):
+        """Splitting 64-bit ops into 32-bit halves must not change the
+        total number of leaking bits."""
+        values32, _, _ = stream.to_datapath_ops()
+        hw_before = int(np.bitwise_count(stream.values).sum())
+        hw_after = int(np.bitwise_count(values32).sum())
+        assert hw_before == hw_after
+
+    @settings(max_examples=30, deadline=None)
+    @given(op_streams())
+    def test_op_count_accounting(self, stream):
+        values32, kinds32, starts = stream.to_datapath_ops()
+        wide = int((stream.widths > 32).sum())
+        assert values32.size == len(stream) + wide
+        assert kinds32.size == values32.size
+        assert starts.size == len(stream)
+        assert np.all(np.diff(starts) >= 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(op_streams())
+    def test_values_fit_datapath(self, stream):
+        values32, _, _ = stream.to_datapath_ops()
+        assert int(values32.max(initial=0)) <= 0xFFFFFFFF
+
+
+class TestWarpComposition:
+    @settings(max_examples=20, deadline=None)
+    @given(op_streams(), st.integers(min_value=0, max_value=4))
+    def test_real_op_values_survive_warp(self, stream, max_delay):
+        values32, kinds32, _ = stream.to_datapath_ops()
+        out = RandomDelayCountermeasure(max_delay, TrngModel(1)).apply(values32, kinds32)
+        np.testing.assert_array_equal(out.values[out.new_positions], values32)
+        np.testing.assert_array_equal(out.kinds[out.new_positions], kinds32)
+
+    @settings(max_examples=20, deadline=None)
+    @given(op_streams())
+    def test_warp_is_monotone(self, stream):
+        values32, kinds32, _ = stream.to_datapath_ops()
+        out = RandomDelayCountermeasure(4, TrngModel(2)).apply(values32, kinds32)
+        if out.new_positions.size > 1:
+            assert np.all(np.diff(out.new_positions) >= 1)

@@ -1,0 +1,81 @@
+"""Leakage models: HW computation, kind pedestals, HD referencing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ciphers.base import OpKind
+from repro.soc import HammingDistanceLeakage, HammingWeightLeakage, hamming_weight
+from repro.soc.leakage import DEFAULT_PEDESTALS
+
+
+class TestHammingWeight:
+    def test_known_values(self):
+        np.testing.assert_array_equal(
+            hamming_weight(np.array([0, 1, 3, 0xFF, 0xFFFFFFFF], dtype=np.uint64)),
+            [0, 1, 2, 8, 32],
+        )
+
+    def test_64_bit(self):
+        assert hamming_weight(np.array([2**63], dtype=np.uint64))[0] == 1
+        assert hamming_weight(np.array([(1 << 64) - 1], dtype=np.uint64))[0] == 64
+
+
+class TestHammingWeightLeakage:
+    def test_nop_power_is_nop_pedestal(self):
+        model = HammingWeightLeakage()
+        power = model.power(np.array([0], dtype=np.uint64), np.array([int(OpKind.NOP)]))
+        assert power[0] == DEFAULT_PEDESTALS[int(OpKind.NOP)]
+
+    def test_pedestal_plus_alpha_hw(self):
+        model = HammingWeightLeakage(alpha=2.0)
+        power = model.power(np.array([0b111], dtype=np.uint64), np.array([int(OpKind.ALU)]))
+        assert power[0] == DEFAULT_PEDESTALS[int(OpKind.ALU)] + 6.0
+
+    def test_load_costs_more_than_alu(self):
+        model = HammingWeightLeakage()
+        value = np.array([0xAA], dtype=np.uint64)
+        p_load = model.power(value, np.array([int(OpKind.LOAD)]))
+        p_alu = model.power(value, np.array([int(OpKind.ALU)]))
+        assert p_load[0] > p_alu[0]
+
+    def test_max_power_bound(self):
+        model = HammingWeightLeakage()
+        values = np.full(10, 0xFFFFFFFF, dtype=np.uint64)
+        kinds = np.full(10, int(OpKind.STORE))
+        assert model.power(values, kinds).max() <= model.max_power
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            HammingWeightLeakage().power(np.zeros(3, dtype=np.uint64), np.zeros(2))
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            HammingWeightLeakage(alpha=0.0)
+
+    def test_custom_pedestals(self):
+        model = HammingWeightLeakage(pedestals={0: 1.0, 1: 5.0})
+        power = model.power(np.array([0], dtype=np.uint64), np.array([1]))
+        assert power[0] == 5.0
+
+
+class TestHammingDistanceLeakage:
+    def test_first_op_references_zero(self):
+        model = HammingDistanceLeakage()
+        power = model.power(np.array([0xF], dtype=np.uint64), np.array([int(OpKind.ALU)]))
+        assert power[0] == DEFAULT_PEDESTALS[int(OpKind.ALU)] + 4.0
+
+    def test_repeated_value_leaks_nothing(self):
+        model = HammingDistanceLeakage()
+        values = np.array([0xAB, 0xAB], dtype=np.uint64)
+        kinds = np.full(2, int(OpKind.ALU))
+        power = model.power(values, kinds)
+        assert power[1] == DEFAULT_PEDESTALS[int(OpKind.ALU)]
+
+    def test_transition_distance(self):
+        model = HammingDistanceLeakage()
+        values = np.array([0b1100, 0b1010], dtype=np.uint64)
+        kinds = np.full(2, int(OpKind.ALU))
+        power = model.power(values, kinds)
+        assert power[1] == DEFAULT_PEDESTALS[int(OpKind.ALU)] + 2.0

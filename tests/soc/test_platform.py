@@ -1,0 +1,98 @@
+"""SimulatedPlatform: capture semantics and ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.soc import SimulatedPlatform
+
+
+class TestCipherCaptures:
+    def test_capture_fields(self):
+        platform = SimulatedPlatform("aes", max_delay=2, seed=0)
+        capture = platform.capture_cipher_trace()
+        assert capture.trace.dtype == np.float32
+        assert 0 < capture.co_start < capture.trace.size
+        assert len(capture.plaintext) == 16
+        assert len(capture.key) == 16
+
+    def test_nop_header_region_is_low_power(self):
+        platform = SimulatedPlatform("aes", max_delay=0, seed=1)
+        capture = platform.capture_cipher_trace(nop_header=64)
+        nop_region = capture.trace[: capture.co_start]
+        co_region = capture.trace[capture.co_start: capture.co_start + 200]
+        assert nop_region.mean() < co_region.mean() - 3.0
+
+    def test_co_start_scales_with_delay(self):
+        """With RD-4 the NOP prologue gets dummy ops inserted."""
+        rd0 = SimulatedPlatform("aes", max_delay=0, seed=2).capture_cipher_trace(nop_header=96)
+        rd4 = SimulatedPlatform("aes", max_delay=4, seed=2).capture_cipher_trace(nop_header=96)
+        assert rd4.co_start > rd0.co_start
+
+    def test_fixed_key_honoured(self):
+        platform = SimulatedPlatform("aes", max_delay=2, seed=3)
+        key = bytes(range(16))
+        captures = platform.capture_cipher_traces(3, key=key)
+        assert all(c.key == key for c in captures)
+
+    def test_plaintexts_vary(self):
+        platform = SimulatedPlatform("aes", max_delay=2, seed=4)
+        captures = platform.capture_cipher_traces(4)
+        assert len({c.plaintext for c in captures}) == 4
+
+
+class TestNoiseCapture:
+    def test_noise_trace_length(self):
+        platform = SimulatedPlatform("aes", max_delay=2, seed=5)
+        trace = platform.capture_noise_trace(5_000)
+        assert trace.size >= 10_000  # >= min_ops x samples_per_op
+
+
+class TestSessionCaptures:
+    @pytest.mark.parametrize("interleaved", [True, False])
+    def test_session_ground_truth(self, interleaved):
+        platform = SimulatedPlatform("camellia", max_delay=2, seed=6)
+        session = platform.capture_session_trace(5, noise_interleaved=interleaved)
+        assert session.true_starts.shape == (5,)
+        assert np.all(np.diff(session.true_starts) > 0)
+        assert len(session.plaintexts) == 5
+        assert session.noise_interleaved is interleaved
+        assert session.rd_name == "RD-2"
+
+    def test_ciphertexts_are_correct(self):
+        from repro.ciphers import Camellia128
+
+        platform = SimulatedPlatform("camellia", max_delay=2, seed=7)
+        session = platform.capture_session_trace(3)
+        cam = Camellia128()
+        for pt, ct in zip(session.plaintexts, session.ciphertexts):
+            assert cam.encrypt(pt, session.key) == ct
+
+    def test_interleaved_sessions_are_longer(self):
+        compact = SimulatedPlatform("aes", max_delay=2, seed=8).capture_session_trace(
+            6, noise_interleaved=False
+        )
+        spread = SimulatedPlatform("aes", max_delay=2, seed=8).capture_session_trace(
+            6, noise_interleaved=True
+        )
+        assert spread.trace.size > compact.trace.size
+
+    def test_seeds_reproduce_sessions(self):
+        a = SimulatedPlatform("aes", max_delay=4, seed=11).capture_session_trace(3)
+        b = SimulatedPlatform("aes", max_delay=4, seed=11).capture_session_trace(3)
+        np.testing.assert_array_equal(a.trace, b.trace)
+        np.testing.assert_array_equal(a.true_starts, b.true_starts)
+        assert a.key == b.key
+
+
+class TestUtilities:
+    def test_mean_co_samples_positive(self):
+        platform = SimulatedPlatform("simon", max_delay=4, seed=9)
+        mean_len = platform.mean_co_samples(probes=3)
+        assert mean_len > 500
+
+    def test_masked_cipher_platform_works(self):
+        platform = SimulatedPlatform("aes_masked", max_delay=2, seed=10)
+        capture = platform.capture_cipher_trace()
+        assert capture.trace.size > 1_000

@@ -1,0 +1,97 @@
+"""RD-k countermeasure: insertion bounds, position tracking, dummies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ciphers.base import OpKind
+from repro.soc import RandomDelayCountermeasure, TrngModel
+from repro.soc.random_delay import DUMMY_KIND_POOL
+
+
+def make_stream(n, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 2**32, n, dtype=np.int64).astype(np.uint64)
+    kinds = np.full(n, int(OpKind.ALU), dtype=np.uint8)
+    return values, kinds
+
+
+class TestDisabled:
+    def test_rd0_is_identity(self):
+        values, kinds = make_stream(100)
+        out = RandomDelayCountermeasure(0, TrngModel(0)).apply(values, kinds)
+        np.testing.assert_array_equal(out.values, values)
+        np.testing.assert_array_equal(out.new_positions, np.arange(100))
+        assert not out.is_dummy.any()
+
+    def test_empty_stream(self):
+        out = RandomDelayCountermeasure(4, TrngModel(0)).apply(
+            np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.uint8)
+        )
+        assert out.values.size == 0
+
+
+class TestInsertion:
+    @pytest.mark.parametrize("max_delay", [2, 4])
+    def test_expansion_bounds(self, max_delay):
+        values, kinds = make_stream(2000)
+        out = RandomDelayCountermeasure(max_delay, TrngModel(1)).apply(values, kinds)
+        assert values.size <= out.values.size <= values.size * (1 + max_delay)
+
+    def test_mean_expansion_near_half_max(self):
+        values, kinds = make_stream(20_000)
+        out = RandomDelayCountermeasure(4, TrngModel(2)).apply(values, kinds)
+        expansion = (out.values.size - values.size) / (values.size - 1)
+        assert 1.9 <= expansion <= 2.1  # E[U{0..4}] = 2
+
+    def test_original_ops_preserved_in_order(self):
+        values, kinds = make_stream(500)
+        out = RandomDelayCountermeasure(3, TrngModel(3)).apply(values, kinds)
+        np.testing.assert_array_equal(out.values[out.new_positions], values)
+        assert np.all(np.diff(out.new_positions) >= 1)
+
+    def test_dummy_mask_consistent(self):
+        values, kinds = make_stream(500)
+        out = RandomDelayCountermeasure(3, TrngModel(4)).apply(values, kinds)
+        real_mask = np.zeros(out.values.size, dtype=bool)
+        real_mask[out.new_positions] = True
+        np.testing.assert_array_equal(~out.is_dummy, real_mask)
+
+    def test_dummy_kinds_from_pool(self):
+        values, kinds = make_stream(2000)
+        out = RandomDelayCountermeasure(4, TrngModel(5)).apply(values, kinds)
+        dummy_kinds = set(out.kinds[out.is_dummy].tolist())
+        assert dummy_kinds <= set(DUMMY_KIND_POOL)
+
+    def test_different_trng_seeds_give_different_warps(self):
+        values, kinds = make_stream(300)
+        out1 = RandomDelayCountermeasure(4, TrngModel(1)).apply(values, kinds)
+        out2 = RandomDelayCountermeasure(4, TrngModel(2)).apply(values, kinds)
+        assert not np.array_equal(out1.new_positions, out2.new_positions)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=4))
+    def test_position_mapping_property(self, n, max_delay):
+        values, kinds = make_stream(n, seed=n)
+        out = RandomDelayCountermeasure(max_delay, TrngModel(n)).apply(values, kinds)
+        # First op never delayed (gaps are before ops 1..n-1).
+        assert out.new_positions[0] == 0
+        np.testing.assert_array_equal(out.values[out.new_positions], values)
+
+
+class TestValidation:
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            RandomDelayCountermeasure(-1)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            RandomDelayCountermeasure(2, TrngModel(0)).apply(
+                np.zeros(3, dtype=np.uint64), np.zeros(2, dtype=np.uint8)
+            )
+
+    def test_config_name(self):
+        assert RandomDelayCountermeasure(4).config_name == "RD-4"

@@ -1,0 +1,106 @@
+"""OpStream compilation and trace synthesis with marker tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ciphers import LeakageRecorder
+from repro.ciphers.base import OpKind
+from repro.soc import (
+    HammingWeightLeakage,
+    OpStream,
+    Oscilloscope,
+    RandomDelayCountermeasure,
+    TrngModel,
+    synthesize_trace,
+)
+
+
+def make_stream(entries):
+    rec = LeakageRecorder()
+    for value, width, kind in entries:
+        rec.record(value, width=width, kind=kind)
+    return OpStream.from_recorder(rec)
+
+
+class TestDatapathCompilation:
+    def test_narrow_ops_pass_through(self):
+        stream = make_stream([(0xAB, 8, OpKind.ALU), (0xFFFF, 16, OpKind.MUL)])
+        values, kinds, starts = stream.to_datapath_ops()
+        np.testing.assert_array_equal(values, [0xAB, 0xFFFF])
+        np.testing.assert_array_equal(starts, [0, 1])
+
+    def test_64_bit_ops_split_lo_hi(self):
+        wide = (0xDEADBEEF << 32) | 0x12345678
+        stream = make_stream([(wide, 64, OpKind.LOAD)])
+        values, kinds, starts = stream.to_datapath_ops()
+        np.testing.assert_array_equal(values, [0x12345678, 0xDEADBEEF])
+        assert kinds.tolist() == [int(OpKind.LOAD)] * 2
+        np.testing.assert_array_equal(starts, [0])
+
+    def test_mixed_width_start_mapping(self):
+        stream = make_stream(
+            [(1, 8, OpKind.ALU), (2**40, 64, OpKind.ALU), (3, 8, OpKind.ALU)]
+        )
+        _, _, starts = stream.to_datapath_ops()
+        np.testing.assert_array_equal(starts, [0, 1, 3])
+
+    def test_concatenate(self):
+        a = make_stream([(1, 8, OpKind.ALU)])
+        b = make_stream([(2, 8, OpKind.MUL)])
+        joined = OpStream.concatenate([a, b])
+        assert len(joined) == 2
+        assert joined.kinds.tolist() == [int(OpKind.ALU), int(OpKind.MUL)]
+
+    def test_concatenate_empty_list(self):
+        assert len(OpStream.concatenate([])) == 0
+
+
+class TestSynthesis:
+    def _chain(self, max_delay=0):
+        return (
+            RandomDelayCountermeasure(max_delay, TrngModel(0)),
+            HammingWeightLeakage(),
+            Oscilloscope(samples_per_op=2, noise_std=0.0),
+        )
+
+    def test_trace_length_no_delay(self, rng):
+        stream = make_stream([(1, 8, OpKind.ALU)] * 50)
+        rd, leak, osc = self._chain(0)
+        trace, _ = synthesize_trace(stream, np.zeros(0, dtype=np.int64), rd, leak, osc, rng)
+        assert trace.size == 100  # 50 ops x 2 samples
+
+    def test_marker_positions_no_delay(self, rng):
+        stream = make_stream([(1, 8, OpKind.ALU)] * 20)
+        rd, leak, osc = self._chain(0)
+        _, markers = synthesize_trace(stream, np.array([0, 10]), rd, leak, osc, rng)
+        np.testing.assert_array_equal(markers, [0, 20])
+
+    def test_marker_positions_with_delay_point_at_real_op(self, rng):
+        """The marked sample must carry the marked op's power signature."""
+        # A distinctive high-power op (NOPs around it).
+        entries = [(0, 32, OpKind.NOP)] * 30 + [(0xFFFFFFFF, 32, OpKind.STORE)] + [
+            (0, 32, OpKind.NOP)
+        ] * 30
+        stream = make_stream(entries)
+        rd = RandomDelayCountermeasure(4, TrngModel(3))
+        leak = HammingWeightLeakage()
+        osc = Oscilloscope(samples_per_op=2, noise_std=0.0, bandwidth_kernel=(1.0,))
+        trace, markers = synthesize_trace(stream, np.array([30]), rd, leak, osc, rng)
+        marked = trace[markers[0]]
+        assert marked > 40.0  # STORE pedestal + 32 bits
+
+    def test_marker_out_of_range_raises(self, rng):
+        stream = make_stream([(1, 8, OpKind.ALU)] * 5)
+        rd, leak, osc = self._chain()
+        with pytest.raises(IndexError):
+            synthesize_trace(stream, np.array([5]), rd, leak, osc, rng)
+
+    def test_wide_ops_lengthen_trace(self, rng):
+        narrow = make_stream([(1, 32, OpKind.ALU)] * 10)
+        wide = make_stream([(1, 64, OpKind.ALU)] * 10)
+        rd, leak, osc = self._chain(0)
+        t_narrow, _ = synthesize_trace(narrow, np.zeros(0, dtype=np.int64), rd, leak, osc, rng)
+        t_wide, _ = synthesize_trace(wide, np.zeros(0, dtype=np.int64), rd, leak, osc, rng)
+        assert t_wide.size == 2 * t_narrow.size

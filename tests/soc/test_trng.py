@@ -1,0 +1,70 @@
+"""TRNG model: determinism, ranges, independence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.soc import TrngModel
+
+
+class TestUniformInts:
+    def test_range_inclusive(self):
+        trng = TrngModel(0)
+        values = trng.uniform_ints(0, 4, 10_000)
+        assert values.min() == 0
+        assert values.max() == 4
+
+    def test_roughly_uniform(self):
+        trng = TrngModel(1)
+        values = trng.uniform_ints(0, 3, 40_000)
+        counts = np.bincount(values, minlength=4)
+        assert np.all(np.abs(counts - 10_000) < 600)
+
+    def test_deterministic_per_seed(self):
+        a = TrngModel(7).uniform_ints(0, 100, 50)
+        b = TrngModel(7).uniform_ints(0, 100, 50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = TrngModel(1).uniform_ints(0, 2**30, 20)
+        b = TrngModel(2).uniform_ints(0, 2**30, 20)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            TrngModel(0).uniform_ints(5, 4, 1)
+
+
+class TestRandomWords:
+    def test_width_bound(self):
+        words = TrngModel(0).random_words(1000, width=8)
+        assert words.max() <= 0xFF
+
+    def test_32_bit_default_fills_range(self):
+        words = TrngModel(0).random_words(5000, width=32)
+        assert words.max() > 0xF000_0000  # top of range reachable
+
+    def test_mean_hamming_weight(self):
+        words = TrngModel(3).random_words(5000, width=32)
+        mean_hw = np.bitwise_count(words).mean()
+        assert 15.5 <= mean_hw <= 16.5
+
+    @pytest.mark.parametrize("width", [0, 65])
+    def test_rejects_bad_width(self, width):
+        with pytest.raises(ValueError):
+            TrngModel(0).random_words(1, width=width)
+
+
+class TestSpawn:
+    def test_child_stream_is_deterministic(self):
+        a = TrngModel(5).spawn().uniform_ints(0, 1000, 10)
+        b = TrngModel(5).spawn().uniform_ints(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        parent = TrngModel(5)
+        child = parent.spawn()
+        a = parent.uniform_ints(0, 2**30, 20)
+        b = child.uniform_ints(0, 2**30, 20)
+        assert not np.array_equal(a, b)

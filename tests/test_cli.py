@@ -1,0 +1,25 @@
+"""CLI smoke tests (argument wiring; heavy paths run in benchmarks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_train_rejects_unknown_cipher(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--cipher", "des"])
+
+    def test_locate_needs_existing_model(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["locate", "--model", str(tmp_path / "missing.npz")])

@@ -1,0 +1,110 @@
+"""Pipeline configuration: Table I mirroring and derivation rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    MEAN_CO_SAMPLES_RD4,
+    PAPER_TABLE_I,
+    PipelineConfig,
+    default_config,
+    derive_config,
+)
+
+
+class TestPaperTable:
+    def test_all_five_ciphers_present(self):
+        assert set(PAPER_TABLE_I) == {"aes", "aes_masked", "clefia", "camellia", "simon"}
+
+    def test_paper_values_spot_check(self):
+        row = PAPER_TABLE_I["aes"]
+        assert row.mean_length == 220_000
+        assert row.n_train == 22_000
+        assert row.n_inf == 20_000
+        assert row.stride == 1_000
+
+    def test_masked_aes_row(self):
+        row = PAPER_TABLE_I["aes_masked"]
+        assert row.n_start_windows == 131_072
+        assert row.stride == 100
+
+
+class TestDerivation:
+    def test_ratios_preserved_within_caps(self):
+        config = derive_config("clefia", 2400)
+        row = PAPER_TABLE_I["clefia"]
+        expected_train = round(row.n_train / row.mean_length * 2400)
+        assert abs(config.n_train - expected_train) <= 1
+
+    def test_window_cap_applies(self):
+        config = derive_config("aes", 50_000)
+        assert config.n_train <= 512
+
+    def test_n_inf_never_exceeds_n_train(self):
+        for cipher, mean in MEAN_CO_SAMPLES_RD4.items():
+            config = derive_config(cipher, mean)
+            assert config.n_inf <= config.n_train
+
+    def test_kernel_is_odd_and_bounded(self):
+        for cipher, mean in MEAN_CO_SAMPLES_RD4.items():
+            config = derive_config(cipher, mean)
+            assert config.kernel_size % 2 == 1
+            assert 9 <= config.kernel_size <= 63
+
+    def test_dataset_scale(self):
+        big = derive_config("aes", 5000, dataset_scale=1 / 16)
+        small = derive_config("aes", 5000, dataset_scale=1 / 64)
+        assert big.n_start_windows == 4 * small.n_start_windows
+
+    def test_default_config_uses_measured_lengths(self):
+        config = default_config("simon")
+        assert config.cipher == "simon"
+        assert config.stride >= 4
+
+    def test_rejects_unknown_cipher(self):
+        with pytest.raises(KeyError):
+            derive_config("des", 1000)
+
+    def test_rejects_tiny_trace(self):
+        with pytest.raises(ValueError):
+            derive_config("aes", 10)
+
+
+class TestValidation:
+    def base_kwargs(self):
+        return dict(
+            cipher="aes", n_train=128, n_inf=128, stride=8, kernel_size=9,
+            n_start_windows=64, n_rest_windows=64, n_noise_windows=32,
+        )
+
+    def test_valid_config_accepted(self):
+        PipelineConfig(**self.base_kwargs())
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n_train": 4},
+            {"stride": 0},
+            {"kernel_size": 8},
+            {"mf_size": 2},
+            {"score_mode": "bogus"},
+            {"n_noise_windows": 0},
+            {"start_augmentation": 0},
+            {"rest_mode": "sometimes"},
+        ],
+    )
+    def test_invalid_configs_rejected(self, overrides):
+        kwargs = {**self.base_kwargs(), **overrides}
+        with pytest.raises(ValueError):
+            PipelineConfig(**kwargs)
+
+    def test_scaled_populations(self):
+        config = PipelineConfig(**self.base_kwargs())
+        scaled = config.scaled(0.5)
+        assert scaled.n_start_windows == 32
+        assert scaled.n_train == config.n_train  # windows unchanged
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(**self.base_kwargs()).scaled(0.0)

@@ -7,7 +7,11 @@
    Section IV-B (a smaller inference window still works);
 4. **dense vs windowed scorer** — the reproduction's fast inference
    engine vs the literal sliding-window evaluation (identical results,
-   order-of-magnitude speed difference).
+   order-of-magnitude speed difference);
+5. **batched engine sweep** — both attack scenarios driven through the
+   runtime :class:`~repro.runtime.ExperimentEngine` (shared locator,
+   batched capture + batched locate), confirming the engine reproduces
+   the per-scenario results.
 """
 
 from __future__ import annotations
@@ -133,3 +137,25 @@ def test_ablation_dense_vs_windowed_speed(aes_setup, benchmark):
           "engine — why `windowed` is the default inference method)")
     assert corr > 0.5
     assert benchmark.stats.stats.mean < t_windowed  # dense must be faster
+
+
+def test_ablation_engine_sweep(locator_cache, benchmark):
+    """Both scenarios swept through the batched ExperimentEngine."""
+    from repro.evaluation import format_table
+    from repro.runtime import BatchPlan, ExperimentEngine, ScenarioResult
+
+    engine = ExperimentEngine(
+        locator_provider=lambda cipher, rd, _std: locator_cache(cipher, rd)[0],
+    )
+    plan = BatchPlan.sweep(
+        ciphers=("aes",), max_delays=(4,), interleaving=(True, False),
+        n_cos=BENCH_COS, base_seed=940, batch_size=max(2, BENCH_COS // 8),
+    )
+    results = benchmark.pedantic(engine.run, args=(plan,), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ScenarioResult.header(), [r.row() for r in results],
+        title=f"Engine sweep (AES, RD-4, batch size {plan.batch_size})",
+    ))
+    for result in results:
+        assert result.stats.hit_rate >= 0.5, result.spec.describe()

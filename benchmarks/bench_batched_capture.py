@@ -1,0 +1,122 @@
+"""Throughput: scalar vs batched trace generation (the batch-engine win).
+
+Measures the capture paths the rest of the benchmark suite leans on:
+
+* **profiling captures** — ``capture_cipher_traces`` batched vs the
+  per-trace scalar reference loop;
+* **attack sessions** — ``capture_session_trace`` (consecutive and
+  noise-interleaved) batched vs scalar;
+* **cipher execution alone** — vectorized ``encrypt_batch`` vs per-block
+  ``encrypt``, the layer the batching removes from the critical path.
+
+Both capture paths are bit-identical for the same seed (enforced by the
+test suite), so every speedup row here is a pure implementation win.  The
+profiling/session ratios are bounded below ~5x by work both paths share —
+acquisition-noise and TRNG draws plus the oscilloscope pipeline — while
+the cipher-execution layer itself speeds up by well over an order of
+magnitude; the printed table records all of it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.ciphers.base import BatchLeakageRecorder, LeakageRecorder
+from repro.evaluation import format_table
+from repro.soc import SimulatedPlatform
+
+#: Traces per profiling-capture comparison.
+BATCH_TRACES = int(os.environ.get("REPRO_BENCH_BATCH_TRACES", "192"))
+#: COs per session-capture comparison.
+BATCH_COS = int(os.environ.get("REPRO_BENCH_BATCH_COS", "192"))
+
+_RESULTS: list[list[str]] = []
+
+
+def _timed(fn):
+    begin = time.perf_counter()
+    fn()
+    return time.perf_counter() - begin
+
+
+def _record(label: str, count: int, t_scalar: float, t_batched: float) -> float:
+    speedup = t_scalar / max(t_batched, 1e-9)
+    _RESULTS.append([
+        label,
+        f"{count / t_scalar:8.0f}",
+        f"{count / t_batched:8.0f}",
+        f"{speedup:5.1f}x",
+    ])
+    return speedup
+
+
+@pytest.mark.parametrize("cipher", ["aes", "aes_masked"])
+def test_batched_profiling_capture(cipher, benchmark):
+    scalar = SimulatedPlatform(cipher, max_delay=4, seed=0)
+    batched = SimulatedPlatform(cipher, max_delay=4, seed=0)
+    t_scalar = _timed(
+        lambda: scalar.capture_cipher_traces(BATCH_TRACES, batched=False)
+    )
+    t_batched = benchmark.pedantic(
+        lambda: _timed(lambda: batched.capture_cipher_traces(BATCH_TRACES)),
+        rounds=1, iterations=1,
+    )
+    speedup = _record(f"profiling {cipher}", BATCH_TRACES, t_scalar, t_batched)
+    assert speedup > 1.2, "batched profiling capture must beat the scalar loop"
+
+
+@pytest.mark.parametrize("interleaved", [False, True],
+                         ids=["consecutive", "noise"])
+def test_batched_session_capture(interleaved, benchmark):
+    scalar = SimulatedPlatform("aes", max_delay=4, seed=1)
+    batched = SimulatedPlatform("aes", max_delay=4, seed=1)
+    t_scalar = _timed(lambda: scalar.capture_session_trace(
+        BATCH_COS, noise_interleaved=interleaved, batched=False))
+    t_batched = benchmark.pedantic(
+        lambda: _timed(lambda: batched.capture_session_trace(
+            BATCH_COS, noise_interleaved=interleaved)),
+        rounds=1, iterations=1,
+    )
+    label = "session noise" if interleaved else "session consecutive"
+    speedup = _record(label, BATCH_COS, t_scalar, t_batched)
+    floor = 1.05 if interleaved else 1.5  # noise apps dominate interleaved runs
+    assert speedup > floor, f"batched {label} capture must beat the scalar loop"
+
+
+def test_batched_cipher_execution(benchmark):
+    """The layer batching vectorizes: encrypt_batch vs per-block encrypt."""
+    rng = np.random.default_rng(2)
+    count = BATCH_TRACES
+    pts = rng.integers(0, 256, (count, 16), dtype=np.uint8)
+    keys = rng.integers(0, 256, (count, 16), dtype=np.uint8)
+    cipher = SimulatedPlatform("aes", max_delay=4, seed=3).cipher
+
+    def scalar():
+        for b in range(count):
+            recorder = LeakageRecorder()
+            cipher.encrypt(pts[b].tobytes(), keys[b].tobytes(), recorder)
+
+    def batched():
+        recorder = BatchLeakageRecorder(count)
+        cipher.encrypt_batch(pts, keys, recorder)
+
+    t_scalar = _timed(scalar)
+    t_batched = benchmark.pedantic(lambda: _timed(batched),
+                                   rounds=1, iterations=1)
+    speedup = _record("aes encrypt (traced)", count, t_scalar, t_batched)
+    assert speedup > 5.0, "vectorized encryption must dominate the Python loop"
+
+
+def test_batched_capture_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["path", "scalar /s", "batched /s", "speedup"],
+        _RESULTS,
+        title=(f"Batched capture throughput "
+               f"({BATCH_TRACES} traces / {BATCH_COS}-CO sessions)"),
+    ))

@@ -7,6 +7,12 @@ delay, is segmented by the deep-learning locator; the located COs are cut
 and aligned; a CPA against the first-round S-box output then recovers the
 key — something that is impossible without the alignment (the script also
 shows the CPA failing on unaligned cuts).
+
+The whole flow runs through the batch-first
+:class:`~repro.runtime.ExperimentEngine`: locator training profiles the
+clone via the vectorized capture path, the attack session is captured
+through one batched synthesis call, and location uses the shared
+sliding-window machinery.
 """
 
 from __future__ import annotations
@@ -18,10 +24,9 @@ import numpy as np
 
 from repro.attacks import CpaAttack, full_key_ranks
 from repro.config import default_config
-from repro.core.locator import CryptoLocator
 from repro.evaluation import match_hits
 from repro.evaluation.experiments import default_tolerance
-from repro.soc import SimulatedPlatform
+from repro.runtime import ExperimentEngine, ScenarioSpec
 
 
 def main() -> None:
@@ -31,22 +36,29 @@ def main() -> None:
                         help="encryptions in the attack session")
     parser.add_argument("--aggregate", type=int, default=64,
                         help="CPA time-aggregation width (samples)")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="traces per batched locate pass")
     args = parser.parse_args()
 
     config = default_config("aes", dataset_scale=1 / 32)
+    engine = ExperimentEngine(seed=0, config_overrides={"aes": config})
+    spec = ScenarioSpec(
+        cipher="aes", max_delay=args.rd, noise_interleaved=False,
+        n_cos=args.cos, seed=777,
+    )
 
     print(f"[1/4] training the locator against an RD-{args.rd} clone ...")
-    clone = SimulatedPlatform("aes", max_delay=args.rd, seed=0)
-    locator = CryptoLocator(config, seed=1)
-    locator.fit_from_platform(clone)
+    locator = engine.locator_for("aes", args.rd)
 
     print(f"[2/4] capturing {args.cos} encryptions under an unknown key ...")
-    target = SimulatedPlatform("aes", max_delay=args.rd, seed=777)
-    session = target.capture_session_trace(args.cos, noise_interleaved=False)
+    t0 = time.perf_counter()
+    session = engine.capture_session(spec)
+    print(f"  {session.trace.size} samples in {time.perf_counter() - t0:.1f}s "
+          "(batched capture)")
 
     print("[3/4] locating and aligning ...")
     t0 = time.perf_counter()
-    located = locator.locate(session.trace)
+    located = engine.locate_sessions(locator, [session], args.batch_size)[0]
     stats = match_hits(located, session.true_starts, default_tolerance(config))
     print(f"  located {located.size}/{args.cos} COs "
           f"({stats.hit_rate * 100:.1f}% hits) in {time.perf_counter() - t0:.0f}s")

@@ -14,6 +14,9 @@ The package is organised in layers:
 * :mod:`repro.baselines` — the state-of-the-art locators the paper compares
   against (matched filter [10], semi-automatic [11]);
 * :mod:`repro.evaluation` — hit-rate scoring and experiment harnesses;
+* :mod:`repro.runtime` — the batch-first scenario-sweep engine
+  (:class:`~repro.runtime.ExperimentEngine` + :class:`~repro.runtime.BatchPlan`)
+  driving capture→locate→attack through the batched primitives;
 * :mod:`repro.config` — per-cipher pipeline parameters mirroring Table I.
 """
 
@@ -22,6 +25,7 @@ __version__ = "1.0.0"
 from repro.config import PipelineConfig, default_config, derive_config  # noqa: E402
 from repro.core.locator import CryptoLocator, LocatorResult  # noqa: E402
 from repro.soc.platform import SimulatedPlatform  # noqa: E402
+from repro.runtime import BatchPlan, ExperimentEngine, ScenarioSpec  # noqa: E402
 
 __all__ = [
     "PipelineConfig",
@@ -30,4 +34,7 @@ __all__ = [
     "CryptoLocator",
     "LocatorResult",
     "SimulatedPlatform",
+    "BatchPlan",
+    "ExperimentEngine",
+    "ScenarioSpec",
 ]

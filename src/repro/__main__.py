@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands mirror the attacker workflow on the simulated platform:
+Four commands mirror the attacker workflow on the simulated platform:
 
 * ``train``  — profile a clone device and train a locator, saving it to
   an ``.npz`` artefact;
 * ``locate`` — load a locator, capture an attack session, and report the
   located CO starts against the simulator's ground truth;
-* ``attack`` — the full Table-II flow: locate, align, CPA, key recovery.
+* ``attack`` — the full Table-II flow: locate, align, CPA, key recovery;
+* ``bench``  — sweep scenarios (cipher x RD x interleaving x SNR) through
+  the batched :class:`~repro.runtime.ExperimentEngine` and print a
+  Table-II-style summary.
 """
 
 from __future__ import annotations
@@ -93,6 +96,48 @@ def cmd_attack(args: argparse.Namespace) -> int:
     return 0 if correct == 16 else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: engine-driven scenario sweep with batched capture."""
+    from repro.ciphers import available_ciphers
+    from repro.evaluation import format_table
+    from repro.runtime import BatchPlan, ExperimentEngine, ScenarioResult
+
+    ciphers = [c.strip() for c in args.ciphers.split(",") if c.strip()]
+    unknown = sorted(set(ciphers) - set(available_ciphers()))
+    if unknown:
+        print(f"unknown cipher(s): {', '.join(unknown)}; "
+              f"available: {', '.join(available_ciphers())}", file=sys.stderr)
+        return 2
+    if args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return 2
+    plan = BatchPlan.sweep(
+        ciphers=ciphers,
+        max_delays=[int(r) for r in args.rds.split(",") if r.strip()],
+        interleaving=(True, False) if args.scenarios == "both"
+        else (args.scenarios == "noise",),
+        n_cos=args.cos,
+        noise_stds=[float(s) for s in args.noise_stds.split(",") if s.strip()],
+        base_seed=args.seed + 100,
+        batch_size=args.batch_size,
+    )
+    engine = ExperimentEngine(
+        dataset_scale=args.scale,
+        seed=args.seed,
+        method=args.engine,
+        verbose=True,
+    )
+    results = engine.run(plan, with_cpa=args.cpa, aggregate=args.aggregate)
+    print()
+    print(format_table(
+        ScenarioResult.header(),
+        [r.row() for r in results],
+        title=f"Engine sweep ({len(plan)} scenarios, batch size {plan.batch_size})",
+    ))
+    worst = min((r.stats.hit_rate for r in results), default=0.0)
+    return 0 if worst >= 0.5 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -117,6 +162,32 @@ def main(argv: list[str] | None = None) -> int:
     p_attack.add_argument("--aggregate", type=int, default=64)
     p_attack.add_argument("--consecutive", action="store_true")
     p_attack.set_defaults(func=cmd_attack)
+
+    p_bench = sub.add_parser(
+        "bench", help="sweep scenarios through the batched experiment engine"
+    )
+    p_bench.add_argument("--ciphers", default="aes",
+                         help="comma-separated cipher names")
+    p_bench.add_argument("--rds", default="4",
+                         help="comma-separated random-delay configs (0/2/4)")
+    p_bench.add_argument("--scenarios", default="both",
+                         choices=("both", "noise", "consecutive"))
+    p_bench.add_argument("--cos", type=int, default=32,
+                         help="COs per attack session")
+    p_bench.add_argument("--noise-stds", default="1.0",
+                         help="comma-separated oscilloscope noise levels")
+    p_bench.add_argument("--batch-size", type=int, default=32,
+                         help="traces per batched capture/scoring call")
+    p_bench.add_argument("--engine", default="windowed",
+                         choices=("windowed", "dense"),
+                         help="sliding-window scoring engine")
+    p_bench.add_argument("--cpa", action="store_true",
+                         help="also mount the CPA per scenario")
+    p_bench.add_argument("--aggregate", type=int, default=64)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--scale", type=float, default=1 / 32,
+                         help="dataset scale relative to Table I")
+    p_bench.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -28,6 +28,7 @@ Fidelity notes
 """
 
 from repro.ciphers.base import (
+    BatchLeakageRecorder,
     LeakageRecorder,
     NullRecorder,
     TraceableCipher,
@@ -40,6 +41,7 @@ from repro.ciphers.simon import Simon128
 from repro.ciphers.registry import available_ciphers, get_cipher
 
 __all__ = [
+    "BatchLeakageRecorder",
     "LeakageRecorder",
     "NullRecorder",
     "TraceableCipher",

@@ -8,16 +8,42 @@ stand-in for the instruction stream of the real CPU.  The SoC layer
 (:mod:`repro.soc`) later maps each recorded operation to power samples via a
 Hamming-weight leakage model, inserts random-delay instructions, and applies
 the oscilloscope model.
+
+Batch-first recording
+---------------------
+The measurement chain treats the trace *batch* as the unit of work: a
+vectorized cipher (``encrypt_batch``) processes ``B`` blocks at once and
+reports each intermediate as a vector of ``B`` values to a
+:class:`BatchLeakageRecorder`, which accumulates a ``(B, N)`` operation
+array sharing one ``(N,)`` width/kind structure.  This is valid because
+every registered cipher executes an input-independent instruction sequence
+(no data-dependent branching — a constant-time property real SCA targets
+share), so all ``B`` executions record the same structure.
+
+Both recorders store numpy chunks rather than per-operation Python lists:
+``record_many`` accepts any array-like without per-element ``int()`` boxing,
+and only the scalar :meth:`LeakageRecorder.record` fast path touches Python
+lists (it buffers scalars and flushes them to an array chunk lazily).
 """
 
 from __future__ import annotations
 
 import abc
 import enum
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
-__all__ = ["OpKind", "LeakageRecorder", "NullRecorder", "TraceableCipher"]
+__all__ = [
+    "OpKind",
+    "LeakageRecorder",
+    "BatchLeakageRecorder",
+    "NullRecorder",
+    "TraceableCipher",
+]
+
+#: Anything ``record_many`` accepts: a numpy array, or any iterable of ints.
+IntArrayLike = Union[np.ndarray, Sequence[int], Iterable[int]]
 
 
 class OpKind(enum.IntEnum):
@@ -39,6 +65,20 @@ class OpKind(enum.IntEnum):
     STORE = 5   # memory write
 
 
+def _as_value_array(values: IntArrayLike) -> np.ndarray:
+    """Coerce an array-like of operation values to a 1D uint64 array."""
+    if isinstance(values, np.ndarray):
+        arr = values.astype(np.uint64, copy=False)
+    else:
+        arr = np.asarray(
+            values if isinstance(values, (list, tuple, range)) else list(values),
+            dtype=np.uint64,
+        )
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1D value stream, got shape {arr.shape}")
+    return arr
+
+
 class LeakageRecorder:
     """Accumulates the (value, width, kind) stream of executed operations.
 
@@ -48,33 +88,57 @@ class LeakageRecorder:
     its register width in bits, and ``kind`` the functional unit it
     exercised.
 
-    The recorder is intentionally minimal — three parallel Python lists —
-    so that the per-operation overhead inside cipher inner loops stays
-    small.
+    Storage is chunked numpy arrays: a :meth:`record_many` burst (an S-box
+    layer, a key-schedule word) is kept as one homogeneous array chunk, NOP
+    runs are stored by count only, and single :meth:`record` calls go to a
+    small scalar buffer that is flushed into an array chunk on demand.
+    :meth:`as_arrays` concatenates everything; the ``values``/``widths``/
+    ``kinds`` list properties are materialised views for tests and
+    debugging, not the hot path.
     """
 
-    __slots__ = ("values", "widths", "kinds")
+    __slots__ = ("_chunks", "_pv", "_pw", "_pk", "_length")
 
     #: Width attributed to NOP instructions (they occupy a pipeline slot but
     #: process no data, hence value 0).
     NOP_WIDTH = 32
 
     def __init__(self) -> None:
-        self.values: list[int] = []
-        self.widths: list[int] = []
-        self.kinds: list[int] = []
+        # Each chunk is (values uint64 (k,), widths uint8 (k,), kinds uint8 (k,)).
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._pv: list[int] = []  # pending scalar values
+        self._pw: list[int] = []  # pending scalar widths
+        self._pk: list[int] = []  # pending scalar kinds
+        self._length: int = 0
+
+    # -- recording ------------------------------------------------------- #
 
     def record(self, value: int, width: int = 8, kind: int = OpKind.ALU) -> None:
-        """Record a single executed operation."""
-        self.values.append(value)
-        self.widths.append(width)
-        self.kinds.append(int(kind))
+        """Record a single executed operation (list-append fast path)."""
+        # IntEnum kinds go straight into the list; the flush converts the
+        # buffer to uint8 in one C call.
+        self._pv.append(value)
+        self._pw.append(width)
+        self._pk.append(kind)
+        self._length += 1
 
-    def record_many(self, values, width: int = 8, kind: int = OpKind.ALU) -> None:
-        """Record a homogeneous burst of operations (e.g. an S-box layer)."""
-        self.values.extend(int(v) for v in values)
-        self.widths.extend([width] * len(values))
-        self.kinds.extend([int(kind)] * len(values))
+    def record_many(self, values: IntArrayLike, width: int = 8,
+                    kind: int = OpKind.ALU) -> None:
+        """Record a homogeneous burst of operations (e.g. an S-box layer).
+
+        ``values`` may be a numpy array (taken without per-element
+        conversion) or any iterable of ints.
+        """
+        arr = _as_value_array(values)
+        if arr.size == 0:
+            return
+        self._flush_pending()
+        self._chunks.append((
+            arr,
+            np.full(arr.size, width, dtype=np.uint8),
+            np.full(arr.size, int(kind), dtype=np.uint8),
+        ))
+        self._length += int(arr.size)
 
     def record_nops(self, count: int) -> None:
         """Record ``count`` NOP instructions (value 0).
@@ -83,25 +147,178 @@ class LeakageRecorder:
         every training cipher execution; their flat, low-power signature is
         what lets the dataset builder find the true CO start.
         """
-        self.values.extend([0] * count)
-        self.widths.extend([self.NOP_WIDTH] * count)
-        self.kinds.extend([int(OpKind.NOP)] * count)
+        if count <= 0:
+            return
+        self._flush_pending()
+        self._chunks.append((
+            np.zeros(count, dtype=np.uint64),
+            np.full(count, self.NOP_WIDTH, dtype=np.uint8),
+            np.full(count, int(OpKind.NOP), dtype=np.uint8),
+        ))
+        self._length += int(count)
+
+    def _flush_pending(self) -> None:
+        if self._pv:
+            self._chunks.append((
+                np.asarray(self._pv, dtype=np.uint64),
+                np.asarray(self._pw, dtype=np.uint8),
+                np.asarray(self._pk, dtype=np.uint8),
+            ))
+            self._pv, self._pw, self._pk = [], [], []
+
+    # -- inspection ------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self.values)
+        return self._length
 
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return the operation stream as (values, widths, kinds) arrays."""
-        values = np.asarray(self.values, dtype=np.uint64)
-        widths = np.asarray(self.widths, dtype=np.uint8)
-        kinds = np.asarray(self.kinds, dtype=np.uint8)
+        self._flush_pending()
+        if not self._chunks:
+            empty8 = np.zeros(0, dtype=np.uint8)
+            return np.zeros(0, dtype=np.uint64), empty8, empty8.copy()
+        if len(self._chunks) > 1:
+            # Fold into a single chunk so repeated calls stay cheap.
+            merged = (
+                np.concatenate([c[0] for c in self._chunks]),
+                np.concatenate([c[1] for c in self._chunks]),
+                np.concatenate([c[2] for c in self._chunks]),
+            )
+            self._chunks = [merged]
+        values, widths, kinds = self._chunks[0]
         return values, widths, kinds
+
+    @property
+    def values(self) -> list[int]:
+        """Recorded operation values as a Python list (materialised view)."""
+        return [int(v) for v in self.as_arrays()[0]]
+
+    @property
+    def widths(self) -> list[int]:
+        """Recorded operation widths as a Python list (materialised view)."""
+        return [int(w) for w in self.as_arrays()[1]]
+
+    @property
+    def kinds(self) -> list[int]:
+        """Recorded operation kinds as a Python list (materialised view)."""
+        return [int(k) for k in self.as_arrays()[2]]
 
     def clear(self) -> None:
         """Drop all recorded operations."""
-        self.values.clear()
-        self.widths.clear()
-        self.kinds.clear()
+        self._chunks.clear()
+        self._pv, self._pw, self._pk = [], [], []
+        self._length = 0
+
+
+class BatchLeakageRecorder:
+    """Accumulates ``B`` parallel operation streams with shared structure.
+
+    The batch equivalent of :class:`LeakageRecorder`: each recording call
+    reports the same instruction executed by all ``B`` traces of a batch,
+    with per-trace values.  Because the widths and kinds are properties of
+    the *instruction sequence* (which is input-independent for every
+    registered cipher), they are stored once as ``(N,)`` arrays next to the
+    ``(B, N)`` value matrix.
+    """
+
+    __slots__ = ("batch_size", "_chunks", "_length")
+
+    NOP_WIDTH = LeakageRecorder.NOP_WIDTH
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
+        # Each chunk: (values uint64 (B, k), widths uint8 (k,), kinds uint8 (k,)).
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._length: int = 0
+
+    # -- recording ------------------------------------------------------- #
+
+    def record(self, values: IntArrayLike, width: int = 8,
+               kind: int = OpKind.ALU) -> None:
+        """Record one instruction with a ``(B,)`` vector of per-trace values."""
+        col = np.asarray(values, dtype=np.uint64)
+        if col.shape != (self.batch_size,):
+            raise ValueError(
+                f"expected a ({self.batch_size},) value vector, got {col.shape}"
+            )
+        self.record_many(col[:, None], width=width, kind=kind)
+
+    def record_many(self, values: np.ndarray, width: int = 8,
+                    kind: int = OpKind.ALU) -> None:
+        """Record a ``(B, k)`` burst of homogeneous operations."""
+        arr = np.asarray(values, dtype=np.uint64)
+        if arr.ndim != 2 or arr.shape[0] != self.batch_size:
+            raise ValueError(
+                f"expected a ({self.batch_size}, k) value block, got {arr.shape}"
+            )
+        if arr.shape[1] == 0:
+            return
+        self._chunks.append((
+            arr,
+            np.full(arr.shape[1], width, dtype=np.uint8),
+            np.full(arr.shape[1], int(kind), dtype=np.uint8),
+        ))
+        self._length += int(arr.shape[1])
+
+    def record_nops(self, count: int) -> None:
+        """Record ``count`` NOPs executed identically by every trace."""
+        if count <= 0:
+            return
+        self._chunks.append((
+            np.zeros((self.batch_size, count), dtype=np.uint64),
+            np.full(count, self.NOP_WIDTH, dtype=np.uint8),
+            np.full(count, int(OpKind.NOP), dtype=np.uint8),
+        ))
+        self._length += int(count)
+
+    def extend_stacked(self, values: np.ndarray, widths: np.ndarray,
+                       kinds: np.ndarray) -> None:
+        """Append pre-stacked ``(B, k)`` values with explicit per-op structure.
+
+        Used by the loop-fallback :meth:`TraceableCipher.encrypt_batch` to
+        splice ``B`` individually recorded streams into the batch.
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        widths = np.asarray(widths, dtype=np.uint8)
+        kinds = np.asarray(kinds, dtype=np.uint8)
+        if values.ndim != 2 or values.shape[0] != self.batch_size:
+            raise ValueError(
+                f"expected ({self.batch_size}, k) values, got {values.shape}"
+            )
+        if widths.shape != (values.shape[1],) or kinds.shape != (values.shape[1],):
+            raise ValueError("widths/kinds must be (k,) matching the value block")
+        if values.shape[1] == 0:
+            return
+        self._chunks.append((values, widths, kinds))
+        self._length += int(values.shape[1])
+
+    # -- inspection ------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Operations recorded *per trace* (the shared stream length N)."""
+        return self._length
+
+    def as_batch_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(values (B, N), widths (N,), kinds (N,))`` arrays."""
+        if not self._chunks:
+            empty8 = np.zeros(0, dtype=np.uint8)
+            return (np.zeros((self.batch_size, 0), dtype=np.uint64),
+                    empty8, empty8.copy())
+        if len(self._chunks) > 1:
+            merged = (
+                np.concatenate([c[0] for c in self._chunks], axis=1),
+                np.concatenate([c[1] for c in self._chunks]),
+                np.concatenate([c[2] for c in self._chunks]),
+            )
+            self._chunks = [merged]
+        return self._chunks[0]
+
+    def clear(self) -> None:
+        """Drop all recorded operations."""
+        self._chunks.clear()
+        self._length = 0
 
 
 class NullRecorder:
@@ -112,7 +329,8 @@ class NullRecorder:
     def record(self, value: int, width: int = 8, kind: int = OpKind.ALU) -> None:
         pass
 
-    def record_many(self, values, width: int = 8, kind: int = OpKind.ALU) -> None:
+    def record_many(self, values: IntArrayLike, width: int = 8,
+                    kind: int = OpKind.ALU) -> None:
         pass
 
     def record_nops(self, count: int) -> None:
@@ -122,6 +340,33 @@ class NullRecorder:
         return 0
 
 
+def _as_block_matrix(data, block_size: int, what: str) -> np.ndarray:
+    """Coerce blocks to a ``(B, block_size)`` uint8 matrix.
+
+    Accepts a single ``bytes`` block (-> B=1), a sequence of ``bytes``, or a
+    uint8 array of shape ``(B, block_size)``.
+    """
+    if isinstance(data, (bytes, bytearray)):
+        data = [bytes(data)]
+    if isinstance(data, np.ndarray):
+        arr = np.asarray(data, dtype=np.uint8)
+        if arr.ndim != 2 or arr.shape[1] != block_size:
+            raise ValueError(
+                f"expected (B, {block_size}) uint8 {what} matrix, got {arr.shape}"
+            )
+        return arr
+    blocks = list(data)
+    if not blocks:
+        raise ValueError(f"need at least one {what} block")
+    for blk in blocks:
+        if len(blk) != block_size:
+            raise ValueError(
+                f"expected {block_size}-byte {what} blocks, got {len(blk)} bytes"
+            )
+    return np.frombuffer(b"".join(bytes(b) for b in blocks),
+                         dtype=np.uint8).reshape(len(blocks), block_size)
+
+
 class TraceableCipher(abc.ABC):
     """Interface of a block cipher instrumented for power-trace synthesis.
 
@@ -129,6 +374,12 @@ class TraceableCipher(abc.ABC):
     defines it and the tests need it, :meth:`decrypt`) taking an optional
     recorder.  Passing ``recorder=None`` encrypts without instrumentation
     overhead.
+
+    :meth:`encrypt_batch` encrypts ``B`` blocks at once, reporting to a
+    :class:`BatchLeakageRecorder`.  AES and masked AES override it with
+    fully vectorized numpy implementations; the default here loops over the
+    scalar :meth:`encrypt` with identical semantics (same ciphertexts, same
+    per-trace operation streams), so every cipher supports the batch API.
     """
 
     #: Human-readable cipher name, used by the registry and configs.
@@ -139,12 +390,76 @@ class TraceableCipher(abc.ABC):
     key_size: int = 16
 
     @abc.abstractmethod
-    def encrypt(self, plaintext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
+    def encrypt(self, plaintext: bytes, key: bytes,
+                recorder: LeakageRecorder | None = None) -> bytes:
         """Encrypt one block, reporting intermediates to ``recorder``."""
 
-    def decrypt(self, ciphertext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
+    def decrypt(self, ciphertext: bytes, key: bytes,
+                recorder: LeakageRecorder | None = None) -> bytes:
         """Decrypt one block (optional; default: unsupported)."""
         raise NotImplementedError(f"{self.name} does not implement decryption")
+
+    # -- batch interface ------------------------------------------------- #
+
+    def encrypt_batch(self, plaintexts, keys,
+                      recorder: BatchLeakageRecorder | None = None) -> np.ndarray:
+        """Encrypt a batch of blocks; returns ``(B, block_size)`` ciphertexts.
+
+        ``plaintexts`` is a ``(B, block_size)`` uint8 matrix (or a sequence
+        of ``bytes``); ``keys`` likewise, or a single key broadcast across
+        the batch.  Semantics are bit-identical to calling :meth:`encrypt`
+        per block: same ciphertexts, and the recorder receives the same
+        per-trace operation stream.
+
+        This default implementation loops over the scalar path and stacks
+        the recorded streams (requiring, and verifying, the cipher's
+        input-independent instruction structure).  Vectorized ciphers
+        override it.
+        """
+        pts, kys = self._check_batch(plaintexts, keys)
+        batch = pts.shape[0]
+        cts = np.empty_like(pts)
+        if recorder is None:
+            for b in range(batch):
+                cts[b] = np.frombuffer(
+                    self.encrypt(pts[b].tobytes(), kys[b].tobytes()), dtype=np.uint8
+                )
+            return cts
+        if recorder.batch_size != batch:
+            raise ValueError(
+                f"recorder batch size {recorder.batch_size} != batch {batch}"
+            )
+        streams = []
+        for b in range(batch):
+            rec = LeakageRecorder()
+            ct = self.encrypt(pts[b].tobytes(), kys[b].tobytes(), rec)
+            cts[b] = np.frombuffer(ct, dtype=np.uint8)
+            streams.append(rec.as_arrays())
+        widths, kinds = streams[0][1], streams[0][2]
+        for _, w, k in streams[1:]:
+            if not (np.array_equal(w, widths) and np.array_equal(k, kinds)):
+                raise RuntimeError(
+                    f"{self.name} recorded input-dependent op structure; "
+                    "the batch recorder requires a constant instruction sequence"
+                )
+        recorder.extend_stacked(
+            np.stack([s[0] for s in streams]), widths, kinds
+        )
+        return cts
+
+    def _check_batch(self, plaintexts, keys) -> tuple[np.ndarray, np.ndarray]:
+        """Validate and broadcast batch inputs to (B, size) uint8 matrices."""
+        pts = _as_block_matrix(plaintexts, self.block_size, "plaintext")
+        kys = _as_block_matrix(keys, self.key_size, "key")
+        if kys.shape[0] == 1 and pts.shape[0] > 1:
+            kys = np.broadcast_to(kys, (pts.shape[0], self.key_size))
+        if kys.shape[0] != pts.shape[0]:
+            raise ValueError(
+                f"{pts.shape[0]} plaintexts but {kys.shape[0]} keys"
+            )
+        return pts, kys
+
+    # -- validation helpers ---------------------------------------------- #
 
     def _check_block(self, data: bytes, what: str) -> None:
         if len(data) != self.block_size:

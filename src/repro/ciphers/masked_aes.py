@@ -27,8 +27,23 @@ from __future__ import annotations
 
 import random
 
-from repro.ciphers.aes import SBOX, _SHIFT_ROWS_MAP, expand_key
-from repro.ciphers.base import LeakageRecorder, OpKind, TraceableCipher
+import numpy as np
+
+from repro.ciphers.aes import (
+    SBOX,
+    SBOX_TABLE,
+    _SHIFT_ROWS_IDX,
+    _SHIFT_ROWS_MAP,
+    expand_key,
+    expand_key_batch,
+    mix_columns_batch,
+)
+from repro.ciphers.base import (
+    BatchLeakageRecorder,
+    LeakageRecorder,
+    OpKind,
+    TraceableCipher,
+)
 from repro.ciphers.gf import xtime
 
 __all__ = ["MaskedAES128"]
@@ -145,3 +160,98 @@ class MaskedAES128(TraceableCipher):
         if recorder is not None:
             recorder.record_many(out, width=8, kind=OpKind.ALU)
         return bytes(out)
+
+    def encrypt_batch(self, plaintexts, keys,
+                      recorder: BatchLeakageRecorder | None = None) -> np.ndarray:
+        """Vectorized masked encryption over a ``(B, 16)`` batch.
+
+        Per-trace masks are drawn from the cipher's ``random.Random`` in the
+        same order the scalar path consumes them (``m_in`` then ``m_out``
+        for each trace), so a batch is bit-identical — ciphertexts, masks,
+        and recorded streams — to ``B`` sequential :meth:`encrypt` calls.
+        """
+        pts, kys = self._check_batch(plaintexts, keys)
+        batch = pts.shape[0]
+        rng = self._rng
+        masks = np.empty((batch, 2), dtype=np.uint8)
+        for b in range(batch):
+            masks[b, 0] = rng.randrange(256)   # m_in
+            masks[b, 1] = rng.randrange(256)   # m_out
+        m_in = masks[:, 0]
+        m_out = masks[:, 1]
+
+        # --- masked S-box recomputation: S'(x ^ m_in) = SBOX(x) ^ m_out ---
+        xs = np.arange(256, dtype=np.uint8)
+        masked_sbox = np.empty((batch, 256), dtype=np.uint8)
+        rows = np.arange(batch)[:, None]
+        masked_sbox[rows, xs[None, :] ^ m_in[:, None]] = (
+            SBOX_TABLE[None, :] ^ m_out[:, None]
+        )
+        if recorder is not None:
+            recorder.record_many(masked_sbox, width=8, kind=OpKind.STORE)
+
+        round_keys = expand_key_batch(kys, recorder)
+
+        # Mask the state with m_out so that after AddRoundKey the state
+        # carries a known mask; remask to m_in before each SubBytes.
+        state_mask = np.repeat(m_out[:, None], 16, axis=1)
+        state = pts ^ state_mask
+        if recorder is not None:
+            recorder.record_many(state, width=8, kind=OpKind.LOAD)
+
+        def add_round_key(st: np.ndarray, rk: np.ndarray) -> np.ndarray:
+            out = st ^ rk
+            if recorder is not None:
+                recorder.record_many(out, width=8, kind=OpKind.ALU)
+            return out
+
+        def remask_for_sbox(st: np.ndarray, mask: np.ndarray) -> np.ndarray:
+            out = st ^ mask ^ m_in[:, None]
+            if recorder is not None:
+                recorder.record_many(out, width=8, kind=OpKind.ALU)
+            return out
+
+        def masked_sub_bytes(st: np.ndarray) -> np.ndarray:
+            out = masked_sbox[rows, st]
+            if recorder is not None:
+                recorder.record_many(out, width=8, kind=OpKind.LOAD)
+            return out
+
+        def shift_rows(st: np.ndarray) -> np.ndarray:
+            out = st[:, _SHIFT_ROWS_IDX]
+            if recorder is not None:
+                recorder.record_many(out, width=8, kind=OpKind.ALU)
+            return out
+
+        def mix_columns(st: np.ndarray) -> np.ndarray:
+            out = mix_columns_batch(st)
+            if recorder is not None:
+                recorder.record_many(out, width=8, kind=OpKind.SHIFT)
+            return out
+
+        state = add_round_key(state, round_keys[0])
+        state_mask = np.repeat(m_out[:, None], 16, axis=1)
+
+        for _rnd in range(1, 10):
+            state = remask_for_sbox(state, state_mask)
+            state = masked_sub_bytes(state)        # mask becomes m_out
+            state_mask = np.repeat(m_out[:, None], 16, axis=1)
+            state = shift_rows(state)
+            state_mask = state_mask[:, _SHIFT_ROWS_IDX]
+            state = mix_columns(state)
+            # MixColumns is linear, so the mask goes through the same map.
+            state_mask = mix_columns_batch(state_mask)
+            state = add_round_key(state, round_keys[_rnd])
+
+        state = remask_for_sbox(state, state_mask)
+        state = masked_sub_bytes(state)
+        state_mask = np.repeat(m_out[:, None], 16, axis=1)
+        state = shift_rows(state)
+        state_mask = state_mask[:, _SHIFT_ROWS_IDX]
+        state = add_round_key(state, round_keys[10])
+
+        # Final unmasking.
+        out = state ^ state_mask
+        if recorder is not None:
+            recorder.record_many(out, width=8, kind=OpKind.ALU)
+        return out

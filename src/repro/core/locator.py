@@ -98,6 +98,12 @@ class CryptoLocator:
         classifier the consecutive-execution scenario of Section IV-B (the
         threat model lets the attacker run any software on the clone, so
         such a capture costs nothing).
+
+        The window database is built from batched captures:
+        :meth:`fit_from_platform` profiles the clone through the
+        platform's vectorized batch path (``capture_cipher_traces``), which
+        is bit-identical to — and several times faster than — the scalar
+        capture loop.
         """
         cfg = self.config
         needed = self.required_profiling_traces()
@@ -181,10 +187,18 @@ class CryptoLocator:
         noise_ops: int = 60_000,
         boundary_cos: int = 48,
         verbose: bool = False,
+        batch_size: int | None = None,
     ) -> TrainHistory:
-        """Profile a clone platform and train (captures + fit in one call)."""
+        """Profile a clone platform and train (captures + fit in one call).
+
+        Profiling goes through the platform's batched capture path;
+        ``batch_size`` bounds traces per batched synthesis call (platform
+        default when ``None``) without changing the captured values.
+        """
         captures = platform.capture_cipher_traces(
-            self.required_profiling_traces(), nop_header=self.config.nop_header
+            self.required_profiling_traces(),
+            nop_header=self.config.nop_header,
+            batch_size=batch_size,
         )
         noise_trace = platform.capture_noise_trace(noise_ops)
         boundary = (
@@ -315,6 +329,44 @@ class CryptoLocator:
         back to back (see the engine ablation benchmark).
         """
         return self.locate_result(trace, method=method).starts
+
+    def locate_many(
+        self,
+        traces,
+        method: str = "windowed",
+        batch_size: int | None = None,
+    ) -> list[np.ndarray]:
+        """Locate COs in several traces through one batched scoring pass.
+
+        With the ``dense`` engine the convolutional trunk runs over a whole
+        batch of (zero-padded) traces at once
+        (:meth:`SlidingWindowClassifier.score_batch`), which is the fast
+        path for scenario sweeps; ``windowed`` scores traces independently
+        with the training-faithful engine.  ``batch_size`` bounds how many
+        traces share one trunk pass (all at once when ``None``).
+        Segmentation and post-processing are identical to :meth:`locate`.
+        """
+        self._require_fitted()
+        traces = list(traces)
+        if not traces:
+            return []
+        cfg = self.config
+        classifier = SlidingWindowClassifier(
+            self.cnn,
+            window=cfg.n_inf,
+            stride=cfg.stride,
+            score_mode=cfg.score_mode,
+            method=method,
+        )
+        chunk = len(traces) if batch_size is None else max(1, int(batch_size))
+        starts: list[np.ndarray] = []
+        for begin in range(0, len(traces), chunk):
+            normalized = [
+                self.calibration(t) for t in traces[begin: begin + chunk]
+            ]
+            for swc in classifier.score_batch(normalized):
+                starts.append(self.starts_from_swc(swc))
+        return starts
 
     def starts_from_swc(
         self,

@@ -107,6 +107,79 @@ class SlidingWindowClassifier:
             return self._score_windowed(trace)
         return self._score_dense(trace)
 
+    def score_batch(self, traces) -> "list[np.ndarray]":
+        """Score several traces, reusing the dense trunk across the batch.
+
+        The batch analogue of :meth:`score_trace`: traces (which may have
+        different lengths) are zero-padded to a common length and pushed
+        through the convolutional trunk *together*, chunk by chunk, so the
+        expensive convolutions amortise across the batch; each trace's
+        window means then go through the FC head in one call per chunk.
+        Zero padding is exact for the dense engine — the trunk's
+        convolutions use "same" zero padding, so features inside each
+        trace's valid region match the single-trace computation (up to FFT
+        rounding).  With ``method="windowed"`` the traces are scored
+        independently (that engine is per-window already).
+
+        Returns one ``swc`` array per input trace.
+        """
+        traces = [np.asarray(t, dtype=np.float32) for t in traces]
+        for trace in traces:
+            if trace.ndim != 1:
+                raise ValueError(f"expected 1D traces, got shape {trace.shape}")
+        if not traces:
+            return []
+        if self.method == "windowed":
+            return [self.score_trace(t) for t in traces]
+        return self._score_dense_batch(traces)
+
+    # ------------------------------------------------------------------ #
+
+    def _score_dense_batch(self, traces: "list[np.ndarray]") -> "list[np.ndarray]":
+        self.cnn.network.eval()
+        counts = [self.num_windows(t.size) for t in traces]
+        results = [np.empty(nw, dtype=np.float64) for nw in counts]
+        max_windows = max(counts)
+        if max_windows == 0:
+            return results
+        length = max(t.size for t in traces)
+        padded = np.zeros((len(traces), length), dtype=np.float32)
+        for i, trace in enumerate(traces):
+            padded[i, : trace.size] = trace
+        margin = self._margin
+        offsets = np.arange(max_windows, dtype=np.int64) * self.stride
+        chunk_windows = max(1, self.chunk_size // self.stride)
+        for begin in range(0, max_windows, chunk_windows):
+            batch_offsets = offsets[begin: begin + chunk_windows]
+            span_start = int(batch_offsets[0])
+            span_end = int(batch_offsets[-1]) + self.window
+            ext_start = max(0, span_start - margin)
+            ext_end = min(length, span_end + margin)
+            rows = [i for i, nw in enumerate(counts) if nw > begin]
+            segment = padded[rows, ext_start:ext_end]
+            features = self._trunk.forward(segment[:, None, :])  # (R, C, len)
+            csum = np.concatenate(
+                [np.zeros((features.shape[0], features.shape[1], 1), dtype=np.float64),
+                 np.cumsum(features, axis=2, dtype=np.float64)],
+                axis=2,
+            )
+            pooled_parts = []
+            spans = []
+            for r, i in enumerate(rows):
+                here = min(counts[i], begin + batch_offsets.size) - begin
+                local = batch_offsets[:here] - ext_start
+                pooled = (csum[r][:, local + self.window]
+                          - csum[r][:, local]).T / self.window
+                pooled_parts.append(pooled.astype(np.float32))
+                spans.append((i, here))
+            logits = self._head.forward(np.concatenate(pooled_parts, axis=0))
+            scores = scores_from_logits(logits, self.score_mode)
+            cursor = 0
+            for i, here in spans:
+                results[i][begin: begin + here] = scores[cursor: cursor + here]
+                cursor += here
+        return results
+
     # ------------------------------------------------------------------ #
 
     def _score_windowed(self, trace: np.ndarray) -> np.ndarray:

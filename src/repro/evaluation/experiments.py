@@ -60,16 +60,19 @@ def train_locator(
     config: PipelineConfig | None = None,
     noise_ops: int = 60_000,
     verbose: bool = False,
+    batch_size: int | None = None,
 ) -> tuple[CryptoLocator, SimulatedPlatform]:
     """Profile a clone platform and train a locator for one condition.
 
     Returns the fitted locator and the clone platform (whose seed differs
-    from any attack platform derived later).
+    from any attack platform derived later).  ``batch_size`` bounds the
+    profiling-capture batches (results are chunking-invariant).
     """
     config = config if config is not None else default_config(cipher, dataset_scale)
     clone = SimulatedPlatform(cipher, max_delay=max_delay, seed=seed)
     locator = CryptoLocator(config, seed=seed + 1)
-    locator.fit_from_platform(clone, noise_ops=noise_ops, verbose=verbose)
+    locator.fit_from_platform(clone, noise_ops=noise_ops, verbose=verbose,
+                              batch_size=batch_size)
     return locator, clone
 
 

@@ -1,0 +1,25 @@
+"""Batch-first experiment runtime.
+
+The runtime layer turns the repository's batched primitives — vectorized
+``encrypt_batch``, batched trace synthesis, batched sliding-window scoring —
+into a scenario-sweep engine:
+
+* :class:`~repro.runtime.plan.ScenarioSpec` — one experimental condition
+  (cipher x random-delay x noise interleaving x oscilloscope SNR);
+* :class:`~repro.runtime.plan.BatchPlan` — an ordered sweep of scenarios
+  plus the batch size every batched primitive should use;
+* :class:`~repro.runtime.engine.ExperimentEngine` — executes a plan:
+  trains (and caches) one locator per condition, captures attack sessions
+  through the batched platform paths, locates with
+  :meth:`CryptoLocator.locate_many`, scores hits, and optionally mounts the
+  CPA.
+
+The CLI (``repro bench``), the ablation benchmarks, and the examples drive
+their sweeps through this engine, so every workload shares the same batched
+capture→locate→attack pipeline.
+"""
+
+from repro.runtime.engine import ExperimentEngine, ScenarioResult
+from repro.runtime.plan import BatchPlan, ScenarioSpec
+
+__all__ = ["BatchPlan", "ExperimentEngine", "ScenarioResult", "ScenarioSpec"]

@@ -1,0 +1,246 @@
+"""The batched capture→locate→attack experiment engine.
+
+:class:`ExperimentEngine` executes a :class:`~repro.runtime.plan.BatchPlan`
+end to end on top of the repository's batched primitives:
+
+* **profiling / training** — one locator per (cipher, RD, SNR) condition,
+  profiled through the platform's batched capture path and cached for the
+  engine's lifetime (an injectable ``locator_provider`` lets benchmarks
+  reuse their own cache);
+* **capture** — one attack session per scenario via the batched
+  ``capture_session_trace``;
+* **locate** — all of a condition's sessions scored together through
+  :meth:`CryptoLocator.locate_many` in ``batch_size`` chunks;
+* **attack** — optionally, the Section IV-C CPA on each located session.
+
+Every step is deterministic given the plan and the engine seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import PipelineConfig, default_config
+from repro.core.locator import CryptoLocator
+from repro.evaluation.experiments import (
+    default_tolerance,
+    run_cpa_scenario,
+    train_locator,
+)
+from repro.evaluation.hits import HitStats, match_hits
+from repro.soc.oscilloscope import Oscilloscope
+from repro.soc.platform import SessionTrace, SimulatedPlatform
+from repro.runtime.plan import BatchPlan, ScenarioSpec
+
+__all__ = ["ExperimentEngine", "ScenarioResult"]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything the engine measured for one scenario."""
+
+    spec: ScenarioSpec
+    stats: HitStats
+    located: np.ndarray
+    session: SessionTrace
+    capture_seconds: float
+    locate_seconds: float
+    cpa_traces: int | None = None   # traces-to-rank-1, None = not run / failed
+    extras: dict = field(default_factory=dict)
+
+    def row(self) -> list[str]:
+        """A formatted table row (scenario, hits, FPs, |err|, CPA)."""
+        return [
+            self.spec.describe(),
+            f"{self.stats.hit_rate * 100:5.1f}%",
+            str(self.stats.false_positives),
+            f"{self.stats.mean_abs_error:.0f}",
+            "-" if self.cpa_traces is None else str(self.cpa_traces),
+        ]
+
+    @staticmethod
+    def header() -> list[str]:
+        return ["scenario", "hits", "false pos", "mean |err|", "CPA (N. COs)"]
+
+
+class ExperimentEngine:
+    """Sweeps scenario plans through the shared batched pipeline.
+
+    Parameters
+    ----------
+    dataset_scale:
+        Table-I dataset scale for locator training (see
+        :func:`repro.config.default_config`).
+    seed:
+        Engine seed: clone platforms and locator initialisation derive from
+        it; target platforms use each scenario's own seed.
+    locator_provider:
+        Optional ``(cipher, max_delay, noise_std) -> CryptoLocator``
+        override.  Benchmarks inject their session-wide locator cache here;
+        by default the engine trains with
+        :func:`repro.evaluation.experiments.train_locator` and caches per
+        condition.
+    method:
+        Sliding-window engine for location: ``"windowed"`` (training
+        faithful, default) or ``"dense"`` (fast batched trunk).
+    train_noise_ops, config_overrides:
+        Training knobs forwarded to the default provider.
+    """
+
+    def __init__(
+        self,
+        dataset_scale: float = 1 / 64,
+        seed: int = 0,
+        locator_provider=None,
+        method: str = "windowed",
+        train_noise_ops: int = 60_000,
+        config_overrides: "dict[str, PipelineConfig] | None" = None,
+        verbose: bool = False,
+    ) -> None:
+        self.dataset_scale = float(dataset_scale)
+        self.seed = int(seed)
+        self.method = method
+        self.train_noise_ops = int(train_noise_ops)
+        self.config_overrides = dict(config_overrides or {})
+        self.verbose = verbose
+        self._provider = locator_provider
+        self._locators: dict[tuple[str, int, float], CryptoLocator] = {}
+
+    # ------------------------------------------------------------------ #
+    # locator management                                                 #
+    # ------------------------------------------------------------------ #
+
+    def locator_for(self, cipher: str, max_delay: int, noise_std: float = 1.0,
+                    batch_size: int | None = None) -> CryptoLocator:
+        """The (cached) trained locator for one condition.
+
+        ``batch_size`` bounds the profiling-capture batches during
+        training; it does not change the trained locator (captures are
+        chunking-invariant), so it is not part of the cache key.
+        """
+        key = (cipher, int(max_delay), float(noise_std))
+        locator = self._locators.get(key)
+        if locator is None:
+            if self._provider is not None:
+                locator = self._provider(cipher, int(max_delay), float(noise_std))
+            else:
+                locator = self._train(cipher, int(max_delay), float(noise_std),
+                                      batch_size)
+            self._locators[key] = locator
+        return locator
+
+    def _train(self, cipher: str, max_delay: int, noise_std: float,
+               batch_size: int | None = None) -> CryptoLocator:
+        config = self.config_overrides.get(
+            cipher, default_config(cipher, self.dataset_scale)
+        )
+        if self.verbose:
+            print(f"[engine] training {cipher} RD-{max_delay} "
+                  f"sigma={noise_std:g} locator ...")
+        if noise_std == 1.0:
+            locator, _ = train_locator(
+                cipher, max_delay=max_delay, seed=self.seed, config=config,
+                noise_ops=self.train_noise_ops, batch_size=batch_size,
+            )
+            return locator
+        clone = self.platform_for(
+            ScenarioSpec(cipher=cipher, max_delay=max_delay,
+                         noise_std=noise_std, seed=self.seed),
+            clone=True,
+        )
+        locator = CryptoLocator(config, seed=self.seed + 1)
+        locator.fit_from_platform(clone, noise_ops=self.train_noise_ops,
+                                  batch_size=batch_size)
+        return locator
+
+    # ------------------------------------------------------------------ #
+    # capture / locate / attack                                          #
+    # ------------------------------------------------------------------ #
+
+    def platform_for(self, spec: ScenarioSpec, clone: bool = False) -> SimulatedPlatform:
+        """Build the (clone or target) platform for a scenario."""
+        oscilloscope = (
+            None if spec.noise_std == 1.0
+            else Oscilloscope(noise_std=spec.noise_std)
+        )
+        return SimulatedPlatform(
+            spec.cipher,
+            max_delay=spec.max_delay,
+            seed=self.seed if clone else spec.seed,
+            oscilloscope=oscilloscope,
+        )
+
+    def capture_session(self, spec: ScenarioSpec) -> SessionTrace:
+        """Capture one scenario's attack session via the batched path."""
+        target = self.platform_for(spec)
+        return target.capture_session_trace(
+            spec.n_cos, noise_interleaved=spec.noise_interleaved
+        )
+
+    def locate_sessions(
+        self,
+        locator: CryptoLocator,
+        sessions: "list[SessionTrace]",
+        batch_size: int,
+    ) -> "list[np.ndarray]":
+        """Locate COs in several sessions with one batched scoring pass."""
+        return locator.locate_many(
+            [session.trace for session in sessions],
+            method=self.method,
+            batch_size=batch_size,
+        )
+
+    def run(
+        self,
+        plan: BatchPlan,
+        with_cpa: bool = False,
+        aggregate: int = 64,
+    ) -> "list[ScenarioResult]":
+        """Execute a plan; returns one :class:`ScenarioResult` per scenario.
+
+        Scenarios sharing a condition reuse one locator and are located
+        together in ``plan.batch_size`` chunks.  Results come back in plan
+        order.
+        """
+        indices: dict[tuple[str, int, float], list[int]] = {}
+        for position, spec in enumerate(plan.scenarios):
+            indices.setdefault(spec.condition, []).append(position)
+        results: list[ScenarioResult | None] = [None] * len(plan.scenarios)
+        for condition, specs in plan.grouped():
+            positions = indices[condition]
+            locator = self.locator_for(*condition, batch_size=plan.batch_size)
+            tolerance = default_tolerance(locator.config)
+            sessions = []
+            capture_times = []
+            for spec in specs:
+                begin = time.perf_counter()
+                sessions.append(self.capture_session(spec))
+                capture_times.append(time.perf_counter() - begin)
+                if self.verbose:
+                    print(f"[engine] captured {spec.describe()} "
+                          f"({sessions[-1].trace.size} samples)")
+            begin = time.perf_counter()
+            located = self.locate_sessions(locator, sessions, plan.batch_size)
+            locate_seconds = (time.perf_counter() - begin) / max(len(specs), 1)
+            for position, spec, session, starts, capture_seconds in zip(
+                positions, specs, sessions, located, capture_times
+            ):
+                stats = match_hits(starts, session.true_starts, tolerance)
+                cpa = None
+                if with_cpa:
+                    cpa = run_cpa_scenario(
+                        locator, session, starts, aggregate=aggregate
+                    )
+                results[position] = ScenarioResult(
+                    spec=spec,
+                    stats=stats,
+                    located=starts,
+                    session=session,
+                    capture_seconds=capture_seconds,
+                    locate_seconds=locate_seconds,
+                    cpa_traces=cpa,
+                )
+        return results

@@ -1,0 +1,118 @@
+"""Scenario sweeps: what the experiment engine should run.
+
+A :class:`BatchPlan` is a declarative description of a sweep — the cross
+product of ciphers, random-delay configurations, noise interleaving, and
+oscilloscope noise levels — plus the batch size the engine's batched
+primitives should use.  Scenarios that share a *condition* (cipher, RD,
+SNR) also share a trained locator, so the plan exposes a grouped view the
+engine iterates to avoid redundant training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+__all__ = ["ScenarioSpec", "BatchPlan"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experimental condition for the capture→locate→attack pipeline."""
+
+    cipher: str = "aes"
+    max_delay: int = 4
+    noise_interleaved: bool = True
+    n_cos: int = 32
+    noise_std: float = 1.0          # oscilloscope acquisition noise (SNR knob)
+    seed: int = 1000                # target-platform seed (clone uses engine seed)
+
+    @property
+    def condition(self) -> tuple[str, int, float]:
+        """The locator-sharing key: (cipher, RD, oscilloscope noise)."""
+        return (self.cipher, self.max_delay, self.noise_std)
+
+    def describe(self) -> str:
+        """Human-readable scenario label for tables and logs."""
+        mode = "noise" if self.noise_interleaved else "consecutive"
+        label = f"{self.cipher} RD-{self.max_delay} {mode} x{self.n_cos}"
+        if self.noise_std != 1.0:
+            label += f" sigma={self.noise_std:g}"
+        return label
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """An ordered sweep of scenarios with a shared batching policy.
+
+    ``batch_size`` is forwarded to every batched primitive the engine
+    touches: profiling-capture chunking, and how many session traces share
+    one dense-trunk scoring pass.
+    """
+
+    scenarios: tuple[ScenarioSpec, ...] = field(default_factory=tuple)
+    batch_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+
+    @classmethod
+    def sweep(
+        cls,
+        ciphers: Iterable[str] = ("aes",),
+        max_delays: Iterable[int] = (4,),
+        interleaving: Iterable[bool] = (True, False),
+        n_cos: int = 32,
+        noise_stds: Iterable[float] = (1.0,),
+        base_seed: int = 1000,
+        batch_size: int = 32,
+    ) -> "BatchPlan":
+        """Cross product of the given axes, with per-scenario seeds.
+
+        Scenario order groups by (cipher, RD, SNR) so the engine trains
+        each condition's locator exactly once and reuses it across the
+        interleaving variants.
+        """
+        scenarios = []
+        index = 0
+        for cipher in ciphers:
+            for max_delay in max_delays:
+                for noise_std in noise_stds:
+                    for interleaved in interleaving:
+                        scenarios.append(ScenarioSpec(
+                            cipher=cipher,
+                            max_delay=int(max_delay),
+                            noise_interleaved=bool(interleaved),
+                            n_cos=int(n_cos),
+                            noise_std=float(noise_std),
+                            seed=base_seed + index,
+                        ))
+                        index += 1
+        return cls(scenarios=tuple(scenarios), batch_size=batch_size)
+
+    def with_batch_size(self, batch_size: int) -> "BatchPlan":
+        """A copy of the plan with a different batching policy."""
+        return replace(self, batch_size=batch_size)
+
+    def grouped(self) -> "list[tuple[tuple[str, int, float], list[ScenarioSpec]]]":
+        """Scenarios grouped by locator-sharing condition, in plan order."""
+        groups: dict[tuple[str, int, float], list[ScenarioSpec]] = {}
+        order: list[tuple[str, int, float]] = []
+        for spec in self.scenarios:
+            if spec.condition not in groups:
+                groups[spec.condition] = []
+                order.append(spec.condition)
+            groups[spec.condition].append(spec)
+        return [(condition, groups[condition]) for condition in order]
+
+    def conditions(self) -> "list[tuple[str, int, float]]":
+        """Unique locator-sharing conditions, in plan order."""
+        return [condition for condition, _ in self.grouped()]
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self):
+        return iter(self.scenarios)

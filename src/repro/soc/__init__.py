@@ -26,7 +26,12 @@ from repro.soc.leakage import HammingWeightLeakage, HammingDistanceLeakage, hamm
 from repro.soc.random_delay import RandomDelayCountermeasure
 from repro.soc.oscilloscope import Oscilloscope
 from repro.soc.noise_apps import NOISE_APPS, run_random_noise_program
-from repro.soc.trace_synth import OpStream, synthesize_trace
+from repro.soc.trace_synth import (
+    BatchOpStream,
+    OpStream,
+    synthesize_trace,
+    synthesize_traces,
+)
 from repro.soc.platform import CipherTrace, SessionTrace, SimulatedPlatform
 
 __all__ = [
@@ -39,7 +44,9 @@ __all__ = [
     "NOISE_APPS",
     "run_random_noise_program",
     "OpStream",
+    "BatchOpStream",
     "synthesize_trace",
+    "synthesize_traces",
     "CipherTrace",
     "SessionTrace",
     "SimulatedPlatform",

@@ -36,7 +36,7 @@ _M32 = 0xFFFFFFFF
 
 def bubble_sort_app(recorder: LeakageRecorder, rng: np.random.Generator, size: int = 24) -> list[int]:
     """Sort a random byte array with bubble sort, leaking every comparison."""
-    data = [int(v) for v in rng.integers(0, 256, size)]
+    data = rng.integers(0, 256, size).tolist()
     n = len(data)
     for i in range(n):
         for j in range(n - 1 - i):
@@ -50,14 +50,15 @@ def bubble_sort_app(recorder: LeakageRecorder, rng: np.random.Generator, size: i
 
 def matmul_app(recorder: LeakageRecorder, rng: np.random.Generator, dim: int = 6) -> list[list[int]]:
     """Integer matrix multiply with 32-bit accumulators."""
-    a = rng.integers(0, 256, (dim, dim))
-    b = rng.integers(0, 256, (dim, dim))
+    a = rng.integers(0, 256, (dim, dim)).tolist()
+    b = rng.integers(0, 256, (dim, dim)).tolist()
     out = [[0] * dim for _ in range(dim)]
     for i in range(dim):
+        row = a[i]
         for j in range(dim):
             acc = 0
             for k in range(dim):
-                prod = int(a[i, k]) * int(b[k, j])
+                prod = row[k] * b[k][j]
                 acc = (acc + prod) & _M32
                 recorder.record(prod, width=16, kind=OpKind.MUL)
                 recorder.record(acc, width=32, kind=OpKind.ALU)
@@ -68,8 +69,8 @@ def matmul_app(recorder: LeakageRecorder, rng: np.random.Generator, dim: int = 6
 def crc32_app(recorder: LeakageRecorder, rng: np.random.Generator, size: int = 48) -> int:
     """Bitwise CRC-32 (reflected 0xEDB88320) over a random buffer."""
     crc = _M32
-    for byte in rng.integers(0, 256, size):
-        crc ^= int(byte)
+    for byte in rng.integers(0, 256, size).tolist():
+        crc ^= byte
         recorder.record(crc & 0xFF, width=8, kind=OpKind.LOAD)
         for _ in range(8):
             lsb = crc & 1
@@ -102,18 +103,18 @@ def xorshift_app(recorder: LeakageRecorder, rng: np.random.Generator, count: int
 
 def memcpy_app(recorder: LeakageRecorder, rng: np.random.Generator, words: int = 48) -> list[int]:
     """Word-wise buffer copy (loads/stores leak the moved words)."""
-    src = [int(v) for v in rng.integers(0, 1 << 32, words, dtype=np.int64)]
-    dst = []
-    for w in src:
-        dst.append(w)
-        recorder.record(w, width=32, kind=OpKind.LOAD)
+    src = rng.integers(0, 1 << 32, words, dtype=np.int64).tolist()
+    dst = list(src)
+    # One homogeneous burst: the same (value, width, kind) stream as a
+    # per-word loop, recorded without per-element overhead.
+    recorder.record_many(src, width=32, kind=OpKind.LOAD)
     return dst
 
 
 def string_search_app(recorder: LeakageRecorder, rng: np.random.Generator, hay_len: int = 64) -> int:
     """Naive substring search over random bytes, leaking comparisons."""
-    hay = [int(v) for v in rng.integers(0, 8, hay_len)]
-    needle = [int(v) for v in rng.integers(0, 8, 3)]
+    hay = rng.integers(0, 8, hay_len).tolist()
+    needle = rng.integers(0, 8, 3).tolist()
     found = -1
     for i in range(hay_len - len(needle) + 1):
         match = True
@@ -131,8 +132,8 @@ def string_search_app(recorder: LeakageRecorder, rng: np.random.Generator, hay_l
 def adler32_app(recorder: LeakageRecorder, rng: np.random.Generator, size: int = 96) -> int:
     """Adler-32 checksum over random bytes (two 16-bit accumulators)."""
     a, b = 1, 0
-    for byte in rng.integers(0, 256, size):
-        a = (a + int(byte)) % 65521
+    for byte in rng.integers(0, 256, size).tolist():
+        a = (a + byte) % 65521
         b = (b + a) % 65521
         recorder.record(a, width=16, kind=OpKind.ALU)
         recorder.record(b, width=16, kind=OpKind.ALU)

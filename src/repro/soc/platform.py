@@ -16,6 +16,16 @@ capabilities:
   evaluation only.
 
 The random-delay countermeasure is active in every capture.
+
+Batched capture
+---------------
+Both multi-trace capture paths are batch-first: the cipher executions go
+through the vectorized ``encrypt_batch`` and one batched synthesis call,
+while every random draw (keys, plaintexts, masks, delay plans, acquisition
+noise) is consumed in exactly the order the scalar loop consumes it.  The
+batched captures are therefore **bit-identical** to the scalar reference
+path (``batched=False``) for the same seed — only faster.  The test suite
+enforces the equivalence.
 """
 
 from __future__ import annotations
@@ -25,16 +35,28 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.ciphers.base import LeakageRecorder
+from repro.ciphers.base import BatchLeakageRecorder, LeakageRecorder
 from repro.ciphers.registry import get_cipher
 from repro.soc.leakage import HammingWeightLeakage
 from repro.soc.noise_apps import run_random_noise_program
 from repro.soc.oscilloscope import Oscilloscope
 from repro.soc.random_delay import RandomDelayCountermeasure
-from repro.soc.trace_synth import OpStream, synthesize_trace
+from repro.soc.trace_synth import (
+    BatchOpStream,
+    OpStream,
+    synthesize_trace,
+    synthesize_traces,
+)
 from repro.soc.trng import TrngModel
 
 __all__ = ["CipherTrace", "SessionTrace", "SimulatedPlatform"]
+
+#: Default cap on traces per batched profiling capture.  Bounds the peak
+#: footprint of the batch arrays (op matrices, flat power/analog buffers,
+#: pre-drawn noise) at a few tens of MB while keeping the vectorization
+#: win; chunking does not change results (the per-trace randomness order
+#: is preserved across chunk boundaries).
+DEFAULT_CAPTURE_BATCH = 256
 
 
 @dataclass
@@ -98,6 +120,10 @@ class SimulatedPlatform:
         )
         self.leakage = leakage if leakage is not None else HammingWeightLeakage()
         self.oscilloscope = oscilloscope if oscilloscope is not None else Oscilloscope()
+        #: Datapath op count of one NOP-prologue + CO execution, keyed by
+        #: prologue length.  The instruction structure is input-independent,
+        #: so one probe encryption measures it for all captures.
+        self._co_ops_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # profiling captures (clone device)                                  #
@@ -139,16 +165,90 @@ class SimulatedPlatform:
         count: int,
         key: bytes | None = None,
         nop_header: int = 96,
+        batch_size: int | None = None,
+        batched: bool = True,
     ) -> list[CipherTrace]:
         """Capture ``count`` single-CO profiling traces.
 
         Keys and plaintexts are drawn fresh per capture unless a fixed key
         is supplied, matching the paper's "balanced between the key bytes"
         dataset construction.
+
+        The default path executes the COs through the vectorized
+        ``encrypt_batch`` and one batched synthesis call per ``batch_size``
+        chunk (:data:`DEFAULT_CAPTURE_BATCH` when ``None``, which bounds
+        peak memory for large profiling datasets); randomness is consumed
+        per trace in the scalar order, so results are bit-identical to
+        ``batched=False`` (the per-trace reference loop) for the same seed
+        regardless of the chunking.
         """
+        if count <= 0:
+            return []
+        if not batched:
+            return [
+                self.capture_cipher_trace(key=key, nop_header=nop_header)
+                for _ in range(count)
+            ]
+        chunk = (DEFAULT_CAPTURE_BATCH if batch_size is None
+                 else max(1, int(batch_size)))
+        captures: list[CipherTrace] = []
+        for begin in range(0, count, chunk):
+            captures.extend(
+                self._capture_cipher_batch(min(chunk, count - begin), key, nop_header)
+            )
+        return captures
+
+    def _capture_cipher_batch(
+        self, count: int, key: bytes | None, nop_header: int
+    ) -> list[CipherTrace]:
+        """One batched profiling capture of ``count`` traces.
+
+        Phase 1 draws each trace's randomness in the scalar order (key,
+        plaintext, delay plan, acquisition noise — trace by trace); phase 2
+        runs the vectorized cipher batch; phase 3 synthesises all traces
+        through one batched measurement-chain call.
+        """
+        oscilloscope = self.oscilloscope
+        n32 = self._co_datapath_ops(nop_header)
+        keys: list[bytes] = []
+        plaintexts: list[bytes] = []
+        plans = []
+        noise: list[np.ndarray | None] = []
+        for _ in range(count):
+            keys.append(key if key is not None else self._random_block())
+            plaintexts.append(self._random_block())
+            plan = self.countermeasure.plan(n32)
+            plans.append(plan)
+            if oscilloscope.noise_std > 0:
+                noise.append(self._rng.normal(
+                    0.0, oscilloscope.noise_std,
+                    oscilloscope.noise_samples_for_ops(plan.total),
+                ))
+            else:
+                noise.append(None)
+
+        recorder = BatchLeakageRecorder(count)
+        recorder.record_nops(nop_header)
+        marker_op = len(recorder)
+        self.cipher.encrypt_batch(plaintexts, keys, recorder)
+        traces, marker_samples = synthesize_traces(
+            BatchOpStream.from_recorder(recorder),
+            np.array([marker_op]),
+            self.countermeasure,
+            self.leakage,
+            oscilloscope,
+            self._rng,
+            plans=plans,
+            noise=noise,
+        )
         return [
-            self.capture_cipher_trace(key=key, nop_header=nop_header)
-            for _ in range(count)
+            CipherTrace(
+                trace=traces[b],
+                co_start=int(marker_samples[b][0]),
+                plaintext=plaintexts[b],
+                key=keys[b],
+            )
+            for b in range(count)
         ]
 
     def capture_noise_trace(self, min_ops: int = 50_000) -> np.ndarray:
@@ -177,6 +277,7 @@ class SimulatedPlatform:
         noise_ops: tuple[int, int] = (400, 1600),
         lead_ops: int = 300,
         gap_ops: int = 8,
+        batched: bool = True,
     ) -> SessionTrace:
         """Capture a long trace containing ``n_cos`` CO executions.
 
@@ -186,7 +287,83 @@ class SimulatedPlatform:
         ``False``, the COs run back-to-back separated only by ``gap_ops``
         loop-overhead operations.  Plaintexts are random and recorded in the
         result, as an attacker observing the I/O would know them.
+
+        The default path records the noise/gap segments individually (in
+        the scalar draw order), runs all COs through the vectorized
+        ``encrypt_batch``, splices the streams back together, and
+        synthesises once — bit-identical to ``batched=False`` for the same
+        seed.
         """
+        if not batched or n_cos < 1:
+            return self._capture_session_trace_scalar(
+                n_cos, key, noise_interleaved, noise_ops, lead_ops, gap_ops
+            )
+        key = key if key is not None else self._random_block()
+        lead = LeakageRecorder()
+        run_random_noise_program(lead, self._rng, lead_ops)
+        plaintexts: list[bytes] = []
+        gap_streams: list[OpStream] = []
+        for i in range(n_cos):
+            plaintexts.append(self._random_block())
+            if i != n_cos - 1:
+                gap = LeakageRecorder()
+                if noise_interleaved:
+                    span = int(self._rng.integers(noise_ops[0], noise_ops[1] + 1))
+                    run_random_noise_program(gap, self._rng, span)
+                else:
+                    # Loop overhead between back-to-back encryptions.
+                    for counter in range(gap_ops):
+                        gap.record(i * gap_ops + counter, width=32)
+                gap_streams.append(OpStream.from_recorder(gap))
+        tail = LeakageRecorder()
+        run_random_noise_program(tail, self._rng, lead_ops)
+
+        recorder = BatchLeakageRecorder(n_cos)
+        ciphertexts = self.cipher.encrypt_batch(plaintexts, key, recorder)
+        batch_stream = BatchOpStream.from_recorder(recorder)
+        co_ops = len(batch_stream)
+
+        lead_stream = OpStream.from_recorder(lead)
+        segments: list[OpStream] = [lead_stream]
+        marker_ops: list[int] = []
+        position = len(lead_stream)
+        for i in range(n_cos):
+            marker_ops.append(position)
+            segments.append(batch_stream.row(i))
+            position += co_ops
+            if i != n_cos - 1:
+                segments.append(gap_streams[i])
+                position += len(gap_streams[i])
+        segments.append(OpStream.from_recorder(tail))
+
+        trace, marker_samples = synthesize_trace(
+            OpStream.concatenate(segments),
+            np.asarray(marker_ops, dtype=np.int64),
+            self.countermeasure,
+            self.leakage,
+            self.oscilloscope,
+            self._rng,
+        )
+        return SessionTrace(
+            trace=trace,
+            true_starts=marker_samples,
+            plaintexts=plaintexts,
+            ciphertexts=[ciphertexts[i].tobytes() for i in range(n_cos)],
+            key=key,
+            rd_name=self.countermeasure.config_name,
+            noise_interleaved=noise_interleaved,
+        )
+
+    def _capture_session_trace_scalar(
+        self,
+        n_cos: int,
+        key: bytes | None,
+        noise_interleaved: bool,
+        noise_ops: tuple[int, int],
+        lead_ops: int,
+        gap_ops: int,
+    ) -> SessionTrace:
+        """Per-CO reference implementation (kept for equivalence testing)."""
         key = key if key is not None else self._random_block()
         recorder = LeakageRecorder()
         marker_ops: list[int] = []
@@ -252,6 +429,27 @@ class SimulatedPlatform:
             )
             lengths.append(trace.size)
         return int(np.mean(lengths))
+
+    def _co_datapath_ops(self, nop_header: int) -> int:
+        """Datapath op count of one prologue + CO capture (probed once).
+
+        Uses a throwaway cipher instance so the probe perturbs neither the
+        platform generator nor the live cipher's mask randomness; valid
+        because every registered cipher records an input-independent
+        instruction structure.
+        """
+        cached = self._co_ops_cache.get(nop_header)
+        if cached is None:
+            probe = get_cipher(self.cipher_name)
+            recorder = LeakageRecorder()
+            recorder.record_nops(nop_header)
+            probe.encrypt(
+                bytes(probe.block_size), bytes(probe.key_size), recorder
+            )
+            values32, _, _ = OpStream.from_recorder(recorder).to_datapath_ops()
+            cached = int(values32.size)
+            self._co_ops_cache[nop_header] = cached
+        return cached
 
     def _random_block(self) -> bytes:
         return self._rng.bytes(self.cipher.block_size)

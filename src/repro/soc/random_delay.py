@@ -24,7 +24,7 @@ import numpy as np
 from repro.ciphers.base import OpKind
 from repro.soc.trng import TrngModel
 
-__all__ = ["RandomDelayCountermeasure", "DUMMY_KIND_POOL"]
+__all__ = ["RandomDelayCountermeasure", "DelayPlan", "DUMMY_KIND_POOL"]
 
 #: Instruction kinds the hardware inserter draws from.  A real random-delay
 #: unit issues innocuous-looking arithmetic, shifts and multiplies; it does
@@ -41,6 +41,28 @@ class _DelayedStream:
     kinds: np.ndarray         # uint8, instruction kinds
     is_dummy: np.ndarray      # bool, True where an op was inserted
     new_positions: np.ndarray  # int64, index of each original op in `values`
+
+
+@dataclass(frozen=True)
+class DelayPlan:
+    """All TRNG decisions for delaying one ``n_ops``-long stream.
+
+    Separating the random *plan* from its *execution* lets the batched
+    capture path pre-draw every trace's randomness in the exact stream
+    order the scalar path consumes it, then scatter the (later-computed)
+    real operation values in bulk.  ``RandomDelayCountermeasure.apply``
+    is plan + execute, so the two paths are bit-identical by construction.
+    """
+
+    n_ops: int                 # original stream length
+    total: int                 # delayed stream length
+    new_positions: np.ndarray  # int64 (n_ops,): index of each original op
+    dummy_values: np.ndarray   # uint64 (total - n_ops,)
+    dummy_kinds: np.ndarray    # uint8 (total - n_ops,)
+
+    @property
+    def n_dummy(self) -> int:
+        return self.total - self.n_ops
 
 
 class RandomDelayCountermeasure:
@@ -61,44 +83,88 @@ class RandomDelayCountermeasure:
         """The paper's name for this configuration (RD-0 / RD-2 / RD-4)."""
         return f"RD-{self.max_delay}"
 
+    def plan(self, n_ops: int) -> DelayPlan:
+        """Draw every TRNG decision needed to delay an ``n_ops`` stream.
+
+        Consumes the TRNG in exactly the order :meth:`apply` does (delay
+        counts, then dummy operand values, then dummy kinds), so planning
+        traces one by one matches the scalar path bit for bit.
+        """
+        if n_ops < 0:
+            raise ValueError("n_ops must be non-negative")
+        empty_positions = np.arange(n_ops, dtype=np.int64)
+        if n_ops == 0 or self.max_delay == 0:
+            return DelayPlan(
+                n_ops=n_ops,
+                total=n_ops,
+                new_positions=empty_positions,
+                dummy_values=np.zeros(0, dtype=np.uint64),
+                dummy_kinds=np.zeros(0, dtype=np.uint8),
+            )
+        # One gap before each op except the first.
+        counts = self.trng.uniform_ints(0, self.max_delay, n_ops - 1)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        new_positions = empty_positions + offsets
+        total = n_ops + int(counts.sum())
+        n_dummy = total - n_ops
+        if n_dummy:
+            dummy_values = self.trng.random_words(n_dummy, width=32)
+            pool = np.asarray(DUMMY_KIND_POOL, dtype=np.uint8)
+            picks = self.trng.uniform_ints(0, len(pool) - 1, n_dummy)
+            dummy_kinds = pool[picks]
+        else:
+            dummy_values = np.zeros(0, dtype=np.uint64)
+            dummy_kinds = np.zeros(0, dtype=np.uint8)
+        return DelayPlan(
+            n_ops=n_ops,
+            total=total,
+            new_positions=new_positions,
+            dummy_values=dummy_values,
+            dummy_kinds=dummy_kinds,
+        )
+
+    def execute(self, plan: DelayPlan, values: np.ndarray,
+                kinds: np.ndarray) -> _DelayedStream:
+        """Scatter real (value, kind) operations through a drawn plan."""
+        values = np.asarray(values, dtype=np.uint64)
+        kinds = np.asarray(kinds, dtype=np.uint8)
+        if values.shape != kinds.shape:
+            raise ValueError("values and kinds must have the same length")
+        if values.size != plan.n_ops:
+            raise ValueError(
+                f"plan was drawn for {plan.n_ops} ops, got {values.size}"
+            )
+        if plan.total == plan.n_ops:
+            return _DelayedStream(
+                values=values.copy(),
+                kinds=kinds.copy(),
+                is_dummy=np.zeros(plan.n_ops, dtype=bool),
+                new_positions=plan.new_positions,
+            )
+        out_values = np.empty(plan.total, dtype=np.uint64)
+        out_kinds = np.empty(plan.total, dtype=np.uint8)
+        is_dummy = np.ones(plan.total, dtype=bool)
+        out_values[plan.new_positions] = values
+        out_kinds[plan.new_positions] = kinds
+        is_dummy[plan.new_positions] = False
+        out_values[is_dummy] = plan.dummy_values
+        out_kinds[is_dummy] = plan.dummy_kinds
+        return _DelayedStream(
+            values=out_values,
+            kinds=out_kinds,
+            is_dummy=is_dummy,
+            new_positions=plan.new_positions,
+        )
+
     def apply(self, values: np.ndarray, kinds: np.ndarray) -> _DelayedStream:
         """Apply the countermeasure to a stream of (value, kind) operations.
 
         Returns the expanded stream together with the mapping from original
-        op index to its position in the expanded stream.
+        op index to its position in the expanded stream.  Equivalent to
+        :meth:`plan` followed by :meth:`execute`.
         """
         values = np.asarray(values, dtype=np.uint64)
         kinds = np.asarray(kinds, dtype=np.uint8)
         if values.shape != kinds.shape:
             raise ValueError("values and kinds must have the same length")
-        n = values.size
-        if n == 0 or self.max_delay == 0:
-            return _DelayedStream(
-                values=values.copy(),
-                kinds=kinds.copy(),
-                is_dummy=np.zeros(n, dtype=bool),
-                new_positions=np.arange(n, dtype=np.int64),
-            )
-        # One gap before each op except the first.
-        counts = self.trng.uniform_ints(0, self.max_delay, n - 1)
-        offsets = np.concatenate(([0], np.cumsum(counts)))
-        new_positions = np.arange(n, dtype=np.int64) + offsets
-        total = n + int(counts.sum())
-        out_values = np.empty(total, dtype=np.uint64)
-        out_kinds = np.empty(total, dtype=np.uint8)
-        is_dummy = np.ones(total, dtype=bool)
-        out_values[new_positions] = values
-        out_kinds[new_positions] = kinds
-        is_dummy[new_positions] = False
-        n_dummy = total - n
-        if n_dummy:
-            out_values[is_dummy] = self.trng.random_words(n_dummy, width=32)
-            pool = np.asarray(DUMMY_KIND_POOL, dtype=np.uint8)
-            picks = self.trng.uniform_ints(0, len(pool) - 1, n_dummy)
-            out_kinds[is_dummy] = pool[picks]
-        return _DelayedStream(
-            values=out_values,
-            kinds=out_kinds,
-            is_dummy=is_dummy,
-            new_positions=new_positions,
-        )
+        return self.execute(self.plan(values.size), values, kinds)

@@ -6,22 +6,54 @@ down to the 32-bit datapath, applies the random-delay countermeasure, runs
 the leakage model, and captures the result through the oscilloscope — all
 while tracking where caller-designated *marker* operations (CO starts) end
 up in the final sample stream.
+
+Two synthesis entry points share one implementation of the chain:
+
+* :func:`synthesize_trace` — one operation stream, one trace;
+* :func:`synthesize_traces` — a :class:`BatchOpStream` of ``B`` parallel
+  streams sharing one width/kind structure.  Datapath compilation, leakage
+  modelling, pulse shaping, and quantisation run vectorized over the whole
+  batch; the per-trace random decisions (delay plans, acquisition noise)
+  are consumed in batch order, which makes the batched result *bit
+  identical* to calling :func:`synthesize_trace` per row with the same
+  generators — a property the test suite enforces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.ciphers.base import LeakageRecorder
+from repro.ciphers.base import BatchLeakageRecorder, LeakageRecorder
 from repro.soc.leakage import HammingWeightLeakage
 from repro.soc.oscilloscope import Oscilloscope
-from repro.soc.random_delay import RandomDelayCountermeasure
+from repro.soc.random_delay import DelayPlan, RandomDelayCountermeasure
 
-__all__ = ["OpStream", "synthesize_trace"]
+__all__ = ["OpStream", "BatchOpStream", "synthesize_trace", "synthesize_traces"]
 
 _M32 = np.uint64(0xFFFFFFFF)
+
+
+def _expand_datapath(values: np.ndarray, widths: np.ndarray,
+                     kinds: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compile (values, widths, kinds) to the 32-bit datapath.
+
+    ``values`` may be ``(N,)`` or batched ``(B, N)``; widths/kinds are
+    ``(N,)`` and shared.  Operations wider than 32 bits become two
+    operations (low word then high word) of the same kind, as on an RV32
+    core.  Returns ``(values32, kinds32, op_starts)`` where ``op_starts[i]``
+    is the datapath index of original op ``i``.
+    """
+    widths64 = widths.astype(np.int64)
+    chunks = np.where(widths64 > 32, 2, 1)
+    starts = np.concatenate(([0], np.cumsum(chunks)[:-1]))
+    idx = np.repeat(np.arange(widths64.size, dtype=np.int64), chunks)
+    within = np.arange(idx.size, dtype=np.int64) - starts[idx]
+    vals = values[..., idx]
+    out = np.where(within == 0, vals & _M32, vals >> np.uint64(32))
+    return out.astype(np.uint64), kinds[idx], starts
 
 
 @dataclass
@@ -61,14 +93,61 @@ class OpStream:
         ``(values32, kinds32, op_starts)`` where ``op_starts[i]`` is the
         datapath index of original op ``i``.
         """
-        widths = self.widths.astype(np.int64)
-        chunks = np.where(widths > 32, 2, 1)
-        starts = np.concatenate(([0], np.cumsum(chunks)[:-1]))
-        idx = np.repeat(np.arange(len(self), dtype=np.int64), chunks)
-        within = np.arange(idx.size, dtype=np.int64) - starts[idx]
-        vals = self.values[idx]
-        out = np.where(within == 0, vals & _M32, vals >> np.uint64(32))
-        return out.astype(np.uint64), self.kinds[idx], starts
+        return _expand_datapath(self.values, self.widths, self.kinds)
+
+
+@dataclass
+class BatchOpStream:
+    """``B`` parallel operation streams sharing one width/kind structure.
+
+    The batch analogue of :class:`OpStream`: ``values`` is ``(B, N)`` while
+    ``widths``/``kinds`` are ``(N,)`` and describe every trace (valid
+    because the instrumented ciphers execute input-independent instruction
+    sequences).
+    """
+
+    values: np.ndarray  # (B, N) uint64
+    widths: np.ndarray  # (N,) uint8
+    kinds: np.ndarray   # (N,) uint8
+
+    @classmethod
+    def from_recorder(cls, recorder: BatchLeakageRecorder) -> "BatchOpStream":
+        """Snapshot a batch recorder's accumulated operations."""
+        values, widths, kinds = recorder.as_batch_arrays()
+        return cls(values=values, widths=widths, kinds=kinds)
+
+    @classmethod
+    def from_streams(cls, streams: Sequence[OpStream]) -> "BatchOpStream":
+        """Stack per-trace streams that share one width/kind structure."""
+        if not streams:
+            raise ValueError("need at least one stream")
+        widths, kinds = streams[0].widths, streams[0].kinds
+        for stream in streams[1:]:
+            if not (np.array_equal(stream.widths, widths)
+                    and np.array_equal(stream.kinds, kinds)):
+                raise ValueError("streams disagree on op structure; cannot batch")
+        return cls(
+            values=np.stack([s.values for s in streams]),
+            widths=widths,
+            kinds=kinds,
+        )
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.values.shape[0])
+
+    def __len__(self) -> int:
+        """Operations per trace (the shared stream length N)."""
+        return int(self.values.shape[1])
+
+    def row(self, index: int) -> OpStream:
+        """A single trace's stream (views into the batch arrays)."""
+        return OpStream(values=self.values[index], widths=self.widths,
+                        kinds=self.kinds)
+
+    def to_datapath_ops(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched 32-bit datapath compilation: ``values32`` is ``(B, N32)``."""
+        return _expand_datapath(self.values, self.widths, self.kinds)
 
 
 def synthesize_trace(
@@ -109,3 +188,92 @@ def synthesize_trace(
     marker_ops = delayed.new_positions[op_starts[markers]] if markers.size else markers
     marker_samples = oscilloscope.op_to_sample(marker_ops)
     return trace, np.asarray(marker_samples, dtype=np.int64)
+
+
+def synthesize_traces(
+    stream: BatchOpStream,
+    markers: np.ndarray | Sequence[np.ndarray],
+    countermeasure: RandomDelayCountermeasure,
+    leakage: HammingWeightLeakage,
+    oscilloscope: Oscilloscope,
+    rng: np.random.Generator,
+    plans: Sequence[DelayPlan] | None = None,
+    noise: Sequence[np.ndarray | None] | None = None,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Synthesise one power trace per row of a batched operation stream.
+
+    Parameters
+    ----------
+    stream:
+        ``B`` parallel operation streams with shared width/kind structure.
+    markers:
+        Either one ``(M,)`` marker array applied to every trace, or a
+        sequence of ``B`` per-trace marker arrays (indices into the shared
+        op stream).
+    countermeasure, leakage, oscilloscope, rng:
+        The measurement chain, as in :func:`synthesize_trace`.
+    plans:
+        Optional pre-drawn per-trace :class:`DelayPlan` list.  When absent,
+        plans are drawn here, trace by trace — the same TRNG consumption
+        order as ``B`` sequential :func:`synthesize_trace` calls.
+    noise:
+        Optional pre-drawn per-trace acquisition noise (see
+        :meth:`Oscilloscope.capture_batch`).
+
+    Returns
+    -------
+    (traces, marker_samples):
+        ``B`` captured traces (float32, per-trace lengths vary with the
+        inserted delays) and ``B`` per-trace marker sample arrays.
+
+    The result is bit-identical to calling :func:`synthesize_trace` on each
+    ``stream.row(b)`` in order with the same generators; only the work is
+    batched (datapath compilation once, leakage/pulse/ADC over the
+    concatenated batch, randomness consumed per trace in order).
+    """
+    batch = stream.batch_size
+    n_ops = len(stream)
+    if isinstance(markers, np.ndarray):
+        per_trace_markers = [np.asarray(markers, dtype=np.int64)] * batch
+    else:
+        items = list(markers)
+        if items and not np.isscalar(items[0]):
+            per_trace_markers = [np.asarray(m, dtype=np.int64) for m in items]
+            if len(per_trace_markers) != batch:
+                raise ValueError(
+                    f"{len(per_trace_markers)} marker arrays for batch of {batch}"
+                )
+        else:
+            per_trace_markers = [np.asarray(items, dtype=np.int64)] * batch
+    for marks in per_trace_markers:
+        if marks.size and (marks.min() < 0 or marks.max() >= n_ops):
+            raise IndexError("marker index outside the operation stream")
+
+    values32, kinds32, op_starts = stream.to_datapath_ops()
+    n32 = values32.shape[-1]
+    if plans is None:
+        plans = [countermeasure.plan(n32) for _ in range(batch)]
+    elif len(plans) != batch:
+        raise ValueError(f"{len(plans)} delay plans for batch of {batch}")
+
+    delayed_values: list[np.ndarray] = []
+    delayed_kinds: list[np.ndarray] = []
+    for b in range(batch):
+        delayed = countermeasure.execute(plans[b], values32[b], kinds32)
+        delayed_values.append(delayed.values)
+        delayed_kinds.append(delayed.kinds)
+    flat_values = np.concatenate(delayed_values) if batch > 1 else delayed_values[0]
+    flat_kinds = np.concatenate(delayed_kinds) if batch > 1 else delayed_kinds[0]
+    flat_power = leakage.power(flat_values, flat_kinds)
+    lengths = [v.size for v in delayed_values]
+    splits = np.cumsum(lengths)[:-1]
+    powers = np.split(flat_power, splits)
+    traces = oscilloscope.capture_batch(powers, rng, noise=noise)
+
+    marker_samples: list[np.ndarray] = []
+    for b, marks in enumerate(per_trace_markers):
+        marker_ops = plans[b].new_positions[op_starts[marks]] if marks.size else marks
+        marker_samples.append(
+            np.asarray(oscilloscope.op_to_sample(marker_ops), dtype=np.int64)
+        )
+    return traces, marker_samples

@@ -98,3 +98,48 @@ class TestEngines:
         bogus.network = Sequential(Linear(4, 2, rng=rng))
         with pytest.raises(ValueError):
             SlidingWindowClassifier(bogus, window=64, stride=8)
+
+
+class TestScoreBatch:
+    def test_dense_batch_matches_single_traces(self, cnn, rng):
+        """Batched trunk scoring agrees with per-trace dense scoring.
+
+        Zero padding is exact for the trunk's "same"-padded convolutions;
+        the only difference is FFT-length rounding, so the tolerance is a
+        small fraction of the score scale.
+        """
+        classifier = SlidingWindowClassifier(cnn, 128, 16, method="dense",
+                                             chunk_size=1024)
+        traces = [rng.normal(0, 1, n).astype(np.float32)
+                  for n in (2000, 900, 100, 50, 3000)]
+        batch = classifier.score_batch(traces)
+        for trace, swc in zip(traces, batch):
+            single = classifier.score_trace(trace)
+            assert swc.shape == single.shape
+            if single.size:
+                np.testing.assert_allclose(swc, single, atol=5e-2)
+                if single.size > 1 and np.std(single) > 1e-6:
+                    assert np.corrcoef(swc, single)[0, 1] > 0.999
+
+    def test_windowed_batch_matches_single_traces(self, cnn, rng):
+        classifier = SlidingWindowClassifier(cnn, 64, 16, method="windowed")
+        traces = [rng.normal(0, 1, n).astype(np.float32) for n in (500, 300)]
+        batch = classifier.score_batch(traces)
+        for trace, swc in zip(traces, batch):
+            np.testing.assert_array_equal(swc, classifier.score_trace(trace))
+
+    def test_empty_batch(self, cnn):
+        classifier = SlidingWindowClassifier(cnn, 64, 16)
+        assert classifier.score_batch([]) == []
+
+    def test_all_short_traces(self, cnn, rng):
+        classifier = SlidingWindowClassifier(cnn, 64, 16)
+        batch = classifier.score_batch(
+            [rng.normal(0, 1, 10).astype(np.float32) for _ in range(3)]
+        )
+        assert [swc.size for swc in batch] == [0, 0, 0]
+
+    def test_rejects_2d_traces(self, cnn):
+        classifier = SlidingWindowClassifier(cnn, 64, 16)
+        with pytest.raises(ValueError):
+            classifier.score_batch([np.zeros((2, 100), dtype=np.float32)])

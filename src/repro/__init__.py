@@ -11,12 +11,16 @@ The package is organised in layers:
   ResNet classifier, sliding-window classification, segmentation, alignment,
   and the end-to-end :class:`~repro.core.locator.CryptoLocator`;
 * :mod:`repro.attacks` — CPA/DPA and key-rank evaluation;
+* :mod:`repro.campaign` — streaming attack primitives: constant-memory
+  online CPA/DPA accumulators and the on-disk
+  :class:`~repro.campaign.store.TraceStore`;
 * :mod:`repro.baselines` — the state-of-the-art locators the paper compares
   against (matched filter [10], semi-automatic [11]);
 * :mod:`repro.evaluation` — hit-rate scoring and experiment harnesses;
 * :mod:`repro.runtime` — the batch-first scenario-sweep engine
   (:class:`~repro.runtime.ExperimentEngine` + :class:`~repro.runtime.BatchPlan`)
-  driving capture→locate→attack through the batched primitives;
+  driving capture→locate→attack through the batched primitives, plus the
+  resumable streaming :class:`~repro.runtime.AttackCampaign`;
 * :mod:`repro.config` — per-cipher pipeline parameters mirroring Table I.
 """
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands mirror the attacker workflow on the simulated platform:
+Five commands mirror the attacker workflow on the simulated platform:
 
 * ``train``  — profile a clone device and train a locator, saving it to
   an ``.npz`` artefact;
@@ -9,7 +9,11 @@ Four commands mirror the attacker workflow on the simulated platform:
 * ``attack`` — the full Table-II flow: locate, align, CPA, key recovery;
 * ``bench``  — sweep scenarios (cipher x RD x interleaving x SNR) through
   the batched :class:`~repro.runtime.ExperimentEngine` and print a
-  Table-II-style summary.
+  Table-II-style summary;
+* ``campaign`` — a streaming attack campaign: capture batches flow into a
+  constant-memory online CPA (and optionally an on-disk trace store),
+  with geometric key-rank checkpoints and early stopping; re-running with
+  the same ``--store`` resumes where the store left off.
 """
 
 from __future__ import annotations
@@ -138,6 +142,59 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if worst >= 0.5 else 1
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """``repro campaign``: streaming capture→store→accumulate→rank attack."""
+    from repro.campaign import TraceStore
+    from repro.evaluation import format_campaign
+    from repro.runtime.campaign import AttackCampaign, PlatformSegmentSource
+    from repro.soc.oscilloscope import Oscilloscope
+
+    oscilloscope = (
+        None if args.noise_std == 1.0 else Oscilloscope(noise_std=args.noise_std)
+    )
+    platform = SimulatedPlatform(
+        args.cipher, max_delay=args.rd, seed=args.seed, oscilloscope=oscilloscope
+    )
+    source = PlatformSegmentSource(
+        platform, segment_length=args.segment_length, batch_size=args.batch_size
+    )
+    store = None
+    if args.store is not None:
+        store = TraceStore.open_or_create(
+            args.store,
+            n_samples=source.n_samples,
+            block_size=source.block_size,
+            key=source.true_key,
+            meta={"cipher": args.cipher, "rd": args.rd, "seed": args.seed},
+        )
+        print(f"store: {store.path} ({len(store)} traces on disk)")
+    campaign = AttackCampaign(
+        source,
+        store=store,
+        aggregate=args.aggregate,
+        first_checkpoint=args.first_checkpoint,
+        checkpoint_growth=args.growth,
+        rank1_patience=args.patience,
+        batch_size=args.batch_size,
+    )
+    if campaign.resumed_from:
+        print(f"resumed {campaign.resumed_from} traces from the store")
+    print(f"campaign: {args.cipher} RD-{args.rd}, "
+          f"{source.n_samples}-sample segments, aggregate {args.aggregate}, "
+          f"<= {args.traces} traces")
+    result = campaign.run(args.traces, verbose=True)
+    print()
+    print(format_campaign(result))
+    print()
+    print(f"true key      : {result.true_key.hex()}")
+    print(f"recovered key : {result.recovered_key.hex()}")
+    print(result.summary())
+    if store is not None:
+        print(f"store now holds {len(store)} traces "
+              f"({store.nbytes() / 1e6:.1f} MB on disk)")
+    return 0 if result.traces_to_rank1 is not None else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -188,6 +245,40 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--scale", type=float, default=1 / 32,
                          help="dataset scale relative to Table I")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="streaming online-CPA campaign with an optional on-disk store",
+    )
+    p_campaign.add_argument(
+        "--cipher", default="aes",
+        choices=("aes", "aes_masked", "camellia", "clefia", "simon"))
+    p_campaign.add_argument(
+        "--rd", type=int, default=0, choices=(0, 2, 4),
+        help="random-delay configuration (RD-2/RD-4 need tens of thousands "
+             "of traces to converge — that is what the streaming pipeline "
+             "is for)")
+    p_campaign.add_argument("--seed", type=int, default=0)
+    p_campaign.add_argument("--traces", type=int, default=512,
+                            help="trace budget (resumed traces included)")
+    p_campaign.add_argument("--store", default=None,
+                            help="trace-store directory; reuse to resume")
+    p_campaign.add_argument("--segment-length", type=int, default=None,
+                            help="samples per segment (default: mean CO length)")
+    p_campaign.add_argument("--aggregate", type=int, default=8,
+                            help="CPA time-aggregation width (use ~32-64 "
+                                 "under RD-2/RD-4)")
+    p_campaign.add_argument("--batch-size", type=int, default=256,
+                            help="traces per capture batch")
+    p_campaign.add_argument("--first-checkpoint", type=int, default=25)
+    p_campaign.add_argument("--growth", type=float, default=1.5,
+                            help="checkpoint ladder growth factor")
+    p_campaign.add_argument("--patience", type=int, default=2,
+                            help="consecutive rank-1 checkpoints before "
+                                 "early stop")
+    p_campaign.add_argument("--noise-std", type=float, default=1.0,
+                            help="oscilloscope acquisition noise")
+    p_campaign.set_defaults(func=cmd_campaign)
 
     args = parser.parse_args(argv)
     return args.func(args)

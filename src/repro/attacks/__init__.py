@@ -19,6 +19,7 @@ from repro.attacks.dpa import dpa_byte_difference
 from repro.attacks.key_rank import (
     key_byte_rank,
     full_key_ranks,
+    geometric_checkpoints,
     traces_to_rank1,
 )
 from repro.attacks.assessment import (
@@ -36,6 +37,7 @@ __all__ = [
     "dpa_byte_difference",
     "key_byte_rank",
     "full_key_ranks",
+    "geometric_checkpoints",
     "traces_to_rank1",
     "TVLA_THRESHOLD",
     "snr_by_sample",

@@ -59,7 +59,11 @@ class CpaByteResult:
 
 
 class CpaAttack:
-    """Full 16-byte CPA on AES-128 aligned segments.
+    """Full-key CPA on aligned segments (one S-box hypothesis per byte).
+
+    The number of key bytes is derived from the plaintext width, so the
+    same attack covers AES-128's 16 bytes and any other block width whose
+    per-byte leakage follows the S-box model.
 
     Parameters
     ----------
@@ -83,10 +87,12 @@ class CpaAttack:
     def attack_byte(
         self, traces: np.ndarray, plaintexts: np.ndarray, byte_index: int
     ) -> CpaByteResult:
-        """Attack one key byte; plaintexts is ``(n, 16)`` uint8."""
-        plaintexts = np.asarray(plaintexts, dtype=np.uint8)
-        if not 0 <= byte_index < 16:
-            raise ValueError("byte_index must be in [0, 16)")
+        """Attack one key byte; plaintexts is ``(n, n_bytes)`` uint8."""
+        plaintexts = _as_plaintext_matrix(plaintexts)
+        if not 0 <= byte_index < plaintexts.shape[1]:
+            raise ValueError(
+                f"byte_index must be in [0, {plaintexts.shape[1]})"
+            )
         corr = cpa_byte_correlation(self._prepare(traces), plaintexts[:, byte_index])
         scores = np.abs(corr).max(axis=1)
         best = int(np.argmax(scores))
@@ -97,11 +103,11 @@ class CpaAttack:
         )
 
     def attack(self, traces: np.ndarray, plaintexts: np.ndarray) -> list[CpaByteResult]:
-        """Attack all 16 key bytes; returns one result per byte."""
+        """Attack every key byte the plaintext width implies."""
         prepared = self._prepare(traces)
-        plaintexts = np.asarray(plaintexts, dtype=np.uint8)
+        plaintexts = _as_plaintext_matrix(plaintexts)
         results = []
-        for byte_index in range(16):
+        for byte_index in range(plaintexts.shape[1]):
             corr = cpa_byte_correlation(prepared, plaintexts[:, byte_index])
             scores = np.abs(corr).max(axis=1)
             best = int(np.argmax(scores))
@@ -115,5 +121,14 @@ class CpaAttack:
         return results
 
     def recovered_key(self, traces: np.ndarray, plaintexts: np.ndarray) -> bytes:
-        """The most likely 16-byte key."""
+        """The most likely key (one byte per plaintext column)."""
         return bytes(result.best_guess for result in self.attack(traces, plaintexts))
+
+
+def _as_plaintext_matrix(plaintexts: np.ndarray) -> np.ndarray:
+    plaintexts = np.asarray(plaintexts, dtype=np.uint8)
+    if plaintexts.ndim != 2:
+        raise ValueError(
+            f"expected (n, n_bytes) plaintext matrix, got {plaintexts.shape}"
+        )
+    return plaintexts

@@ -6,7 +6,17 @@ import numpy as np
 
 from repro.attacks.cpa import CpaAttack
 
-__all__ = ["key_byte_rank", "full_key_ranks", "traces_to_rank1"]
+__all__ = [
+    "key_byte_rank",
+    "full_key_ranks",
+    "traces_to_rank1",
+    "geometric_checkpoints",
+    "next_checkpoint",
+    "MIN_CPA_TRACES",
+]
+
+#: Smallest trace count a CPA correlation is defined for.
+MIN_CPA_TRACES = 3
 
 
 def key_byte_rank(guess_scores: np.ndarray, true_byte: int) -> int:
@@ -31,9 +41,21 @@ def full_key_ranks(
     true_key: bytes,
     aggregate: int = 1,
 ) -> list[int]:
-    """Per-byte ranks of the true key for a given trace set."""
-    if len(true_key) != 16:
-        raise ValueError("true_key must be 16 bytes")
+    """Per-byte ranks of the true key for a given trace set.
+
+    The key width is derived from the plaintext matrix, so any block size
+    the CPA's per-byte S-box model covers works here.
+    """
+    plaintexts = np.asarray(plaintexts, dtype=np.uint8)
+    if plaintexts.ndim != 2:
+        raise ValueError(
+            f"expected (n, n_bytes) plaintext matrix, got {plaintexts.shape}"
+        )
+    if len(true_key) != plaintexts.shape[1]:
+        raise ValueError(
+            f"true_key has {len(true_key)} bytes but plaintexts carry "
+            f"{plaintexts.shape[1]} bytes per block"
+        )
     attack = CpaAttack(aggregate=aggregate)
     results = attack.attack(traces, plaintexts)
     return [
@@ -54,14 +76,20 @@ def traces_to_rank1(
     This is the paper's Table II metric: the number of CO executions needed
     before the CPA ranks the correct value first for all 16 key bytes.
     Returns ``None`` when no checkpoint succeeds (the paper's "✗").
+
+    Caller-supplied checkpoints are deduplicated and filtered below the CPA
+    minimum (:data:`MIN_CPA_TRACES`), so irregular ladders are accepted
+    as-is.
     """
     traces = np.asarray(traces)
     n = traces.shape[0]
     if checkpoints is None:
-        checkpoints = _default_checkpoints(n)
-    for count in sorted(set(int(c) for c in checkpoints)):
-        if count < 3:
-            continue
+        points = geometric_checkpoints(n)
+    else:
+        points = sorted(
+            {int(c) for c in checkpoints if int(c) >= MIN_CPA_TRACES}
+        )
+    for count in points:
         if count > n:
             break
         ranks = full_key_ranks(traces[:count], plaintexts[:count], true_key, aggregate)
@@ -70,12 +98,43 @@ def traces_to_rank1(
     return None
 
 
-def _default_checkpoints(n: int) -> list[int]:
-    """Roughly geometric checkpoint ladder up to ``n``."""
-    points = []
-    value = 25
+def geometric_checkpoints(
+    n: int, first: int = 25, growth: float = 1.5
+) -> list[int]:
+    """Geometric checkpoint ladder over ``[max(first, 3), n]``.
+
+    Strictly increasing (no duplicates), never below the CPA minimum of
+    :data:`MIN_CPA_TRACES` traces, and always ending at ``n`` when ``n``
+    itself is attackable.  Shared by :func:`traces_to_rank1` and the
+    streaming campaign's checkpoint schedule.
+    """
+    if growth <= 1.0:
+        raise ValueError("growth must be > 1")
+    n = int(n)
+    points: list[int] = []
+    value = max(int(first), MIN_CPA_TRACES)
     while value < n:
         points.append(value)
-        value = int(value * 1.5)
-    points.append(n)
+        value = _step(value, growth)
+    if n >= MIN_CPA_TRACES:
+        points.append(n)
     return points
+
+
+def next_checkpoint(n: int, first: int = 25, growth: float = 1.5) -> int:
+    """First :func:`geometric_checkpoints` ladder value strictly above ``n``.
+
+    The open-ended form of the ladder, for callers (the streaming
+    campaign) that do not know their final trace count up front.
+    """
+    if growth <= 1.0:
+        raise ValueError("growth must be > 1")
+    value = max(int(first), MIN_CPA_TRACES)
+    while value <= n:
+        value = _step(value, growth)
+    return value
+
+
+def _step(value: int, growth: float) -> int:
+    """One ladder step: geometric, but always strictly increasing."""
+    return max(int(value * growth), value + 1)

@@ -1,0 +1,22 @@
+"""Streaming attack-campaign primitives.
+
+The campaign layer turns the batch attacks of :mod:`repro.attacks` into a
+streaming pipeline suitable for production-scale trace counts:
+
+* :class:`~repro.campaign.online.OnlineCpa` /
+  :class:`~repro.campaign.online.OnlineDpa` — constant-memory sufficient
+  statistics updated chunk-by-chunk, recovering the batch correlation /
+  difference matrices at any point of the stream;
+* :class:`~repro.campaign.store.TraceStore` — an append-only, sharded
+  on-disk store (``.npy`` segments + JSON manifest, memory-mapped reads)
+  so captured traces survive the process and campaigns can resume.
+
+The :class:`~repro.runtime.campaign.AttackCampaign` orchestrator in
+:mod:`repro.runtime` drives capture → store → accumulate → checkpoint on
+top of these pieces.
+"""
+
+from repro.campaign.online import OnlineCpa, OnlineDpa
+from repro.campaign.store import TraceStore
+
+__all__ = ["OnlineCpa", "OnlineDpa", "TraceStore"]

@@ -1,0 +1,297 @@
+"""Online CPA/DPA accumulators with constant-memory sufficient statistics.
+
+The batch attacks in :mod:`repro.attacks` need every trace in RAM and
+recompute everything from scratch at each key-rank checkpoint.  The
+accumulators here consume traces chunk-by-chunk and keep only sufficient
+statistics — per-byte hypothesis sums, sums-of-squares, and
+hypothesis×sample cross-products — from which the full ``(256, m)``
+correlation (or difference-of-means) matrix is recoverable at any point:
+
+* :class:`OnlineCpa` reproduces :func:`repro.attacks.cpa.cpa_byte_correlation`
+  to ~1e-9 regardless of how the stream was chunked;
+* :class:`OnlineDpa` reproduces :func:`repro.attacks.dpa.dpa_byte_difference`
+  the same way.
+
+Memory is ``O(n_bytes · 256 · m)`` — independent of the trace count — so a
+million-trace campaign costs the same RAM as a hundred-trace one.  Incoming
+chunks are centred against a fixed per-sample reference (the first chunk's
+mean) before accumulation; Pearson correlation and mean differences are
+shift-invariant, and the reference keeps the sufficient-statistic
+cancellations benign for traces with a large DC component.
+
+Both accumulators persist to ``.npz`` (:meth:`OnlineCpa.save` /
+:meth:`OnlineCpa.load`), so a campaign checkpoint can be resumed without
+replaying the trace store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.key_rank import MIN_CPA_TRACES, key_byte_rank
+from repro.attacks.leakage_models import sbox_output_hypotheses
+from repro.ciphers.aes import SBOX
+from repro.signalproc import boxcar_aggregate
+
+__all__ = ["OnlineCpa", "OnlineDpa"]
+
+_EPS = 1e-12  # matches repro.attacks.cpa._EPS
+#: Fixed hypothesis reference: the expected Hamming weight of a uniform byte.
+_H_REF = 4.0
+_SBOX_MSB = (np.asarray(SBOX, dtype=np.uint8) >> 7).astype(np.uint8)
+
+
+class _OnlineAccumulator:
+    """Shared chunk plumbing: validation, aggregation, lazy allocation."""
+
+    def __init__(self, aggregate: int = 1) -> None:
+        if aggregate < 1:
+            raise ValueError("aggregate must be >= 1")
+        self.aggregate = int(aggregate)
+        self._n = 0
+        self._n_bytes: int | None = None
+        self._t_ref: np.ndarray | None = None
+        self._s_t: np.ndarray | None = None
+
+    @property
+    def n_traces(self) -> int:
+        """Traces accumulated so far."""
+        return self._n
+
+    @property
+    def n_bytes(self) -> int | None:
+        """Key bytes under attack (``None`` before the first chunk)."""
+        return self._n_bytes
+
+    @property
+    def n_samples(self) -> int | None:
+        """Samples per trace *after* aggregation (``None`` before data)."""
+        return None if self._s_t is None else int(self._s_t.size)
+
+    def _ingest(
+        self, traces: np.ndarray, plaintexts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate one chunk, aggregate it, and centre it on the reference."""
+        traces = np.asarray(traces, dtype=np.float64)
+        plaintexts = np.asarray(plaintexts, dtype=np.uint8)
+        if traces.ndim != 2:
+            raise ValueError(f"expected (c, m) trace chunk, got {traces.shape}")
+        if plaintexts.ndim != 2 or plaintexts.shape[0] != traces.shape[0]:
+            raise ValueError(
+                f"plaintext chunk {plaintexts.shape} does not match "
+                f"{traces.shape[0]} traces"
+            )
+        if traces.shape[0] == 0:
+            raise ValueError("empty chunk")
+        if self.aggregate > 1:
+            traces = boxcar_aggregate(traces, self.aggregate)
+        if self._t_ref is None:
+            self._n_bytes = int(plaintexts.shape[1])
+            self._t_ref = traces.mean(axis=0)
+            self._allocate(traces.shape[1])
+        elif traces.shape[1] != self._t_ref.size:
+            raise ValueError(
+                f"chunk has {traces.shape[1]} aggregated samples, "
+                f"accumulator holds {self._t_ref.size}"
+            )
+        elif plaintexts.shape[1] != self._n_bytes:
+            raise ValueError(
+                f"chunk has {plaintexts.shape[1]}-byte plaintexts, "
+                f"accumulator holds {self._n_bytes}-byte ones"
+            )
+        return traces - self._t_ref, plaintexts
+
+    def _allocate(self, m: int) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _require_data(self, minimum: int = 1) -> None:
+        if self._n < minimum:
+            raise ValueError(
+                f"accumulator holds {self._n} traces, needs >= {minimum}"
+            )
+
+    # -- shared guess bookkeeping -------------------------------------- #
+
+    def score_matrix(self, byte_index: int) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def guess_scores(self) -> np.ndarray:
+        """Per-byte guess scores, shape ``(n_bytes, 256)``.
+
+        The score of a guess is the max absolute value of its recovered
+        matrix row over the samples — the same statistic the batch attacks
+        rank by.
+        """
+        self._require_data()
+        return np.stack(
+            [
+                np.abs(self.score_matrix(b)).max(axis=1)
+                for b in range(self._n_bytes)
+            ]
+        )
+
+    def best_guesses(self) -> np.ndarray:
+        """The current best guess per key byte."""
+        return self.guess_scores().argmax(axis=1)
+
+    def recovered_key(self) -> bytes:
+        """The most likely key given everything accumulated so far."""
+        return bytes(int(g) for g in self.best_guesses())
+
+    def key_ranks(self, true_key: bytes) -> list[int]:
+        """Per-byte ranks of the true key (1 = recovered)."""
+        scores = self.guess_scores()
+        if len(true_key) != self._n_bytes:
+            raise ValueError(
+                f"true_key has {len(true_key)} bytes, accumulator attacks "
+                f"{self._n_bytes}"
+            )
+        return [
+            key_byte_rank(scores[b], true_key[b]) for b in range(self._n_bytes)
+        ]
+
+    # -- persistence ---------------------------------------------------- #
+
+    _KIND = ""            # subclass tag stored in the checkpoint
+    _STATE_FIELDS: tuple[str, ...] = ()   # statistic arrays to persist
+
+    def save(self, path) -> None:
+        """Persist the sufficient statistics as an ``.npz`` checkpoint."""
+        self._require_data()
+        arrays = {name: getattr(self, name) for name in self._STATE_FIELDS}
+        np.savez_compressed(
+            path,
+            kind=np.array(self._KIND),
+            aggregate=np.array([self.aggregate]),
+            n=np.array([self._n]),
+            t_ref=self._t_ref,
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path):
+        """Restore an accumulator saved by :meth:`save`."""
+        with np.load(path) as state:
+            if str(state["kind"]) != cls._KIND:
+                raise ValueError(
+                    f"{path} is not a {cls.__name__} checkpoint"
+                )
+            acc = cls(aggregate=int(state["aggregate"][0]))
+            acc._n = int(state["n"][0])
+            acc._t_ref = state["t_ref"].copy()
+            for name in cls._STATE_FIELDS:
+                setattr(acc, name, state[name].copy())
+            acc._n_bytes = getattr(acc, cls._STATE_FIELDS[-1]).shape[0]
+        return acc
+
+
+class OnlineCpa(_OnlineAccumulator):
+    """Streaming CPA: chunk updates, batch-identical correlation recovery.
+
+    Feed ``(c, m)`` trace chunks plus their ``(c, n_bytes)`` plaintexts
+    through :meth:`update`; :meth:`correlation` then recovers the same
+    ``(256, m)`` Pearson matrix :func:`~repro.attacks.cpa.cpa_byte_correlation`
+    would compute over all traces at once (to ~1e-9), at any point of the
+    stream and regardless of the chunking.
+
+    ``aggregate`` applies the Section IV-C boxcar aggregation to each chunk
+    before accumulation (aggregation is per-trace, so it commutes with
+    streaming); the sufficient statistics then live in the aggregated
+    sample space, shrinking both memory and update cost by the same factor.
+    """
+
+    def _allocate(self, m: int) -> None:
+        b = self._n_bytes
+        self._s_t = np.zeros(m)
+        self._s_t2 = np.zeros(m)
+        self._s_h = np.zeros((b, 256))
+        self._s_h2 = np.zeros((b, 256))
+        self._s_ht = np.zeros((b, 256, m))
+
+    def update(self, traces: np.ndarray, plaintexts: np.ndarray) -> int:
+        """Accumulate one chunk; returns the new total trace count."""
+        t, pts = self._ingest(traces, plaintexts)
+        self._n += t.shape[0]
+        self._s_t += t.sum(axis=0)
+        self._s_t2 += (t * t).sum(axis=0)
+        for b in range(self._n_bytes):
+            h = sbox_output_hypotheses(pts[:, b]) - _H_REF  # (c, 256)
+            self._s_h[b] += h.sum(axis=0)
+            self._s_h2[b] += (h * h).sum(axis=0)
+            self._s_ht[b] += h.T @ t
+        return self._n
+
+    def correlation(self, byte_index: int) -> np.ndarray:
+        """Recovered ``(256, m)`` correlation matrix for one key byte."""
+        self._require_data(MIN_CPA_TRACES)
+        if not 0 <= byte_index < self._n_bytes:
+            raise ValueError(f"byte_index must be in [0, {self._n_bytes})")
+        n = self._n
+        cross = self._s_ht[byte_index] - np.outer(
+            self._s_h[byte_index], self._s_t / n
+        )
+        h_norm = np.sqrt(
+            np.clip(self._s_h2[byte_index] - self._s_h[byte_index] ** 2 / n, 0, None)
+        )
+        t_norm = np.sqrt(np.clip(self._s_t2 - self._s_t ** 2 / n, 0, None))
+        denom = h_norm[:, None] * t_norm[None, :]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            corr = np.where(denom > _EPS, cross / np.maximum(denom, _EPS), 0.0)
+        return np.clip(corr, -1.0, 1.0)
+
+    score_matrix = correlation
+
+    _KIND = "online_cpa"
+    _STATE_FIELDS = ("_s_t", "_s_t2", "_s_h", "_s_h2", "_s_ht")
+
+
+class OnlineDpa(_OnlineAccumulator):
+    """Streaming difference-of-means DPA (Kocher et al. [1]).
+
+    Partitions every chunk by the MSB of the hypothesised S-box output and
+    accumulates per-(byte, guess) partition counts and sums;
+    :meth:`difference` recovers the same differential trace
+    :func:`~repro.attacks.dpa.dpa_byte_difference` computes in one batch.
+    """
+
+    def _allocate(self, m: int) -> None:
+        b = self._n_bytes
+        self._s_t = np.zeros(m)
+        self._ones_count = np.zeros((b, 256))
+        self._ones_sum = np.zeros((b, 256, m))
+
+    def update(self, traces: np.ndarray, plaintexts: np.ndarray) -> int:
+        """Accumulate one chunk; returns the new total trace count."""
+        t, pts = self._ingest(traces, plaintexts)
+        self._n += t.shape[0]
+        self._s_t += t.sum(axis=0)
+        guesses = np.arange(256, dtype=np.uint8)
+        for b in range(self._n_bytes):
+            bits = _SBOX_MSB[pts[:, b][:, None] ^ guesses[None, :]]  # (c, 256)
+            self._ones_count[b] += bits.sum(axis=0)
+            self._ones_sum[b] += bits.astype(np.float64).T @ t
+        return self._n
+
+    def difference(self, byte_index: int) -> np.ndarray:
+        """Recovered ``(256, m)`` difference-of-means matrix for one byte.
+
+        Rows whose hypothesis puts every trace in one partition are zero,
+        matching the batch implementation.
+        """
+        self._require_data()
+        if not 0 <= byte_index < self._n_bytes:
+            raise ValueError(f"byte_index must be in [0, {self._n_bytes})")
+        ones = self._ones_count[byte_index][:, None]          # (256, 1)
+        zeros = self._n - ones
+        with np.errstate(invalid="ignore", divide="ignore"):
+            diff = (
+                self._ones_sum[byte_index] / ones
+                - (self._s_t[None, :] - self._ones_sum[byte_index]) / zeros
+            )
+        valid = (ones > 0) & (zeros > 0)
+        return np.where(valid, diff, 0.0)
+
+    score_matrix = difference
+
+    _KIND = "online_dpa"
+    _STATE_FIELDS = ("_s_t", "_ones_count", "_ones_sum")

@@ -1,0 +1,267 @@
+"""Chunked on-disk trace storage for resumable attack campaigns.
+
+A :class:`TraceStore` is a directory of sharded ``.npy`` segment files plus
+a JSON manifest:
+
+.. code-block:: text
+
+    store/
+      manifest.json            source of truth: schema + ordered shard list
+      traces-000000.npy        (count, n_samples) segment matrix
+      plaintexts-000000.npy    (count, block_size) uint8 matrix
+      traces-000001.npy
+      ...
+
+Writes are **append-only**: every :meth:`TraceStore.append` call lands one
+new shard pair and then atomically replaces the manifest
+(write-to-temporary + ``os.replace``).  The manifest therefore only ever
+lists fully written shards — a process killed mid-append leaves at most an
+orphan array file that the next append quietly overwrites, so a
+half-written store always reopens to its last durable state.  Reads are
+memory-mapped (:meth:`iter_chunks`), so replaying a million-trace store
+into an online accumulator never materialises the whole matrix in RAM.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["TraceStore"]
+
+_MANIFEST = "manifest.json"
+_VERSION = 1
+
+
+class TraceStore:
+    """Append-only sharded store of attack segments and their plaintexts.
+
+    Construct through :meth:`create`, :meth:`open`, or
+    :meth:`open_or_create` — never directly.
+    """
+
+    def __init__(self, path: Path, manifest: dict) -> None:
+        self._path = Path(path)
+        self._manifest = manifest
+
+    # ------------------------------------------------------------------ #
+    # constructors                                                       #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(
+        cls,
+        path,
+        n_samples: int,
+        block_size: int = 16,
+        dtype=np.float64,
+        key: bytes | None = None,
+        meta: dict | None = None,
+    ) -> "TraceStore":
+        """Initialise an empty store at ``path`` (created if missing)."""
+        path = Path(path)
+        if (path / _MANIFEST).exists():
+            raise FileExistsError(f"{path} already holds a trace store")
+        if n_samples < 1 or block_size < 1:
+            raise ValueError("n_samples and block_size must be positive")
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "version": _VERSION,
+            "n_samples": int(n_samples),
+            "block_size": int(block_size),
+            "dtype": np.dtype(dtype).name,
+            "key": key.hex() if key is not None else None,
+            "meta": dict(meta or {}),
+            "shards": [],
+        }
+        store = cls(path, manifest)
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, path) -> "TraceStore":
+        """Open an existing store (only manifest-listed shards are seen)."""
+        path = Path(path)
+        manifest_path = path / _MANIFEST
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no trace store at {path}")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported trace-store version {manifest.get('version')!r}"
+            )
+        return cls(path, manifest)
+
+    @classmethod
+    def open_or_create(
+        cls,
+        path,
+        n_samples: int,
+        block_size: int = 16,
+        dtype=np.float64,
+        key: bytes | None = None,
+        meta: dict | None = None,
+    ) -> "TraceStore":
+        """Open ``path`` if it holds a store, otherwise create one.
+
+        When opening, the existing schema must match the requested one —
+        resuming a campaign into a store captured with different segment
+        geometry would silently corrupt the attack.
+        """
+        if (Path(path) / _MANIFEST).exists():
+            store = cls.open(path)
+            if store.n_samples != int(n_samples):
+                raise ValueError(
+                    f"store at {path} holds {store.n_samples}-sample segments, "
+                    f"requested {n_samples}"
+                )
+            if store.block_size != int(block_size):
+                raise ValueError(
+                    f"store at {path} holds {store.block_size}-byte blocks, "
+                    f"requested {block_size}"
+                )
+            if key is not None and store.key is not None and store.key != key:
+                raise ValueError(f"store at {path} was captured under a different key")
+            return store
+        return cls.create(
+            path, n_samples, block_size=block_size, dtype=dtype, key=key, meta=meta
+        )
+
+    # ------------------------------------------------------------------ #
+    # schema                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def n_samples(self) -> int:
+        """Samples per stored segment."""
+        return int(self._manifest["n_samples"])
+
+    @property
+    def block_size(self) -> int:
+        """Plaintext bytes per segment."""
+        return int(self._manifest["block_size"])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(self._manifest["dtype"])
+
+    @property
+    def key(self) -> bytes | None:
+        """The (simulation ground-truth) key the segments were captured under."""
+        encoded = self._manifest.get("key")
+        return None if encoded is None else bytes.fromhex(encoded)
+
+    @property
+    def meta(self) -> dict:
+        """Free-form campaign metadata recorded at creation."""
+        return dict(self._manifest["meta"])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._manifest["shards"])
+
+    def __len__(self) -> int:
+        return sum(int(shard["count"]) for shard in self._manifest["shards"])
+
+    def nbytes(self) -> int:
+        """On-disk payload size of all durable shards."""
+        total = 0
+        for shard in self._manifest["shards"]:
+            for name in (shard["traces"], shard["plaintexts"]):
+                total += (self._path / name).stat().st_size
+        return total
+
+    # ------------------------------------------------------------------ #
+    # writes                                                             #
+    # ------------------------------------------------------------------ #
+
+    def append(self, traces: np.ndarray, plaintexts: np.ndarray) -> int:
+        """Durably append one chunk; returns the new total trace count.
+
+        The shard files are written first and the manifest is replaced
+        atomically afterwards, so a crash between the two leaves the store
+        at its previous consistent state.
+        """
+        traces = np.asarray(traces)
+        plaintexts = np.asarray(plaintexts, dtype=np.uint8)
+        if traces.ndim != 2 or traces.shape[1] != self.n_samples:
+            raise ValueError(
+                f"expected (c, {self.n_samples}) traces, got {traces.shape}"
+            )
+        if plaintexts.shape != (traces.shape[0], self.block_size):
+            raise ValueError(
+                f"expected ({traces.shape[0]}, {self.block_size}) plaintexts, "
+                f"got {plaintexts.shape}"
+            )
+        if traces.shape[0] == 0:
+            raise ValueError("refusing to append an empty shard")
+        index = self.n_shards
+        trace_name = f"traces-{index:06d}.npy"
+        pt_name = f"plaintexts-{index:06d}.npy"
+        np.save(self._path / trace_name, traces.astype(self.dtype, copy=False))
+        np.save(self._path / pt_name, plaintexts)
+        self._manifest["shards"].append(
+            {
+                "traces": trace_name,
+                "plaintexts": pt_name,
+                "count": int(traces.shape[0]),
+            }
+        )
+        self._write_manifest()
+        return len(self)
+
+    def _write_manifest(self) -> None:
+        final = self._path / _MANIFEST
+        temporary = self._path / (_MANIFEST + ".tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(self._manifest, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, final)
+
+    # ------------------------------------------------------------------ #
+    # reads                                                              #
+    # ------------------------------------------------------------------ #
+
+    def iter_chunks(
+        self, chunk_size: int | None = None
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(traces, plaintexts)`` chunks without loading the store.
+
+        Shards are memory-mapped; ``chunk_size`` re-slices them (a shard is
+        yielded whole when ``None``).  Chunks never span shards, so every
+        yielded pair is one contiguous mapped view.
+        """
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        for shard in self._manifest["shards"]:
+            traces = np.load(self._path / shard["traces"], mmap_mode="r")
+            plaintexts = np.load(self._path / shard["plaintexts"], mmap_mode="r")
+            if chunk_size is None:
+                yield traces, plaintexts
+                continue
+            for begin in range(0, traces.shape[0], chunk_size):
+                end = begin + chunk_size
+                yield traces[begin:end], plaintexts[begin:end]
+
+    def load(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise the whole store in RAM (small stores / testing)."""
+        if not self._manifest["shards"]:
+            return (
+                np.zeros((0, self.n_samples), dtype=self.dtype),
+                np.zeros((0, self.block_size), dtype=np.uint8),
+            )
+        chunks = list(self.iter_chunks())
+        return (
+            np.concatenate([np.asarray(t) for t, _ in chunks], axis=0),
+            np.concatenate([np.asarray(p) for _, p in chunks], axis=0),
+        )

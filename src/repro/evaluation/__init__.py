@@ -6,6 +6,12 @@ simulated platform into the numbers of the paper's evaluation section.
 
 from repro.evaluation.hits import HitStats, match_hits
 from repro.evaluation.reporting import format_table
+from repro.evaluation.convergence import (
+    format_campaign,
+    guessing_entropy,
+    guessing_entropy_curve,
+    rank_convergence_curve,
+)
 from repro.evaluation.experiments import (
     SegmentationOutcome,
     default_tolerance,
@@ -19,6 +25,10 @@ __all__ = [
     "HitStats",
     "match_hits",
     "format_table",
+    "format_campaign",
+    "guessing_entropy",
+    "guessing_entropy_curve",
+    "rank_convergence_curve",
     "SegmentationOutcome",
     "default_tolerance",
     "train_locator",

@@ -17,9 +17,30 @@ into a scenario-sweep engine:
 The CLI (``repro bench``), the ablation benchmarks, and the examples drive
 their sweeps through this engine, so every workload shares the same batched
 capture→locate→attack pipeline.
+
+The streaming layer lives alongside the engine:
+:class:`~repro.runtime.campaign.AttackCampaign` orchestrates resumable
+capture→store→accumulate→checkpoint campaigns over the
+:mod:`repro.campaign` primitives, and
+:meth:`ExperimentEngine.run_campaigns` sweeps them across scenario plans.
 """
 
+from repro.runtime.campaign import (
+    AttackCampaign,
+    CampaignResult,
+    CheckpointRecord,
+    PlatformSegmentSource,
+)
 from repro.runtime.engine import ExperimentEngine, ScenarioResult
 from repro.runtime.plan import BatchPlan, ScenarioSpec
 
-__all__ = ["BatchPlan", "ExperimentEngine", "ScenarioResult", "ScenarioSpec"]
+__all__ = [
+    "AttackCampaign",
+    "BatchPlan",
+    "CampaignResult",
+    "CheckpointRecord",
+    "ExperimentEngine",
+    "PlatformSegmentSource",
+    "ScenarioResult",
+    "ScenarioSpec",
+]

@@ -1,0 +1,354 @@
+"""Resumable streaming attack campaigns: capture → store → accumulate → rank.
+
+An :class:`AttackCampaign` drives a segment source (typically a
+:class:`PlatformSegmentSource` wrapping a
+:class:`~repro.soc.platform.SimulatedPlatform`) in batches, appends every
+batch to an optional on-disk :class:`~repro.campaign.store.TraceStore`,
+folds it into an :class:`~repro.campaign.online.OnlineCpa` accumulator, and
+evaluates key ranks at geometric checkpoints.  The campaign stops early
+once every key byte has held rank 1 for ``rank1_patience`` consecutive
+checkpoints (or, when the true key is unknown, once the recovered key has
+been stable that long).
+
+Compared to re-running the batch CPA at every checkpoint
+(:func:`repro.attacks.key_rank.traces_to_rank1`), the streaming campaign
+touches each trace exactly once: checkpointed rank convergence becomes one
+incremental pass instead of O(checkpoints × full-CPA), and memory stays
+constant in the trace count.  With a store attached the campaign is
+durable — killing the process and constructing a new campaign over the
+same store replays the persisted chunks into a fresh accumulator, fast-
+forwards the source past them (``SegmentSource.skip``, so a seeded
+simulation continues its capture stream rather than repeating it), and
+keeps capturing where the store left off: an interrupted-and-resumed
+campaign accumulates exactly the traces an uninterrupted one would.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.attacks.key_rank import MIN_CPA_TRACES, next_checkpoint
+from repro.campaign import OnlineCpa, TraceStore
+from repro.soc.platform import SimulatedPlatform
+
+__all__ = [
+    "SegmentSource",
+    "PlatformSegmentSource",
+    "CheckpointRecord",
+    "CampaignResult",
+    "AttackCampaign",
+]
+
+
+class SegmentSource(Protocol):
+    """Anything a campaign can pull equal-length attack segments from."""
+
+    n_samples: int
+    block_size: int
+    true_key: bytes | None
+
+    def capture(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Produce ``(count, n_samples)`` segments + ``(count, block_size)``
+        plaintexts.
+
+        Sources may additionally expose ``skip(count)`` to fast-forward
+        past traces a resumed campaign already replayed from its store —
+        deterministic (seeded) sources need this so post-resume captures
+        continue the stream instead of repeating it.
+        """
+        ...  # pragma: no cover
+
+
+class PlatformSegmentSource:
+    """Capture hand-off from a simulated platform to a streaming campaign.
+
+    Wraps :meth:`SimulatedPlatform.capture_attack_segments` with a key
+    fixed for the campaign's lifetime (drawn from the platform when not
+    supplied) and a segment length resolved once — by default the
+    platform's empirical mean CO length, which covers the first-round
+    S-box leakage under every random-delay configuration.
+    """
+
+    def __init__(
+        self,
+        platform: SimulatedPlatform,
+        key: bytes | None = None,
+        segment_length: int | None = None,
+        nop_header: int = 96,
+        batch_size: int | None = None,
+    ) -> None:
+        self.platform = platform
+        self.true_key = key if key is not None else platform.random_key()
+        self.n_samples = int(
+            segment_length if segment_length is not None
+            else platform.mean_co_samples()
+        )
+        self.block_size = platform.cipher.block_size
+        self.nop_header = int(nop_header)
+        self.batch_size = batch_size
+
+    def capture(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.platform.capture_attack_segments(
+            count,
+            key=self.true_key,
+            segment_length=self.n_samples,
+            nop_header=self.nop_header,
+            batch_size=self.batch_size,
+        )
+
+    def skip(self, count: int) -> None:
+        """Fast-forward past ``count`` traces a resumed campaign replayed.
+
+        The platform's randomness is one seeded stream consumed in capture
+        order, so the only way to reach the state "after the first
+        ``count`` captures" is to re-draw them; captures are re-executed
+        and discarded.  This keeps a resumed campaign's stream identical
+        to an uninterrupted one (chunking does not change the draws), at
+        the cost of re-simulating the skipped traces — a hardware rig
+        would simply keep capturing.
+        """
+        if count > 0:
+            self.capture(count)
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One rank evaluation of the accumulated statistics."""
+
+    n_traces: int
+    recovered_key: bytes
+    ranks: tuple[int, ...] | None   # None when the true key is unknown
+    correct_bytes: int | None       # recovered bytes matching the true key
+
+    @property
+    def max_rank(self) -> int | None:
+        return None if self.ranks is None else max(self.ranks)
+
+    @property
+    def all_rank1(self) -> bool:
+        return self.ranks is not None and all(r == 1 for r in self.ranks)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (or exhausted) campaign measured."""
+
+    records: list[CheckpointRecord]
+    n_traces: int
+    traces_to_rank1: int | None     # first checkpoint of the terminal streak
+    early_stopped: bool
+    recovered_key: bytes
+    true_key: bytes | None
+    resumed_from: int               # traces replayed from the store, if any
+    store_path: str | None
+    capture_seconds: float
+    attack_seconds: float
+
+    @property
+    def key_recovered(self) -> bool:
+        return self.true_key is not None and self.recovered_key == self.true_key
+
+    def summary(self) -> str:
+        """One-line outcome for logs and the CLI."""
+        outcome = (
+            f"rank 1 at {self.traces_to_rank1} traces"
+            if self.traces_to_rank1 is not None
+            else "rank 1 not reached"
+        )
+        stop = "early stop" if self.early_stopped else "budget exhausted"
+        return (
+            f"{self.n_traces} traces ({self.resumed_from} resumed), "
+            f"{len(self.records)} checkpoints, {outcome}, {stop}"
+        )
+
+
+class AttackCampaign:
+    """Streaming capture→store→accumulate→checkpoint orchestrator.
+
+    Parameters
+    ----------
+    source:
+        A :class:`SegmentSource`; its ``true_key`` (when known, as in
+        simulation) enables rank-based early stopping.
+    store:
+        Optional :class:`TraceStore` for durable, resumable campaigns.
+        Existing content is replayed into the accumulator on construction
+        and new captures are appended; ``None`` runs a pure in-memory
+        stream.
+    aggregate:
+        Boxcar aggregation width applied by the accumulator (Section
+        IV-C); also shrinks the sufficient statistics by the same factor.
+    first_checkpoint, checkpoint_growth:
+        The geometric checkpoint ladder (matching
+        :func:`repro.attacks.key_rank.geometric_checkpoints`).
+    rank1_patience:
+        Consecutive all-rank-1 checkpoints required before stopping early
+        (consecutive *stable-key* checkpoints when the true key is
+        unknown).
+    batch_size:
+        Traces per capture batch — the campaign's peak per-step footprint.
+    """
+
+    def __init__(
+        self,
+        source: SegmentSource,
+        store: TraceStore | None = None,
+        true_key: bytes | None = None,
+        aggregate: int = 1,
+        first_checkpoint: int = 25,
+        checkpoint_growth: float = 1.5,
+        rank1_patience: int = 2,
+        batch_size: int = 256,
+    ) -> None:
+        if checkpoint_growth <= 1.0:
+            raise ValueError("checkpoint_growth must be > 1")
+        if rank1_patience < 1:
+            raise ValueError("rank1_patience must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if store is not None and store.n_samples != source.n_samples:
+            raise ValueError(
+                f"store holds {store.n_samples}-sample segments, source "
+                f"produces {source.n_samples}"
+            )
+        if store is not None and store.block_size != source.block_size:
+            raise ValueError(
+                f"store holds {store.block_size}-byte plaintexts, source "
+                f"produces {source.block_size}-byte ones"
+            )
+        self.source = source
+        self.store = store
+        self.true_key = (
+            true_key if true_key is not None
+            else getattr(source, "true_key", None)
+        )
+        self.accumulator = OnlineCpa(aggregate=aggregate)
+        self.first_checkpoint = max(int(first_checkpoint), MIN_CPA_TRACES)
+        self.checkpoint_growth = float(checkpoint_growth)
+        self.rank1_patience = int(rank1_patience)
+        self.batch_size = int(batch_size)
+        self.resumed_from = 0
+        if store is not None and len(store):
+            for traces, plaintexts in store.iter_chunks(self.batch_size):
+                self.accumulator.update(traces, plaintexts)
+            self.resumed_from = len(store)
+            skip = getattr(source, "skip", None)
+            if skip is not None:
+                skip(self.resumed_from)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint schedule                                                #
+    # ------------------------------------------------------------------ #
+
+    def _next_checkpoint(self, n: int) -> int:
+        """The first ladder value strictly above ``n``."""
+        return next_checkpoint(
+            n, first=self.first_checkpoint, growth=self.checkpoint_growth
+        )
+
+    # ------------------------------------------------------------------ #
+    # the campaign loop                                                  #
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_traces: int, verbose: bool = False) -> CampaignResult:
+        """Capture until early stop or ``max_traces`` accumulated traces.
+
+        ``max_traces`` counts resumed traces too: resuming a 10 000-trace
+        store with ``max_traces=15000`` captures at most 5 000 new ones.
+        """
+        if max_traces < MIN_CPA_TRACES:
+            raise ValueError(f"max_traces must be >= {MIN_CPA_TRACES}")
+        records: list[CheckpointRecord] = []
+        streak = 0
+        capture_seconds = 0.0
+        attack_seconds = 0.0
+        n = self.accumulator.n_traces
+
+        # A resumed store may already sit past checkpoints: evaluate the
+        # restored statistics once so early stopping can engage without
+        # waiting for a full new ladder rung.
+        if n >= max(self.first_checkpoint, MIN_CPA_TRACES):
+            begin = time.perf_counter()
+            record = self._evaluate(n)
+            attack_seconds += time.perf_counter() - begin
+            records.append(record)
+            streak = 1 if self._extends_streak(records) else 0
+
+        stopped = streak >= self.rank1_patience
+        while n < max_traces and not stopped:
+            target = min(self._next_checkpoint(n), max_traces)
+            while n < target:
+                begin = time.perf_counter()
+                traces, plaintexts = self.source.capture(min(self.batch_size, target - n))
+                capture_seconds += time.perf_counter() - begin
+                begin = time.perf_counter()
+                if self.store is not None:
+                    self.store.append(traces, plaintexts)
+                n = self.accumulator.update(traces, plaintexts)
+                attack_seconds += time.perf_counter() - begin
+            begin = time.perf_counter()
+            record = self._evaluate(n)
+            attack_seconds += time.perf_counter() - begin
+            records.append(record)
+            streak = streak + 1 if self._extends_streak(records) else 0
+            stopped = streak >= self.rank1_patience
+            if verbose:
+                rank = record.max_rank
+                print(
+                    f"[campaign] {n:>8d} traces: "
+                    f"max rank {rank if rank is not None else '?'}, "
+                    f"streak {streak}/{self.rank1_patience}"
+                )
+
+        return CampaignResult(
+            records=records,
+            n_traces=n,
+            traces_to_rank1=self._traces_to_rank1(records, stopped, streak),
+            early_stopped=stopped,
+            recovered_key=(
+                self.accumulator.recovered_key()
+                if n >= MIN_CPA_TRACES
+                else b""
+            ),
+            true_key=self.true_key,
+            resumed_from=self.resumed_from,
+            store_path=str(self.store.path) if self.store is not None else None,
+            capture_seconds=capture_seconds,
+            attack_seconds=attack_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _evaluate(self, n: int) -> CheckpointRecord:
+        recovered = self.accumulator.recovered_key()
+        ranks = None
+        correct = None
+        if self.true_key is not None:
+            ranks = tuple(self.accumulator.key_ranks(self.true_key))
+            correct = sum(a == b for a, b in zip(recovered, self.true_key))
+        return CheckpointRecord(
+            n_traces=n, recovered_key=recovered, ranks=ranks, correct_bytes=correct
+        )
+
+    def _extends_streak(self, records: list[CheckpointRecord]) -> bool:
+        """Does the latest record continue the early-stop condition?"""
+        latest = records[-1]
+        if self.true_key is not None:
+            return latest.all_rank1
+        if len(records) < 2:
+            return False
+        return latest.recovered_key == records[-2].recovered_key
+
+    def _traces_to_rank1(
+        self, records: list[CheckpointRecord], stopped: bool, streak: int
+    ) -> int | None:
+        """First checkpoint of the trailing success streak (Table II metric)."""
+        if self.true_key is None or streak == 0:
+            return None
+        return records[len(records) - streak].n_traces

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -33,6 +34,8 @@ from repro.evaluation.experiments import (
 from repro.evaluation.hits import HitStats, match_hits
 from repro.soc.oscilloscope import Oscilloscope
 from repro.soc.platform import SessionTrace, SimulatedPlatform
+from repro.campaign import TraceStore
+from repro.runtime.campaign import AttackCampaign, CampaignResult, PlatformSegmentSource
 from repro.runtime.plan import BatchPlan, ScenarioSpec
 
 __all__ = ["ExperimentEngine", "ScenarioResult"]
@@ -243,4 +246,83 @@ class ExperimentEngine:
                     locate_seconds=locate_seconds,
                     cpa_traces=cpa,
                 )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # streaming campaigns                                                #
+    # ------------------------------------------------------------------ #
+
+    def run_campaign(
+        self,
+        spec: ScenarioSpec,
+        max_traces: int,
+        store_dir=None,
+        aggregate: int = 32,
+        segment_length: int | None = None,
+        first_checkpoint: int = 25,
+        checkpoint_growth: float = 1.5,
+        rank1_patience: int = 2,
+        batch_size: int | None = None,
+    ) -> CampaignResult:
+        """Run one scenario's streaming attack campaign.
+
+        Builds the target platform for ``spec`` (cipher, random delay,
+        oscilloscope noise), hands its fixed-key capture path to an
+        :class:`AttackCampaign`, and streams until early stop or
+        ``max_traces``.  With ``store_dir`` the campaign is durable: an
+        existing store at that path is replayed and extended, so the same
+        call resumes an interrupted campaign.
+        """
+        platform = self.platform_for(spec)
+        source = PlatformSegmentSource(
+            platform, segment_length=segment_length, batch_size=batch_size
+        )
+        store = None
+        if store_dir is not None:
+            store = TraceStore.open_or_create(
+                store_dir,
+                n_samples=source.n_samples,
+                block_size=source.block_size,
+                key=source.true_key,
+                meta={"scenario": spec.describe(), "seed": spec.seed},
+            )
+        campaign = AttackCampaign(
+            source,
+            store=store,
+            aggregate=aggregate,
+            first_checkpoint=first_checkpoint,
+            checkpoint_growth=checkpoint_growth,
+            rank1_patience=rank1_patience,
+            batch_size=batch_size if batch_size is not None else 256,
+        )
+        return campaign.run(max_traces, verbose=self.verbose)
+
+    def run_campaigns(
+        self,
+        plan: BatchPlan,
+        max_traces: int,
+        store_root=None,
+        **campaign_kwargs,
+    ) -> "list[CampaignResult]":
+        """Sweep streaming campaigns over a plan (cipher × RD × noise).
+
+        One campaign per scenario, in plan order.  With ``store_root``
+        each scenario persists under ``store_root/<scenario-slug>`` and a
+        repeated sweep resumes every campaign from its own store.
+        """
+        results = []
+        for spec in plan.scenarios:
+            store_dir = None
+            if store_root is not None:
+                slug = spec.describe().replace(" ", "_").replace("=", "-")
+                store_dir = Path(store_root) / slug
+            if self.verbose:
+                print(f"[engine] campaign {spec.describe()} "
+                      f"(<= {max_traces} traces) ...")
+            results.append(
+                self.run_campaign(
+                    spec, max_traces, store_dir=store_dir,
+                    batch_size=plan.batch_size, **campaign_kwargs,
+                )
+            )
         return results

@@ -251,6 +251,42 @@ class SimulatedPlatform:
             for b in range(count)
         ]
 
+    def capture_attack_segments(
+        self,
+        count: int,
+        key: bytes,
+        segment_length: int,
+        nop_header: int = 96,
+        batch_size: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched capture hand-off for streaming attack campaigns.
+
+        Captures ``count`` fixed-key CO executions through the batched
+        profiling path and cuts each trace at its start into an
+        equal-length segment (zero-padded when the CO ends early), the
+        shape online accumulators and trace stores consume directly.
+
+        Returns ``(segments, plaintexts)``: ``(count, segment_length)``
+        float64 and ``(count, block_size)`` uint8.
+        """
+        if segment_length < 1:
+            raise ValueError("segment_length must be >= 1")
+        captures = self.capture_cipher_traces(
+            count, key=key, nop_header=nop_header, batch_size=batch_size
+        )
+        segments = np.zeros((len(captures), int(segment_length)))
+        for i, capture in enumerate(captures):
+            cut = capture.trace[capture.co_start: capture.co_start + segment_length]
+            segments[i, : cut.size] = cut
+        plaintexts = np.frombuffer(
+            b"".join(capture.plaintext for capture in captures), dtype=np.uint8
+        ).reshape(len(captures), self.cipher.block_size)
+        return segments, plaintexts
+
+    def random_key(self) -> bytes:
+        """Draw a key from the platform generator (deterministic per seed)."""
+        return self._rng.bytes(self.cipher.key_size)
+
     def capture_noise_trace(self, min_ops: int = 50_000) -> np.ndarray:
         """Capture the execution of noise applications (no CO anywhere)."""
         recorder = LeakageRecorder()

@@ -94,3 +94,18 @@ class TestFullAttack:
         traces, pts = synthetic_traces(rng, 100, key)
         with pytest.raises(ValueError):
             CpaAttack().attack_byte(traces, pts, 16)
+
+    def test_key_width_follows_plaintexts(self, rng):
+        """8-byte blocks yield 8 per-byte results and an 8-byte key."""
+        key = bytes(range(16))
+        traces, pts = synthetic_traces(rng, 600, key, noise=0.5)
+        results = CpaAttack().attack(traces, pts[:, :8])
+        assert len(results) == 8
+        recovered = CpaAttack().recovered_key(traces, pts[:, :8])
+        assert recovered == key[:8]
+
+    def test_rejects_flat_plaintexts(self, rng):
+        key = bytes(16)
+        traces, pts = synthetic_traces(rng, 100, key)
+        with pytest.raises(ValueError):
+            CpaAttack().attack(traces, pts.ravel())

@@ -5,8 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.attacks import key_byte_rank, full_key_ranks, traces_to_rank1
-from repro.attacks.key_rank import _default_checkpoints
+from repro.attacks import (
+    full_key_ranks,
+    geometric_checkpoints,
+    key_byte_rank,
+    traces_to_rank1,
+)
+from repro.attacks.key_rank import next_checkpoint
 from repro.attacks.leakage_models import hw_byte
 from repro.ciphers.aes import SBOX
 
@@ -73,7 +78,57 @@ class TestTracesToRank1:
         with pytest.raises(ValueError):
             full_key_ranks(np.zeros((10, 4)), np.zeros((10, 16), dtype=np.uint8), b"short")
 
+    def test_key_width_follows_plaintexts(self, rng):
+        """Non-AES block widths work: ranks derive from the plaintext shape."""
+        key = bytes(range(8))
+        traces, pts = self._traces(rng, 600, key + key, noise=0.5)
+        ranks = full_key_ranks(traces, pts[:, :8], key)
+        assert len(ranks) == 8
+        assert ranks == [1] * 8
+
+    def test_dirty_caller_checkpoints_accepted(self, rng):
+        """Duplicates and below-minimum checkpoints are filtered, not fatal."""
+        key = bytes(range(16))
+        traces, pts = self._traces(rng, 600, key, noise=0.5)
+        clean = traces_to_rank1(traces, pts, key, checkpoints=[600])
+        dirty = traces_to_rank1(
+            traces, pts, key, checkpoints=[0, 1, 2, 600, 600, 2]
+        )
+        assert dirty == clean == 600
+
     def test_checkpoint_ladder_monotone(self):
-        points = _default_checkpoints(1000)
+        points = geometric_checkpoints(1000)
         assert points == sorted(points)
         assert points[-1] == 1000
+
+    def test_checkpoint_ladder_never_duplicates(self):
+        """Even when n lands exactly on a ladder rung."""
+        ladder = geometric_checkpoints(10_000)
+        for n in ladder:
+            points = geometric_checkpoints(n)
+            assert len(points) == len(set(points))
+            assert points == sorted(points)
+            assert points[-1] == n
+
+    def test_checkpoint_ladder_respects_cpa_minimum(self):
+        assert geometric_checkpoints(2) == []
+        assert geometric_checkpoints(3) == [3]
+        assert geometric_checkpoints(30, first=1) == [3, 4, 6, 9, 13, 19, 28, 30]
+        assert all(p >= 3 for p in geometric_checkpoints(1000, first=0))
+
+    def test_checkpoint_ladder_rejects_bad_growth(self):
+        with pytest.raises(ValueError):
+            geometric_checkpoints(100, growth=1.0)
+        with pytest.raises(ValueError):
+            next_checkpoint(100, growth=1.0)
+
+    def test_next_checkpoint_walks_the_same_ladder(self):
+        """The open-ended stepper and the closed ladder agree rung for rung."""
+        ladder = geometric_checkpoints(50_000, first=10, growth=1.7)
+        walked = []
+        value = 0
+        while value < ladder[-2]:
+            value = next_checkpoint(value, first=10, growth=1.7)
+            walked.append(value)
+        assert walked == ladder[:-1]
+        assert next_checkpoint(0) == 25  # clamped first rung

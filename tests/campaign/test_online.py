@@ -1,0 +1,236 @@
+"""Online accumulators vs the batch attacks: exact equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import CpaAttack
+from repro.attacks.cpa import cpa_byte_correlation
+from repro.attacks.dpa import dpa_attack_byte, dpa_byte_difference
+from repro.attacks.leakage_models import hw_byte
+from repro.campaign import OnlineCpa, OnlineDpa
+from repro.ciphers.aes import SBOX
+
+_SBOX = np.asarray(SBOX, dtype=np.uint8)
+
+
+def leaky_traces(rng, n, key, noise=1.0, samples=40, offset=0.0):
+    """Traces leaking HW(SBOX[pt ^ key_b]) per byte at known positions."""
+    n_bytes = len(key)
+    pts = rng.integers(0, 256, (n, n_bytes), dtype=np.uint8)
+    traces = rng.normal(offset, noise, (n, samples))
+    for b in range(n_bytes):
+        traces[:, (2 * b) % samples] += hw_byte(_SBOX[pts[:, b] ^ key[b]])
+    return traces, pts
+
+
+def feed_in_chunks(acc, traces, pts, splits):
+    """Update an accumulator with uneven chunks cut at ``splits``."""
+    begin = 0
+    for end in list(splits) + [traces.shape[0]]:
+        if end > begin:
+            acc.update(traces[begin:end], pts[begin:end])
+            begin = end
+    return acc
+
+
+class TestOnlineCpaEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_uneven_chunks_match_batch_correlation(self, rng_factory, seed):
+        """Property: any chunking reproduces the batch matrix to <= 1e-9."""
+        rng = rng_factory(seed)
+        key = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
+        traces, pts = leaky_traces(rng, 400, key, noise=0.8)
+        splits = np.sort(rng.choice(np.arange(1, 400), size=7, replace=False))
+        acc = feed_in_chunks(OnlineCpa(), traces, pts, splits)
+        assert acc.n_traces == 400
+        for b in range(16):
+            np.testing.assert_allclose(
+                acc.correlation(b),
+                cpa_byte_correlation(traces, pts[:, b]),
+                atol=1e-9,
+            )
+
+    def test_recovers_same_key_as_batch(self, rng):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        traces, pts = leaky_traces(rng, 600, key, noise=1.0)
+        acc = feed_in_chunks(OnlineCpa(), traces, pts, [3, 10, 64, 500])
+        assert acc.recovered_key() == CpaAttack().recovered_key(traces, pts)
+        assert acc.recovered_key() == key
+        assert acc.key_ranks(key) == [1] * 16
+
+    def test_large_dc_offset_stays_exact(self, rng):
+        """The fixed-reference centring keeps big DC components harmless."""
+        key = bytes(range(16))
+        traces, pts = leaky_traces(rng, 300, key, noise=0.5, offset=5000.0)
+        acc = feed_in_chunks(OnlineCpa(), traces, pts, [1, 2, 150])
+        for b in (0, 9, 15):
+            np.testing.assert_allclose(
+                acc.correlation(b),
+                cpa_byte_correlation(traces, pts[:, b]),
+                atol=1e-9,
+            )
+
+    def test_aggregate_matches_batch_attack(self, rng):
+        key = bytes(range(16))
+        traces, pts = leaky_traces(rng, 500, key, noise=0.5, samples=64)
+        acc = feed_in_chunks(OnlineCpa(aggregate=8), traces, pts, [123, 321])
+        batch = CpaAttack(aggregate=8).attack(traces, pts)
+        scores = acc.guess_scores()
+        for b in range(16):
+            np.testing.assert_allclose(
+                scores[b], batch[b].guess_scores, atol=1e-9
+            )
+        assert acc.n_samples == 64 // 8
+
+    def test_zero_variance_sample_gives_zero(self, rng):
+        key = bytes(16)
+        traces, pts = leaky_traces(rng, 120, key)
+        traces[:, 1] = 5.0
+        acc = feed_in_chunks(OnlineCpa(), traces, pts, [40, 80])
+        np.testing.assert_array_equal(acc.correlation(0)[:, 1], 0.0)
+
+    def test_non_16_byte_blocks(self, rng):
+        """The byte count follows the plaintext width (satellite check)."""
+        key = bytes(range(8))
+        traces, pts = leaky_traces(rng, 400, key, noise=0.5, samples=20)
+        acc = feed_in_chunks(OnlineCpa(), traces, pts, [100])
+        assert acc.n_bytes == 8
+        assert acc.recovered_key() == key
+        assert CpaAttack().recovered_key(traces, pts) == key
+
+
+class TestOnlineCpaValidation:
+    def test_needs_three_traces_for_correlation(self, rng):
+        key = bytes(16)
+        traces, pts = leaky_traces(rng, 2, key)
+        acc = OnlineCpa()
+        acc.update(traces, pts)
+        with pytest.raises(ValueError):
+            acc.correlation(0)
+
+    def test_rejects_mismatched_chunk_shapes(self, rng):
+        key = bytes(16)
+        traces, pts = leaky_traces(rng, 10, key)
+        acc = OnlineCpa()
+        acc.update(traces, pts)
+        with pytest.raises(ValueError):
+            acc.update(traces[:, :20], pts)
+        with pytest.raises(ValueError):
+            acc.update(traces, pts[:, :8])
+        with pytest.raises(ValueError):
+            acc.update(traces[:4], pts)
+
+    def test_rejects_empty_chunk(self, rng):
+        acc = OnlineCpa()
+        with pytest.raises(ValueError):
+            acc.update(np.zeros((0, 10)), np.zeros((0, 16), dtype=np.uint8))
+
+    def test_rejects_bad_aggregate(self):
+        with pytest.raises(ValueError):
+            OnlineCpa(aggregate=0)
+
+    def test_rejects_bad_byte_index(self, rng):
+        key = bytes(16)
+        traces, pts = leaky_traces(rng, 10, key)
+        acc = OnlineCpa()
+        acc.update(traces, pts)
+        with pytest.raises(ValueError):
+            acc.correlation(16)
+
+
+class TestOnlineCpaPersistence:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        key = bytes(range(16))
+        traces, pts = leaky_traces(rng, 200, key, noise=0.5)
+        acc = feed_in_chunks(OnlineCpa(aggregate=2), traces, pts, [77])
+        path = tmp_path / "cpa_state.npz"
+        acc.save(path)
+        restored = OnlineCpa.load(path)
+        assert restored.n_traces == acc.n_traces
+        assert restored.aggregate == acc.aggregate
+        assert restored.n_bytes == acc.n_bytes
+        for b in (0, 15):
+            np.testing.assert_array_equal(
+                restored.correlation(b), acc.correlation(b)
+            )
+
+    def test_loaded_state_keeps_accumulating(self, rng, tmp_path):
+        key = bytes(range(16))
+        traces, pts = leaky_traces(rng, 300, key, noise=0.5)
+        acc = OnlineCpa()
+        acc.update(traces[:120], pts[:120])
+        acc.save(tmp_path / "state.npz")
+        restored = OnlineCpa.load(tmp_path / "state.npz")
+        restored.update(traces[120:], pts[120:])
+        for b in (3, 11):
+            np.testing.assert_allclose(
+                restored.correlation(b),
+                cpa_byte_correlation(traces, pts[:, b]),
+                atol=1e-9,
+            )
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        np.savez(tmp_path / "other.npz", kind=np.array("something"))
+        with pytest.raises(ValueError):
+            OnlineCpa.load(tmp_path / "other.npz")
+
+
+class TestOnlineDpaEquivalence:
+    def test_uneven_chunks_match_batch_difference(self, rng):
+        key = bytes(range(16))
+        traces, pts = leaky_traces(rng, 350, key, noise=0.8)
+        acc = feed_in_chunks(OnlineDpa(), traces, pts, [3, 50, 51, 200])
+        for b in (0, 7, 15):
+            diff = acc.difference(b)
+            for guess in (0, key[b], 255):
+                np.testing.assert_allclose(
+                    diff[guess],
+                    dpa_byte_difference(traces, pts[:, b], guess),
+                    atol=1e-9,
+                )
+
+    def test_matches_batch_attack_scores(self, rng):
+        key = bytes(range(16))
+        traces, pts = leaky_traces(rng, 400, key, noise=0.5)
+        acc = feed_in_chunks(OnlineDpa(), traces, pts, [199])
+        scores = acc.guess_scores()
+        for b in (0, 8):
+            best, batch_scores = dpa_attack_byte(traces, pts[:, b])
+            np.testing.assert_allclose(scores[b], batch_scores, atol=1e-9)
+            assert int(scores[b].argmax()) == best
+
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        key = bytes(range(16))
+        traces, pts = leaky_traces(rng, 150, key, noise=0.5)
+        acc = feed_in_chunks(OnlineDpa(), traces, pts, [60])
+        acc.save(tmp_path / "dpa.npz")
+        restored = OnlineDpa.load(tmp_path / "dpa.npz")
+        assert restored.n_traces == acc.n_traces
+        for b in (0, 15):
+            np.testing.assert_array_equal(
+                restored.difference(b), acc.difference(b)
+            )
+
+    def test_load_rejects_cpa_checkpoint(self, rng, tmp_path):
+        key = bytes(16)
+        traces, pts = leaky_traces(rng, 10, key)
+        cpa = OnlineCpa()
+        cpa.update(traces, pts)
+        cpa.save(tmp_path / "cpa.npz")
+        with pytest.raises(ValueError):
+            OnlineDpa.load(tmp_path / "cpa.npz")
+
+    def test_empty_partition_gives_zero_row(self, rng):
+        """A constant plaintext byte one-sides every guess's partition."""
+        key = bytes(16)
+        traces, pts = leaky_traces(rng, 50, key)
+        pts[:, 0] = 7
+        acc = OnlineDpa()
+        acc.update(traces, pts)
+        diff = acc.difference(0)
+        np.testing.assert_array_equal(diff, 0.0)
+        np.testing.assert_array_equal(
+            dpa_byte_difference(traces, pts[:, 0], 0), 0.0
+        )

@@ -1,0 +1,149 @@
+"""TraceStore round-trip, resume, and crash-tolerance behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import TraceStore
+
+
+def make_chunk(rng, count, samples=32, block=16):
+    return (
+        rng.normal(0, 1, (count, samples)),
+        rng.integers(0, 256, (count, block), dtype=np.uint8),
+    )
+
+
+class TestRoundTrip:
+    def test_append_and_load(self, rng, tmp_path):
+        store = TraceStore.create(tmp_path / "s", n_samples=32)
+        t1, p1 = make_chunk(rng, 10)
+        t2, p2 = make_chunk(rng, 7)
+        assert store.append(t1, p1) == 10
+        assert store.append(t2, p2) == 17
+        assert len(store) == 17
+        assert store.n_shards == 2
+        traces, pts = store.load()
+        np.testing.assert_allclose(traces, np.vstack([t1, t2]))
+        np.testing.assert_array_equal(pts, np.vstack([p1, p2]))
+
+    def test_survives_reopen(self, rng, tmp_path):
+        store = TraceStore.create(
+            tmp_path / "s", n_samples=32, key=bytes(range(16)),
+            meta={"cipher": "aes"},
+        )
+        t, p = make_chunk(rng, 12)
+        store.append(t, p)
+        reopened = TraceStore.open(tmp_path / "s")
+        assert len(reopened) == 12
+        assert reopened.n_samples == 32
+        assert reopened.key == bytes(range(16))
+        assert reopened.meta == {"cipher": "aes"}
+        traces, pts = reopened.load()
+        np.testing.assert_allclose(traces, t)
+        np.testing.assert_array_equal(pts, p)
+
+    def test_append_after_reopen_resumes(self, rng, tmp_path):
+        store = TraceStore.create(tmp_path / "s", n_samples=32)
+        t1, p1 = make_chunk(rng, 5)
+        store.append(t1, p1)
+        resumed = TraceStore.open(tmp_path / "s")
+        t2, p2 = make_chunk(rng, 6)
+        assert resumed.append(t2, p2) == 11
+        assert len(TraceStore.open(tmp_path / "s")) == 11
+
+    def test_dtype_honoured(self, rng, tmp_path):
+        store = TraceStore.create(tmp_path / "s", n_samples=8, dtype=np.float32)
+        t, p = make_chunk(rng, 4, samples=8)
+        store.append(t, p)
+        traces, _ = store.load()
+        assert traces.dtype == np.float32
+
+    def test_empty_store_loads_empty(self, tmp_path):
+        store = TraceStore.create(tmp_path / "s", n_samples=8)
+        traces, pts = store.load()
+        assert traces.shape == (0, 8)
+        assert pts.shape == (0, 16)
+        assert list(store.iter_chunks()) == []
+
+
+class TestIterChunks:
+    def test_memory_mapped_reads(self, rng, tmp_path):
+        store = TraceStore.create(tmp_path / "s", n_samples=16)
+        t, p = make_chunk(rng, 20, samples=16)
+        store.append(t, p)
+        chunks = list(TraceStore.open(tmp_path / "s").iter_chunks())
+        assert len(chunks) == 1
+        assert isinstance(chunks[0][0], np.memmap)
+
+    def test_rechunking_never_spans_shards(self, rng, tmp_path):
+        store = TraceStore.create(tmp_path / "s", n_samples=16)
+        for count in (10, 4, 9):
+            store.append(*make_chunk(rng, count, samples=16))
+        sizes = [t.shape[0] for t, _ in store.iter_chunks(chunk_size=4)]
+        assert sizes == [4, 4, 2, 4, 4, 4, 1]
+        full = np.vstack([np.asarray(t) for t, _ in store.iter_chunks(4)])
+        np.testing.assert_allclose(full, store.load()[0])
+
+    def test_rejects_bad_chunk_size(self, rng, tmp_path):
+        store = TraceStore.create(tmp_path / "s", n_samples=16)
+        with pytest.raises(ValueError):
+            list(store.iter_chunks(chunk_size=0))
+
+
+class TestValidation:
+    def test_create_refuses_existing_store(self, tmp_path):
+        TraceStore.create(tmp_path / "s", n_samples=8)
+        with pytest.raises(FileExistsError):
+            TraceStore.create(tmp_path / "s", n_samples=8)
+
+    def test_open_missing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TraceStore.open(tmp_path / "nothing")
+
+    def test_append_shape_validation(self, rng, tmp_path):
+        store = TraceStore.create(tmp_path / "s", n_samples=32)
+        t, p = make_chunk(rng, 5)
+        with pytest.raises(ValueError):
+            store.append(t[:, :16], p)
+        with pytest.raises(ValueError):
+            store.append(t, p[:, :8])
+        with pytest.raises(ValueError):
+            store.append(t[:4], p)
+        with pytest.raises(ValueError):
+            store.append(t[:0], p[:0])
+
+    def test_open_or_create_schema_mismatch(self, rng, tmp_path):
+        TraceStore.create(tmp_path / "s", n_samples=32, key=b"a" * 16)
+        with pytest.raises(ValueError):
+            TraceStore.open_or_create(tmp_path / "s", n_samples=64)
+        with pytest.raises(ValueError):
+            TraceStore.open_or_create(tmp_path / "s", n_samples=32, block_size=8)
+        with pytest.raises(ValueError):
+            TraceStore.open_or_create(tmp_path / "s", n_samples=32, key=b"b" * 16)
+        reopened = TraceStore.open_or_create(
+            tmp_path / "s", n_samples=32, key=b"a" * 16
+        )
+        assert reopened.key == b"a" * 16
+
+
+class TestCrashTolerance:
+    def test_orphan_shard_is_invisible_and_overwritten(self, rng, tmp_path):
+        """A crash between shard write and manifest update is harmless."""
+        store = TraceStore.create(tmp_path / "s", n_samples=16)
+        t, p = make_chunk(rng, 6, samples=16)
+        store.append(t, p)
+        # Simulate a crash mid-append: shard 1 files exist, manifest does not
+        # reference them.
+        orphan_t, orphan_p = make_chunk(rng, 3, samples=16)
+        np.save(tmp_path / "s" / "traces-000001.npy", orphan_t)
+        np.save(tmp_path / "s" / "plaintexts-000001.npy", orphan_p)
+
+        reopened = TraceStore.open(tmp_path / "s")
+        assert len(reopened) == 6  # orphan invisible
+        fresh_t, fresh_p = make_chunk(rng, 4, samples=16)
+        reopened.append(fresh_t, fresh_p)  # overwrites the orphan slot
+        traces, _ = TraceStore.open(tmp_path / "s").load()
+        assert traces.shape[0] == 10
+        np.testing.assert_allclose(traces[6:], fresh_t)

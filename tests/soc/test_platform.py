@@ -86,6 +86,30 @@ class TestSessionCaptures:
         assert a.key == b.key
 
 
+class TestAttackSegments:
+    def test_segments_match_profiling_cuts(self):
+        """The campaign hand-off is exactly the profiling capture, cut."""
+        platform = SimulatedPlatform("aes", max_delay=2, seed=21)
+        key = platform.random_key()
+        reference = SimulatedPlatform("aes", max_delay=2, seed=21)
+        reference_key = reference.random_key()
+        assert reference_key == key
+        segments, pts = platform.capture_attack_segments(
+            6, key=key, segment_length=700
+        )
+        captures = reference.capture_cipher_traces(6, key=reference_key)
+        for i, capture in enumerate(captures):
+            cut = capture.trace[capture.co_start: capture.co_start + 700]
+            np.testing.assert_array_equal(segments[i, : cut.size], cut)
+            assert np.all(segments[i, cut.size:] == 0.0)
+            assert pts[i].tobytes() == capture.plaintext
+
+    def test_rejects_bad_segment_length(self):
+        platform = SimulatedPlatform("aes", max_delay=0, seed=22)
+        with pytest.raises(ValueError):
+            platform.capture_attack_segments(2, key=bytes(16), segment_length=0)
+
+
 class TestUtilities:
     def test_mean_co_samples_positive(self):
         platform = SimulatedPlatform("simon", max_delay=4, seed=9)

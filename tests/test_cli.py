@@ -23,3 +23,21 @@ class TestCli:
     def test_locate_needs_existing_model(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["locate", "--model", str(tmp_path / "missing.npz")])
+
+    def test_campaign_rejects_unknown_cipher(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--cipher", "des"])
+
+    def test_campaign_runs_and_resumes(self, tmp_path, capsys):
+        """End-to-end: RD-0 campaign reaches rank 1, then resumes its store."""
+        store = str(tmp_path / "store")
+        argv = ["campaign", "--rd", "0", "--traces", "640",
+                "--segment-length", "1600", "--aggregate", "8",
+                "--patience", "1", "--first-checkpoint", "128",
+                "--store", store]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "recovered key" in first
+        assert main(argv) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed" in resumed

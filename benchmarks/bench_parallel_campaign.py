@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Sharded parallel campaign vs the serial streaming campaign.
+
+Measures the wall-clock throughput (traces/s to the final merged
+checkpoint) of a :class:`~repro.runtime.parallel.ParallelCampaign` at
+1/2/4 workers against the serial
+:class:`~repro.runtime.campaign.AttackCampaign` on an RD-2 scenario —
+random-delay jitter is where campaigns need tens of thousands of traces,
+so capture throughput is the wall the parallel layer exists to move.
+
+The serial baseline runs over the campaign's own
+:class:`~repro.runtime.parallel.ShardedSegmentSource` with the identical
+shard-aligned checkpoint ladder, so all configurations capture the **same
+trace multiset** and must report identical per-byte key ranks at every
+checkpoint — the benchmark verifies that before it reports a single
+number.  Speedup therefore measures parallelism alone, not a workload
+change.
+
+Note: results depend on available cores; on a single-CPU host the worker
+processes time-slice and the speedup hovers around (or below) 1x.  Pass
+``--min-speedup`` to enforce a floor on multi-core machines (CI leaves it
+unset).
+
+Run directly (CI-sized with ``--quick``):
+
+    PYTHONPATH=src python benchmarks/bench_parallel_campaign.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.evaluation import format_table
+from repro.runtime import AttackCampaign, ParallelCampaign, PlatformCampaignSpec
+from repro.soc.platform import PlatformSpec, SimulatedPlatform
+
+
+def build_spec(args) -> PlatformCampaignSpec:
+    """Fixed attack key + segment length, resolved once for every run."""
+    probe = SimulatedPlatform("aes", max_delay=args.rd, seed=args.seed)
+    return PlatformCampaignSpec(
+        platform=PlatformSpec(cipher_name="aes", max_delay=args.rd),
+        key=probe.random_key(),
+        segment_length=probe.mean_co_samples(),
+        batch_size=args.batch_size,
+        attack_bytes=args.attack_bytes,
+    )
+
+
+def run_serial(spec, args):
+    """The serial reference over the identical sharded stream + ladder."""
+    schedule = ParallelCampaign(
+        spec, seed=args.seed, shard_size=args.shard_size,
+        aggregate=args.aggregate, rank1_patience=args.patience,
+        batch_size=args.batch_size,
+    )
+    campaign = AttackCampaign(
+        schedule.sharded_source(),
+        checkpoints=schedule.checkpoints(args.traces),
+        aggregate=args.aggregate,
+        rank1_patience=args.patience,
+        batch_size=args.batch_size,
+    )
+    begin = time.perf_counter()
+    result = campaign.run(args.traces)
+    return result, time.perf_counter() - begin
+
+
+def run_parallel(spec, args, workers: int):
+    campaign = ParallelCampaign(
+        spec, seed=args.seed, workers=workers, shard_size=args.shard_size,
+        aggregate=args.aggregate, rank1_patience=args.patience,
+        batch_size=args.batch_size,
+    )
+    begin = time.perf_counter()
+    result = campaign.run(args.traces)
+    return result, time.perf_counter() - begin
+
+
+def verify_checkpoints(reference, result, label: str) -> None:
+    shared = min(len(reference.records), len(result.records))
+    for mine, theirs in zip(result.records[:shared],
+                            reference.records[:shared]):
+        if mine.n_traces != theirs.n_traces or mine.ranks != theirs.ranks:
+            raise AssertionError(
+                f"{label}: checkpoint mismatch at {mine.n_traces} traces: "
+                f"{mine.ranks} != {theirs.ranks}"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small budget for CI smoke runs")
+    parser.add_argument("--traces", type=int, default=None,
+                        help="trace budget (default 24576, 4096 with --quick)")
+    parser.add_argument("--rd", type=int, default=2, choices=(0, 2, 4))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="traces per shard (default: budget / 12)")
+    parser.add_argument("--aggregate", type=int, default=32)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--patience", type=int, default=1000,
+                        help="early-stop patience (default: effectively off, "
+                             "so every configuration runs the full budget)")
+    parser.add_argument("--attack-bytes", type=int, default=4,
+                        help="leading key bytes to attack (bounds cost)")
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated worker counts")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail below this speedup at the highest worker "
+                             "count (default: record only)")
+    args = parser.parse_args(argv)
+
+    args.traces = args.traces or (4096 if args.quick else 24576)
+    if args.shard_size is None:
+        args.shard_size = max(256, args.traces // 12)
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+
+    spec = build_spec(args)
+    print(f"scenario: aes RD-{args.rd}, {args.traces} traces in "
+          f"{args.shard_size}-trace shards, {spec.segment_length}-sample "
+          f"segments, attacking {args.attack_bytes} key bytes "
+          f"({os.cpu_count()} CPUs visible)")
+
+    serial_result, serial_seconds = run_serial(spec, args)
+    rows = [[
+        "serial AttackCampaign", f"{serial_result.n_traces}",
+        f"{serial_seconds:7.2f}",
+        f"{serial_result.n_traces / serial_seconds:7.0f}/s", "1.00x",
+    ]]
+    best_speedup = 0.0
+    for workers in worker_counts:
+        result, seconds = run_parallel(spec, args, workers)
+        verify_checkpoints(serial_result, result, f"{workers} workers")
+        speedup = serial_seconds / seconds
+        best_speedup = max(best_speedup, speedup)
+        rows.append([
+            f"parallel x{workers}", f"{result.n_traces}",
+            f"{seconds:7.2f}", f"{result.n_traces / seconds:7.0f}/s",
+            f"{speedup:4.2f}x",
+        ])
+    print()
+    print(format_table(
+        ["campaign", "traces", "seconds", "throughput", "speedup"],
+        rows,
+        title="Parallel sharded campaign vs serial streaming campaign",
+    ))
+    final = serial_result.records[-1]
+    print(f"\ncheckpoint ranks identical across all configurations "
+          f"({len(serial_result.records)} checkpoints, final max rank "
+          f"{final.max_rank})")
+    if args.min_speedup is not None and best_speedup < args.min_speedup:
+        print(f"FAIL: best speedup {best_speedup:.2f}x below the "
+              f"{args.min_speedup:.2f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

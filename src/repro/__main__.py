@@ -13,7 +13,9 @@ Five commands mirror the attacker workflow on the simulated platform:
 * ``campaign`` — a streaming attack campaign: capture batches flow into a
   constant-memory online CPA (and optionally an on-disk trace store),
   with geometric key-rank checkpoints and early stopping; re-running with
-  the same ``--store`` resumes where the store left off.
+  the same ``--store`` resumes where the store left off, and
+  ``--workers N`` fans deterministically seeded trace shards out over a
+  process pool, merging the accumulators at every checkpoint.
 """
 
 from __future__ import annotations
@@ -147,19 +149,27 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import TraceStore
     from repro.evaluation import format_campaign
     from repro.runtime.campaign import AttackCampaign, PlatformSegmentSource
-    from repro.soc.oscilloscope import Oscilloscope
+    from repro.soc.platform import PlatformSpec
 
-    oscilloscope = (
-        None if args.noise_std == 1.0 else Oscilloscope(noise_std=args.noise_std)
-    )
-    platform = SimulatedPlatform(
-        args.cipher, max_delay=args.rd, seed=args.seed, oscilloscope=oscilloscope
-    )
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    platform = PlatformSpec(
+        cipher_name=args.cipher, max_delay=args.rd, noise_std=args.noise_std
+    ).build(args.seed)
     source = PlatformSegmentSource(
         platform, segment_length=args.segment_length, batch_size=args.batch_size
     )
+    if args.workers is not None:
+        return _run_parallel_campaign(args, source)
     store = None
     if args.store is not None:
+        from repro.runtime.parallel import is_shard_store_root
+
+        if is_shard_store_root(args.store):
+            print(f"{args.store} holds per-shard stores from a parallel "
+                  f"campaign; resume it with --workers", file=sys.stderr)
+            return 2
         store = TraceStore.open_or_create(
             args.store,
             n_samples=source.n_samples,
@@ -183,16 +193,60 @@ def cmd_campaign(args: argparse.Namespace) -> int:
           f"{source.n_samples}-sample segments, aggregate {args.aggregate}, "
           f"<= {args.traces} traces")
     result = campaign.run(args.traces, verbose=True)
+    exit_code = _report_campaign(result)
+    if store is not None:
+        print(f"store now holds {len(store)} traces "
+              f"({store.nbytes() / 1e6:.1f} MB on disk)")
+    return exit_code
+
+
+def _report_campaign(result) -> int:
+    """Shared campaign outcome report; exit 0 once rank 1 was reached."""
+    from repro.evaluation import format_campaign
+
     print()
     print(format_campaign(result))
     print()
     print(f"true key      : {result.true_key.hex()}")
     print(f"recovered key : {result.recovered_key.hex()}")
     print(result.summary())
-    if store is not None:
-        print(f"store now holds {len(store)} traces "
-              f"({store.nbytes() / 1e6:.1f} MB on disk)")
     return 0 if result.traces_to_rank1 is not None else 1
+
+
+def _run_parallel_campaign(args: argparse.Namespace, source) -> int:
+    """``repro campaign --workers N``: the sharded process-parallel path."""
+    from repro.runtime.parallel import ParallelCampaign, PlatformCampaignSpec
+    from repro.soc.platform import PlatformSpec
+
+    spec = PlatformCampaignSpec(
+        platform=PlatformSpec(
+            cipher_name=args.cipher, max_delay=args.rd,
+            noise_std=args.noise_std,
+        ),
+        key=source.true_key,
+        segment_length=source.n_samples,
+        batch_size=args.batch_size,
+    )
+    campaign = ParallelCampaign(
+        spec,
+        seed=args.seed,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        store_root=args.store,
+        aggregate=args.aggregate,
+        first_checkpoint=args.first_checkpoint,
+        checkpoint_growth=args.growth,
+        rank1_patience=args.patience,
+        batch_size=args.batch_size,
+    )
+    print(f"parallel campaign: {args.cipher} RD-{args.rd}, "
+          f"{args.workers} workers x {args.shard_size}-trace shards, "
+          f"{source.n_samples}-sample segments, aggregate {args.aggregate}, "
+          f"<= {args.traces} traces")
+    if args.store is not None:
+        print(f"store root: {args.store} (one trace store per shard)")
+    result = campaign.run(args.traces, verbose=True)
+    return _report_campaign(result)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -278,6 +332,12 @@ def main(argv: list[str] | None = None) -> int:
                                  "early stop")
     p_campaign.add_argument("--noise-std", type=float, default=1.0,
                             help="oscilloscope acquisition noise")
+    p_campaign.add_argument("--workers", type=int, default=None,
+                            help="run the sharded process-parallel campaign "
+                                 "with this many workers")
+    p_campaign.add_argument("--shard-size", type=int, default=1024,
+                            help="traces per parallel shard (seed and "
+                                 "checkpoint granularity)")
     p_campaign.set_defaults(func=cmd_campaign)
 
     args = parser.parse_args(argv)

@@ -22,9 +22,23 @@ cancellations benign for traces with a large DC component.
 Both accumulators persist to ``.npz`` (:meth:`OnlineCpa.save` /
 :meth:`OnlineCpa.load`), so a campaign checkpoint can be resumed without
 replaying the trace store.
+
+Merging
+-------
+The sufficient statistics are purely additive, so two accumulators fed
+disjoint trace streams can be **merged** (:meth:`OnlineCpa.merge`,
+``a += b``, ``a + b``) into one whose recovered matrices match a single
+accumulator fed both streams — the algebra behind sharded parallel
+campaigns.  The only wrinkle is the centring reference: each accumulator
+centres against its own first chunk's mean, so a merge re-bases the
+incoming statistics onto the receiver's reference (an exact affine
+update) before adding.  Recovered correlations and mean differences are
+shift-invariant, so any merge order agrees to floating-point noise.
 """
 
 from __future__ import annotations
+
+import copy as _copy
 
 import numpy as np
 
@@ -109,6 +123,67 @@ class _OnlineAccumulator:
             raise ValueError(
                 f"accumulator holds {self._n} traces, needs >= {minimum}"
             )
+
+    # -- merging --------------------------------------------------------- #
+
+    def copy(self):
+        """An independent deep copy (statistics arrays included)."""
+        return _copy.deepcopy(self)
+
+    def merge(self, other):
+        """Fold ``other``'s statistics into this accumulator, in place.
+
+        After ``a.merge(b)``, ``a`` recovers the same matrices as one
+        accumulator fed ``a``'s stream followed by ``b``'s (to floating-
+        point noise); ``b`` is left untouched.  An empty accumulator is
+        the identity on either side.  Returns ``self`` so merges chain.
+        """
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        if other.aggregate != self.aggregate:
+            raise ValueError(
+                f"aggregate mismatch: {self.aggregate} vs {other.aggregate}"
+            )
+        if other._n == 0:
+            return self
+        if self._n == 0:
+            donor = other.copy()
+            self._n = donor._n
+            self._n_bytes = donor._n_bytes
+            self._t_ref = donor._t_ref
+            for name in self._STATE_FIELDS:
+                setattr(self, name, getattr(donor, name))
+            return self
+        if other._t_ref.size != self._t_ref.size:
+            raise ValueError(
+                f"accumulators hold {self._t_ref.size} vs "
+                f"{other._t_ref.size} aggregated samples"
+            )
+        if other._n_bytes != self._n_bytes:
+            raise ValueError(
+                f"accumulators attack {self._n_bytes} vs "
+                f"{other._n_bytes} key bytes"
+            )
+        # Re-base the incoming statistics onto this reference: other's
+        # centred traces are t - r_other = (t - r_self) - d, so adding d
+        # back is an exact affine update of the sufficient statistics.
+        d = other._t_ref - self._t_ref
+        self._merge_stats(other, d)
+        self._n += other._n
+        return self
+
+    def _merge_stats(self, other, d: np.ndarray) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __iadd__(self, other):
+        return self.merge(other)
+
+    def __add__(self, other):
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.copy().merge(other)
 
     # -- shared guess bookkeeping -------------------------------------- #
 
@@ -241,6 +316,16 @@ class OnlineCpa(_OnlineAccumulator):
 
     score_matrix = correlation
 
+    def _merge_stats(self, other: "OnlineCpa", d: np.ndarray) -> None:
+        n_o = other._n
+        self._s_t += other._s_t + n_o * d
+        self._s_t2 += other._s_t2 + 2.0 * d * other._s_t + n_o * d * d
+        self._s_h += other._s_h
+        self._s_h2 += other._s_h2
+        # Hypotheses are centred on the fixed _H_REF, so only the trace
+        # side of the cross-product shifts.
+        self._s_ht += other._s_ht + other._s_h[:, :, None] * d[None, None, :]
+
     _KIND = "online_cpa"
     _STATE_FIELDS = ("_s_t", "_s_t2", "_s_h", "_s_h2", "_s_ht")
 
@@ -292,6 +377,13 @@ class OnlineDpa(_OnlineAccumulator):
         return np.where(valid, diff, 0.0)
 
     score_matrix = difference
+
+    def _merge_stats(self, other: "OnlineDpa", d: np.ndarray) -> None:
+        self._s_t += other._s_t + other._n * d
+        self._ones_count += other._ones_count
+        self._ones_sum += (
+            other._ones_sum + other._ones_count[:, :, None] * d[None, None, :]
+        )
 
     _KIND = "online_dpa"
     _STATE_FIELDS = ("_s_t", "_ones_count", "_ones_sum")

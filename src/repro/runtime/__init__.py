@@ -23,6 +23,13 @@ The streaming layer lives alongside the engine:
 capture→store→accumulate→checkpoint campaigns over the
 :mod:`repro.campaign` primitives, and
 :meth:`ExperimentEngine.run_campaigns` sweeps them across scenario plans.
+
+:class:`~repro.runtime.parallel.ParallelCampaign` multiplies a campaign
+across CPU cores: the trace budget is cut into deterministically seeded
+shards (:func:`~repro.runtime.parallel.plan_shards`), workers capture and
+accumulate shards in parallel processes, and the parent merges the
+additive sufficient statistics at shard-aligned rank checkpoints —
+bit-identical results regardless of the worker count.
 """
 
 from repro.runtime.campaign import (
@@ -32,6 +39,15 @@ from repro.runtime.campaign import (
     PlatformSegmentSource,
 )
 from repro.runtime.engine import ExperimentEngine, ScenarioResult
+from repro.runtime.parallel import (
+    ParallelCampaign,
+    PlatformCampaignSpec,
+    ReducedKeySource,
+    ShardedSegmentSource,
+    ShardSpec,
+    plan_shards,
+    shard_aligned_checkpoints,
+)
 from repro.runtime.plan import BatchPlan, ScenarioSpec
 
 __all__ = [
@@ -40,7 +56,14 @@ __all__ = [
     "CampaignResult",
     "CheckpointRecord",
     "ExperimentEngine",
+    "ParallelCampaign",
+    "PlatformCampaignSpec",
     "PlatformSegmentSource",
+    "ReducedKeySource",
     "ScenarioResult",
     "ScenarioSpec",
+    "ShardSpec",
+    "ShardedSegmentSource",
+    "plan_shards",
+    "shard_aligned_checkpoints",
 ]

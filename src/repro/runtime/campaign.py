@@ -25,9 +25,10 @@ campaign accumulates exactly the traces an uninterrupted one would.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -41,6 +42,9 @@ __all__ = [
     "CheckpointRecord",
     "CampaignResult",
     "AttackCampaign",
+    "evaluate_checkpoint",
+    "extends_streak",
+    "streak_start",
 ]
 
 
@@ -185,6 +189,12 @@ class AttackCampaign:
     first_checkpoint, checkpoint_growth:
         The geometric checkpoint ladder (matching
         :func:`repro.attacks.key_rank.geometric_checkpoints`).
+    checkpoints:
+        An explicit checkpoint ladder overriding the geometric one —
+        sharded parallel campaigns align their rungs to shard boundaries
+        and hand the serial reference the same ladder.  Values are
+        deduplicated, sorted, and filtered below the CPA minimum; past
+        the last rung the campaign runs straight to ``max_traces``.
     rank1_patience:
         Consecutive all-rank-1 checkpoints required before stopping early
         (consecutive *stable-key* checkpoints when the true key is
@@ -203,6 +213,7 @@ class AttackCampaign:
         checkpoint_growth: float = 1.5,
         rank1_patience: int = 2,
         batch_size: int = 256,
+        checkpoints: Sequence[int] | None = None,
     ) -> None:
         if checkpoint_growth <= 1.0:
             raise ValueError("checkpoint_growth must be > 1")
@@ -227,6 +238,18 @@ class AttackCampaign:
             else getattr(source, "true_key", None)
         )
         self.accumulator = OnlineCpa(aggregate=aggregate)
+        self._ladder: tuple[int, ...] | None = None
+        if checkpoints is not None:
+            ladder = sorted(
+                {int(c) for c in checkpoints if int(c) >= MIN_CPA_TRACES}
+            )
+            if not ladder:
+                raise ValueError(
+                    f"explicit checkpoint ladder has no value >= "
+                    f"{MIN_CPA_TRACES}: {list(checkpoints)!r}"
+                )
+            self._ladder = tuple(ladder)
+            first_checkpoint = ladder[0]
         self.first_checkpoint = max(int(first_checkpoint), MIN_CPA_TRACES)
         self.checkpoint_growth = float(checkpoint_growth)
         self.rank1_patience = int(rank1_patience)
@@ -246,6 +269,12 @@ class AttackCampaign:
 
     def _next_checkpoint(self, n: int) -> int:
         """The first ladder value strictly above ``n``."""
+        if self._ladder is not None:
+            for value in self._ladder:
+                if value > n:
+                    return value
+            # Past the explicit ladder: one final rung at the budget.
+            return sys.maxsize
         return next_checkpoint(
             n, first=self.first_checkpoint, growth=self.checkpoint_growth
         )
@@ -307,7 +336,7 @@ class AttackCampaign:
         return CampaignResult(
             records=records,
             n_traces=n,
-            traces_to_rank1=self._traces_to_rank1(records, stopped, streak),
+            traces_to_rank1=self._traces_to_rank1(records, streak),
             early_stopped=stopped,
             recovered_key=(
                 self.accumulator.recovered_key()
@@ -326,29 +355,53 @@ class AttackCampaign:
     # ------------------------------------------------------------------ #
 
     def _evaluate(self, n: int) -> CheckpointRecord:
-        recovered = self.accumulator.recovered_key()
-        ranks = None
-        correct = None
-        if self.true_key is not None:
-            ranks = tuple(self.accumulator.key_ranks(self.true_key))
-            correct = sum(a == b for a, b in zip(recovered, self.true_key))
-        return CheckpointRecord(
-            n_traces=n, recovered_key=recovered, ranks=ranks, correct_bytes=correct
-        )
+        return evaluate_checkpoint(self.accumulator, self.true_key, n)
 
     def _extends_streak(self, records: list[CheckpointRecord]) -> bool:
-        """Does the latest record continue the early-stop condition?"""
-        latest = records[-1]
-        if self.true_key is not None:
-            return latest.all_rank1
-        if len(records) < 2:
-            return False
-        return latest.recovered_key == records[-2].recovered_key
+        return extends_streak(records, self.true_key)
 
     def _traces_to_rank1(
-        self, records: list[CheckpointRecord], stopped: bool, streak: int
+        self, records: list[CheckpointRecord], streak: int
     ) -> int | None:
-        """First checkpoint of the trailing success streak (Table II metric)."""
-        if self.true_key is None or streak == 0:
-            return None
-        return records[len(records) - streak].n_traces
+        return streak_start(records, self.true_key, streak)
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint bookkeeping shared with the parallel campaign               #
+# ---------------------------------------------------------------------- #
+
+
+def evaluate_checkpoint(accumulator, true_key: bytes | None, n: int) -> CheckpointRecord:
+    """Rank the accumulated statistics into one :class:`CheckpointRecord`."""
+    recovered = accumulator.recovered_key()
+    ranks = None
+    correct = None
+    if true_key is not None:
+        ranks = tuple(accumulator.key_ranks(true_key))
+        correct = sum(a == b for a, b in zip(recovered, true_key))
+    return CheckpointRecord(
+        n_traces=n, recovered_key=recovered, ranks=ranks, correct_bytes=correct
+    )
+
+
+def extends_streak(records: list[CheckpointRecord], true_key: bytes | None) -> bool:
+    """Does the latest record continue the early-stop condition?
+
+    With a known true key the condition is all bytes at rank 1; with an
+    unknown key it is a recovered key stable across checkpoints.
+    """
+    latest = records[-1]
+    if true_key is not None:
+        return latest.all_rank1
+    if len(records) < 2:
+        return False
+    return latest.recovered_key == records[-2].recovered_key
+
+
+def streak_start(
+    records: list[CheckpointRecord], true_key: bytes | None, streak: int
+) -> int | None:
+    """First checkpoint of the trailing success streak (Table II metric)."""
+    if true_key is None or streak == 0:
+        return None
+    return records[len(records) - streak].n_traces

@@ -32,11 +32,16 @@ from repro.evaluation.experiments import (
     train_locator,
 )
 from repro.evaluation.hits import HitStats, match_hits
-from repro.soc.oscilloscope import Oscilloscope
 from repro.soc.platform import SessionTrace, SimulatedPlatform
 from repro.campaign import TraceStore
 from repro.runtime.campaign import AttackCampaign, CampaignResult, PlatformSegmentSource
+from repro.runtime.parallel import (
+    ParallelCampaign,
+    PlatformCampaignSpec,
+    is_shard_store_root,
+)
 from repro.runtime.plan import BatchPlan, ScenarioSpec
+from repro.soc.platform import PlatformSpec
 
 __all__ = ["ExperimentEngine", "ScenarioResult"]
 
@@ -165,16 +170,11 @@ class ExperimentEngine:
 
     def platform_for(self, spec: ScenarioSpec, clone: bool = False) -> SimulatedPlatform:
         """Build the (clone or target) platform for a scenario."""
-        oscilloscope = (
-            None if spec.noise_std == 1.0
-            else Oscilloscope(noise_std=spec.noise_std)
-        )
-        return SimulatedPlatform(
-            spec.cipher,
+        return PlatformSpec(
+            cipher_name=spec.cipher,
             max_delay=spec.max_delay,
-            seed=self.seed if clone else spec.seed,
-            oscilloscope=oscilloscope,
-        )
+            noise_std=spec.noise_std,
+        ).build(self.seed if clone else spec.seed)
 
     def capture_session(self, spec: ScenarioSpec) -> SessionTrace:
         """Capture one scenario's attack session via the batched path."""
@@ -263,6 +263,9 @@ class ExperimentEngine:
         checkpoint_growth: float = 1.5,
         rank1_patience: int = 2,
         batch_size: int | None = None,
+        workers: int | None = None,
+        shard_size: int = 1024,
+        attack_bytes: int | None = None,
     ) -> CampaignResult:
         """Run one scenario's streaming attack campaign.
 
@@ -272,13 +275,57 @@ class ExperimentEngine:
         ``max_traces``.  With ``store_dir`` the campaign is durable: an
         existing store at that path is replayed and extended, so the same
         call resumes an interrupted campaign.
+
+        With ``workers`` the campaign runs as a sharded
+        :class:`~repro.runtime.parallel.ParallelCampaign` instead:
+        ``shard_size``-trace shards with per-shard spawned seeds fan out
+        over a process pool and the parent merges accumulators at
+        shard-aligned checkpoints (``store_dir`` then becomes the root of
+        per-shard stores).  The attack key and segment length are drawn
+        from the scenario platform exactly as in the serial path, so both
+        paths attack the same key.  ``attack_bytes`` optionally reduces
+        the attack to the leading key bytes (parallel path only).
         """
         platform = self.platform_for(spec)
+        if workers is not None:
+            campaign_spec = PlatformCampaignSpec(
+                platform=PlatformSpec(
+                    cipher_name=spec.cipher,
+                    max_delay=spec.max_delay,
+                    noise_std=spec.noise_std,
+                ),
+                key=platform.random_key(),
+                segment_length=int(
+                    segment_length if segment_length is not None
+                    else platform.mean_co_samples()
+                ),
+                batch_size=batch_size,
+                attack_bytes=attack_bytes,
+            )
+            campaign = ParallelCampaign(
+                campaign_spec,
+                seed=spec.seed,
+                workers=workers,
+                shard_size=shard_size,
+                store_root=store_dir,
+                aggregate=aggregate,
+                first_checkpoint=first_checkpoint,
+                checkpoint_growth=checkpoint_growth,
+                rank1_patience=rank1_patience,
+                batch_size=batch_size if batch_size is not None else 256,
+            )
+            return campaign.run(max_traces, verbose=self.verbose)
         source = PlatformSegmentSource(
             platform, segment_length=segment_length, batch_size=batch_size
         )
         store = None
         if store_dir is not None:
+            if is_shard_store_root(store_dir):
+                raise ValueError(
+                    f"{store_dir} holds per-shard stores from a parallel "
+                    f"campaign; resume it with workers=, or point the "
+                    f"serial campaign at a fresh directory"
+                )
             store = TraceStore.open_or_create(
                 store_dir,
                 n_samples=source.n_samples,

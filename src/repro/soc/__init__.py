@@ -32,7 +32,12 @@ from repro.soc.trace_synth import (
     synthesize_trace,
     synthesize_traces,
 )
-from repro.soc.platform import CipherTrace, SessionTrace, SimulatedPlatform
+from repro.soc.platform import (
+    CipherTrace,
+    PlatformSpec,
+    SessionTrace,
+    SimulatedPlatform,
+)
 
 __all__ = [
     "TrngModel",
@@ -48,6 +53,7 @@ __all__ = [
     "synthesize_trace",
     "synthesize_traces",
     "CipherTrace",
+    "PlatformSpec",
     "SessionTrace",
     "SimulatedPlatform",
 ]

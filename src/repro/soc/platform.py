@@ -49,7 +49,7 @@ from repro.soc.trace_synth import (
 )
 from repro.soc.trng import TrngModel
 
-__all__ = ["CipherTrace", "SessionTrace", "SimulatedPlatform"]
+__all__ = ["CipherTrace", "PlatformSpec", "SessionTrace", "SimulatedPlatform"]
 
 #: Default cap on traces per batched profiling capture.  Bounds the peak
 #: footprint of the batch arrays (op matrices, flat power/analog buffers,
@@ -81,6 +81,63 @@ class SessionTrace:
     rd_name: str
     noise_interleaved: bool
     extras: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A picklable recipe for building a :class:`SimulatedPlatform`.
+
+    Parallel campaign workers cannot receive a live platform (its RNG,
+    cipher, and oscilloscope state do not travel across processes);
+    instead they receive this spec plus a per-shard seed and construct
+    their own platform with :meth:`build`.  ``noise_std`` follows the
+    engine's convention: ``1.0`` means the default oscilloscope.
+    """
+
+    cipher_name: str
+    max_delay: int = 4
+    noise_std: float = 1.0
+
+    @classmethod
+    def of(cls, platform: "SimulatedPlatform") -> "PlatformSpec":
+        """The spec that rebuilds a platform of the same configuration.
+
+        Only ``noise_std`` travels in the spec, so an oscilloscope
+        customised beyond that cannot be represented — rebuilding it
+        would silently capture a different trace stream, so this raises
+        instead.
+        """
+        spec = cls(
+            cipher_name=platform.cipher_name,
+            max_delay=platform.countermeasure.max_delay,
+            noise_std=float(platform.oscilloscope.noise_std),
+        )
+        rebuilt = spec.build(0)
+        scope, original = rebuilt.oscilloscope, platform.oscilloscope
+        if (
+            scope.samples_per_op != original.samples_per_op
+            or scope.adc_bits != original.adc_bits
+            or scope.v_range != original.v_range
+            or not np.array_equal(scope._kernel, original._kernel)
+        ):
+            raise ValueError(
+                "platform uses a customised oscilloscope; PlatformSpec only "
+                "carries noise_std and cannot rebuild it faithfully"
+            )
+        return spec
+
+    def build(self, seed) -> "SimulatedPlatform":
+        """Construct the platform; ``seed`` may be an int or SeedSequence."""
+        oscilloscope = (
+            None if self.noise_std == 1.0
+            else Oscilloscope(noise_std=self.noise_std)
+        )
+        return SimulatedPlatform(
+            self.cipher_name,
+            max_delay=self.max_delay,
+            seed=seed,
+            oscilloscope=oscilloscope,
+        )
 
 
 class SimulatedPlatform:

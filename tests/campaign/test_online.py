@@ -4,35 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from factories import feed_in_chunks, leaky_traces
 
 from repro.attacks import CpaAttack
 from repro.attacks.cpa import cpa_byte_correlation
 from repro.attacks.dpa import dpa_attack_byte, dpa_byte_difference
-from repro.attacks.leakage_models import hw_byte
 from repro.campaign import OnlineCpa, OnlineDpa
-from repro.ciphers.aes import SBOX
-
-_SBOX = np.asarray(SBOX, dtype=np.uint8)
-
-
-def leaky_traces(rng, n, key, noise=1.0, samples=40, offset=0.0):
-    """Traces leaking HW(SBOX[pt ^ key_b]) per byte at known positions."""
-    n_bytes = len(key)
-    pts = rng.integers(0, 256, (n, n_bytes), dtype=np.uint8)
-    traces = rng.normal(offset, noise, (n, samples))
-    for b in range(n_bytes):
-        traces[:, (2 * b) % samples] += hw_byte(_SBOX[pts[:, b] ^ key[b]])
-    return traces, pts
-
-
-def feed_in_chunks(acc, traces, pts, splits):
-    """Update an accumulator with uneven chunks cut at ``splits``."""
-    begin = 0
-    for end in list(splits) + [traces.shape[0]]:
-        if end > begin:
-            acc.update(traces[begin:end], pts[begin:end])
-            begin = end
-    return acc
 
 
 class TestOnlineCpaEquivalence:

@@ -4,15 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from factories import make_chunk
 
 from repro.campaign import TraceStore
-
-
-def make_chunk(rng, count, samples=32, block=16):
-    return (
-        rng.normal(0, 1, (count, samples)),
-        rng.integers(0, 256, (count, block), dtype=np.uint8),
-    )
 
 
 class TestRoundTrip:

@@ -1,9 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also puts this directory on ``sys.path`` so every test package can
+``import factories`` — the shared builders for platforms, leaky trace
+batches, and campaign sources live in ``tests/factories.py``.
+"""
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 
 @pytest.fixture

@@ -1,0 +1,112 @@
+"""Convergence reporting: curves, entropy, and the error paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.convergence import (
+    format_campaign,
+    guessing_entropy,
+    guessing_entropy_curve,
+    rank_convergence_curve,
+)
+from repro.runtime import CampaignResult, CheckpointRecord
+
+
+def record(n, ranks=None, recovered=b"\x00" * 16, correct=None):
+    return CheckpointRecord(
+        n_traces=n, recovered_key=recovered, ranks=ranks, correct_bytes=correct
+    )
+
+
+def result_over(records, true_key=None):
+    return CampaignResult(
+        records=records,
+        n_traces=records[-1].n_traces if records else 0,
+        traces_to_rank1=None,
+        early_stopped=False,
+        recovered_key=b"\x00" * 16,
+        true_key=true_key,
+        resumed_from=0,
+        store_path=None,
+        capture_seconds=0.0,
+        attack_seconds=0.0,
+    )
+
+
+class TestGuessingEntropy:
+    def test_boundary_values(self):
+        assert guessing_entropy([1] * 16) == 0.0
+        assert guessing_entropy([2] * 16) == 1.0
+        assert guessing_entropy([256] * 4) == 8.0
+
+    def test_mixed_ranks_average_in_log_space(self):
+        assert guessing_entropy([1, 4]) == pytest.approx(1.0)
+
+    def test_rejects_empty_and_non_positive_ranks(self):
+        with pytest.raises(ValueError, match="at least one"):
+            guessing_entropy([])
+        with pytest.raises(ValueError, match="1-based"):
+            guessing_entropy([0, 1])
+        with pytest.raises(ValueError, match="1-based"):
+            guessing_entropy([-3])
+
+
+class TestCurves:
+    RECORDS = [
+        record(25, ranks=(200, 10, 3)),
+        record(50, ranks=(40, 2, 1)),
+        record(100, ranks=(1, 1, 1)),
+    ]
+
+    def test_rank_convergence_curve(self):
+        counts, max_ranks = rank_convergence_curve(self.RECORDS)
+        np.testing.assert_array_equal(counts, [25, 50, 100])
+        np.testing.assert_array_equal(max_ranks, [200, 40, 1])
+
+    def test_guessing_entropy_curve(self):
+        counts, entropy = guessing_entropy_curve(self.RECORDS)
+        np.testing.assert_array_equal(counts, [25, 50, 100])
+        assert entropy[-1] == 0.0
+        assert np.all(np.diff(entropy) < 0)
+
+    def test_rankless_records_are_dropped_from_curves(self):
+        mixed = [record(25), *self.RECORDS]
+        counts, _ = rank_convergence_curve(mixed)
+        np.testing.assert_array_equal(counts, [25, 50, 100])
+
+    @pytest.mark.parametrize(
+        "curve", [rank_convergence_curve, guessing_entropy_curve]
+    )
+    def test_unknown_key_history_raises(self, curve):
+        """Error path: no checkpoint carries ranks (true key unknown)."""
+        with pytest.raises(ValueError, match="no checkpoint carries ranks"):
+            curve([record(25), record(50)])
+        with pytest.raises(ValueError, match="no checkpoint carries ranks"):
+            curve([])
+
+
+class TestFormatCampaign:
+    def test_known_key_table(self):
+        table = format_campaign(
+            result_over(self.ranked(), true_key=b"\x00" * 3)
+        )
+        assert "max rank" in table and "GE (bits)" in table
+        assert "200" in table
+
+    def test_unknown_key_degrades_to_dashes(self):
+        table = format_campaign(result_over([record(25), record(50)]))
+        assert "-" in table
+        assert "?" not in table
+
+    def test_title_override(self):
+        table = format_campaign(result_over([record(25)]), title="my run")
+        assert "my run" in table
+
+    @staticmethod
+    def ranked():
+        return [
+            record(25, ranks=(200, 10, 3), correct=0),
+            record(50, ranks=(1, 1, 1), correct=3),
+        ]

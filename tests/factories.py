@@ -1,0 +1,131 @@
+"""Shared test factories: platforms, leaky trace batches, campaign sources.
+
+Importable from every test package (``tests/conftest.py`` puts this
+directory on ``sys.path``), replacing the copy-pasted setup that used to
+live in ``tests/campaign/``, ``tests/runtime/``, and ``tests/soc/``.
+Everything here is deterministic given its seed arguments, and the
+campaign source classes are picklable so process-pool tests can ship them
+to workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.leakage_models import hw_byte
+from repro.ciphers.aes import SBOX
+from repro.soc import PlatformSpec, SimulatedPlatform
+
+SBOX_TABLE = np.asarray(SBOX, dtype=np.uint8)
+
+#: The FIPS-197 appendix key most campaign tests attack.
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def small_platform(
+    cipher: str = "aes",
+    max_delay: int = 0,
+    seed: int = 0,
+    noise_std: float = 1.0,
+) -> SimulatedPlatform:
+    """A cheap simulated platform with the engine's noise convention."""
+    return PlatformSpec(
+        cipher_name=cipher, max_delay=max_delay, noise_std=noise_std
+    ).build(seed)
+
+
+def leaky_traces(rng, n, key, noise=1.0, samples=40, offset=0.0):
+    """Traces leaking HW(SBOX[pt ^ key_b]) per byte at known positions."""
+    n_bytes = len(key)
+    pts = rng.integers(0, 256, (n, n_bytes), dtype=np.uint8)
+    traces = rng.normal(offset, noise, (n, samples))
+    for b in range(n_bytes):
+        traces[:, (2 * b) % samples] += hw_byte(SBOX_TABLE[pts[:, b] ^ key[b]])
+    return traces, pts
+
+
+def feed_in_chunks(acc, traces, pts, splits):
+    """Update an accumulator with uneven chunks cut at ``splits``."""
+    begin = 0
+    for end in list(splits) + [traces.shape[0]]:
+        if end > begin:
+            acc.update(traces[begin:end], pts[begin:end])
+            begin = end
+    return acc
+
+
+def make_chunk(rng, count, samples=32, block=16):
+    """One random (traces, plaintexts) pair for trace-store tests."""
+    return (
+        rng.normal(0, 1, (count, samples)),
+        rng.integers(0, 256, (count, block), dtype=np.uint8),
+    )
+
+
+class SyntheticSource:
+    """A deterministic leaky segment source (no platform, fast).
+
+    Randomness is drawn per trace so the stream, like the platform's, is
+    invariant to capture-chunk boundaries — ``skip``/resume and shard
+    determinism rely on it.
+    """
+
+    def __init__(self, key: bytes, seed=0, noise: float = 1.0,
+                 samples: int = 40):
+        self.true_key = key
+        self.n_samples = samples
+        self.block_size = len(key)
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+        self.captured = 0
+
+    def capture(self, count: int):
+        pts = np.empty((count, self.block_size), dtype=np.uint8)
+        traces = np.empty((count, self.n_samples))
+        for i in range(count):
+            pts[i] = self._rng.integers(0, 256, self.block_size, dtype=np.uint8)
+            traces[i] = self._rng.normal(0, self.noise, self.n_samples)
+        for b in range(self.block_size):
+            traces[:, (2 * b) % self.n_samples] += hw_byte(
+                SBOX_TABLE[pts[:, b] ^ self.true_key[b]]
+            )
+        self.captured += count
+        return traces, pts
+
+    def skip(self, count: int):
+        if count > 0:
+            self.capture(count)
+            self.captured -= count
+
+
+@dataclass(frozen=True)
+class SyntheticCampaignSpec:
+    """Picklable campaign-source spec over :class:`SyntheticSource`.
+
+    The parallel-campaign analogue of ``PlatformCampaignSpec`` for tests:
+    workers rebuild one independent synthetic source per shard from the
+    shard's child seed.
+    """
+
+    key: bytes = KEY
+    noise: float = 1.0
+    samples: int = 40
+
+    @property
+    def n_samples(self) -> int:
+        return self.samples
+
+    @property
+    def block_size(self) -> int:
+        return len(self.key)
+
+    @property
+    def true_key(self) -> bytes:
+        return self.key
+
+    def build_source(self, seed) -> SyntheticSource:
+        return SyntheticSource(
+            self.key, seed=seed, noise=self.noise, samples=self.samples
+        )

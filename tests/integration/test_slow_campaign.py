@@ -1,0 +1,57 @@
+"""The target workload: a parallel large-budget RD-2 campaign.
+
+Under RD-2 random-delay jitter first-order CPA needs tens of thousands of
+traces — exactly the regime the sharded parallel campaign exists for.
+This test runs the real thing (reduced to the four leading key bytes to
+bound the cost) and asserts the attack actually reaches rank 1.
+
+Marked ``slow`` and excluded from the default run; execute with::
+
+    PYTHONPATH=src python -m pytest -m slow
+
+CI runs it in the scheduled/opt-in ``slow-tests`` job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import ExperimentEngine, ScenarioSpec
+
+pytestmark = pytest.mark.slow
+
+
+def test_parallel_rd2_campaign_reaches_rank1(tmp_path):
+    engine = ExperimentEngine(seed=0)
+    spec = ScenarioSpec(cipher="aes", max_delay=2, seed=2024)
+    result = engine.run_campaign(
+        spec,
+        max_traces=65536,
+        aggregate=32,
+        rank1_patience=2,
+        batch_size=512,
+        workers=4,
+        shard_size=4096,
+        attack_bytes=4,
+        store_dir=tmp_path / "rd2-shards",
+    )
+    assert result.traces_to_rank1 is not None
+    assert result.traces_to_rank1 <= 65536
+    assert result.key_recovered
+    assert result.early_stopped
+    # the jitter regime really does need tens of thousands of traces
+    assert result.traces_to_rank1 > 10_000
+    # resuming the finished campaign replays the stores without capturing
+    resumed = engine.run_campaign(
+        spec,
+        max_traces=result.n_traces,
+        aggregate=32,
+        rank1_patience=2,
+        batch_size=512,
+        workers=4,
+        shard_size=4096,
+        attack_bytes=4,
+        store_dir=tmp_path / "rd2-shards",
+    )
+    assert resumed.resumed_from == result.n_traces
+    assert resumed.records[-1].ranks == result.records[-1].ranks

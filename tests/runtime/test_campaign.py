@@ -4,11 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from factories import KEY, SyntheticSource, small_platform
 
 from repro.attacks import CpaAttack
-from repro.attacks.leakage_models import hw_byte
 from repro.campaign import TraceStore
-from repro.ciphers.aes import SBOX
 from repro.evaluation import (
     format_campaign,
     guessing_entropy,
@@ -17,45 +16,6 @@ from repro.evaluation import (
 )
 from repro.runtime import AttackCampaign, ExperimentEngine, PlatformSegmentSource
 from repro.runtime.plan import BatchPlan, ScenarioSpec
-from repro.soc import SimulatedPlatform
-
-_SBOX = np.asarray(SBOX, dtype=np.uint8)
-
-
-class SyntheticSource:
-    """A deterministic leaky segment source (no platform, fast)."""
-
-    def __init__(self, key: bytes, seed: int = 0, noise: float = 1.0,
-                 samples: int = 40):
-        self.true_key = key
-        self.n_samples = samples
-        self.block_size = len(key)
-        self.noise = noise
-        self._rng = np.random.default_rng(seed)
-        self.captured = 0
-
-    def capture(self, count: int):
-        # Randomness is drawn per trace so the stream, like the platform's,
-        # is invariant to capture-chunk boundaries (skip/resume relies on it).
-        pts = np.empty((count, self.block_size), dtype=np.uint8)
-        traces = np.empty((count, self.n_samples))
-        for i in range(count):
-            pts[i] = self._rng.integers(0, 256, self.block_size, dtype=np.uint8)
-            traces[i] = self._rng.normal(0, self.noise, self.n_samples)
-        for b in range(self.block_size):
-            traces[:, (2 * b) % self.n_samples] += hw_byte(
-                _SBOX[pts[:, b] ^ self.true_key[b]]
-            )
-        self.captured += count
-        return traces, pts
-
-    def skip(self, count: int):
-        if count > 0:
-            self.capture(count)
-            self.captured -= count
-
-
-KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
 
 
 class TestEarlyStopping:
@@ -204,7 +164,7 @@ class TestResume:
 
 class TestPlatformCampaign:
     def test_rd0_platform_campaign_recovers_key(self):
-        platform = SimulatedPlatform("aes", max_delay=0, seed=42)
+        platform = small_platform("aes", max_delay=0, seed=42)
         source = PlatformSegmentSource(platform, segment_length=1600)
         campaign = AttackCampaign(
             source, aggregate=8, first_checkpoint=128,
@@ -216,14 +176,14 @@ class TestPlatformCampaign:
         assert result.traces_to_rank1 is not None
 
     def test_platform_segments_shape_and_determinism(self):
-        platform = SimulatedPlatform("aes", max_delay=2, seed=5)
+        platform = small_platform("aes", max_delay=2, seed=5)
         key = platform.random_key()
         segments, pts = platform.capture_attack_segments(
             12, key=key, segment_length=800
         )
         assert segments.shape == (12, 800)
         assert pts.shape == (12, 16)
-        replay = SimulatedPlatform("aes", max_delay=2, seed=5)
+        replay = small_platform("aes", max_delay=2, seed=5)
         replay_key = replay.random_key()
         assert replay_key == key
         segments2, pts2 = replay.capture_attack_segments(
@@ -231,6 +191,24 @@ class TestPlatformCampaign:
         )
         np.testing.assert_array_equal(segments, segments2)
         np.testing.assert_array_equal(pts, pts2)
+
+    def test_skip_fast_forward_matches_contiguous_capture(self):
+        """Regression (sharded resume): skip(R) + capture(C) must equal
+        capture(R+C) with the first R traces dropped, bit for bit."""
+        key = bytes(range(16))
+
+        def source(seed=5):
+            return PlatformSegmentSource(
+                small_platform("aes", max_delay=2, seed=seed),
+                key=key, segment_length=700, batch_size=64,
+            )
+
+        straight, jumped = source(), source()
+        traces, pts = straight.capture(150)
+        jumped.skip(90)   # crosses a 64-trace capture-batch boundary
+        tail_traces, tail_pts = jumped.capture(60)
+        np.testing.assert_array_equal(traces[90:], tail_traces)
+        np.testing.assert_array_equal(pts[90:], tail_pts)
 
 
 class TestEngineIntegration:

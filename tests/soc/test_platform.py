@@ -5,12 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.soc import SimulatedPlatform
+from factories import small_platform
 
 
 class TestCipherCaptures:
     def test_capture_fields(self):
-        platform = SimulatedPlatform("aes", max_delay=2, seed=0)
+        platform = small_platform("aes", max_delay=2, seed=0)
         capture = platform.capture_cipher_trace()
         assert capture.trace.dtype == np.float32
         assert 0 < capture.co_start < capture.trace.size
@@ -18,7 +18,7 @@ class TestCipherCaptures:
         assert len(capture.key) == 16
 
     def test_nop_header_region_is_low_power(self):
-        platform = SimulatedPlatform("aes", max_delay=0, seed=1)
+        platform = small_platform("aes", max_delay=0, seed=1)
         capture = platform.capture_cipher_trace(nop_header=64)
         nop_region = capture.trace[: capture.co_start]
         co_region = capture.trace[capture.co_start: capture.co_start + 200]
@@ -26,25 +26,25 @@ class TestCipherCaptures:
 
     def test_co_start_scales_with_delay(self):
         """With RD-4 the NOP prologue gets dummy ops inserted."""
-        rd0 = SimulatedPlatform("aes", max_delay=0, seed=2).capture_cipher_trace(nop_header=96)
-        rd4 = SimulatedPlatform("aes", max_delay=4, seed=2).capture_cipher_trace(nop_header=96)
+        rd0 = small_platform("aes", max_delay=0, seed=2).capture_cipher_trace(nop_header=96)
+        rd4 = small_platform("aes", max_delay=4, seed=2).capture_cipher_trace(nop_header=96)
         assert rd4.co_start > rd0.co_start
 
     def test_fixed_key_honoured(self):
-        platform = SimulatedPlatform("aes", max_delay=2, seed=3)
+        platform = small_platform("aes", max_delay=2, seed=3)
         key = bytes(range(16))
         captures = platform.capture_cipher_traces(3, key=key)
         assert all(c.key == key for c in captures)
 
     def test_plaintexts_vary(self):
-        platform = SimulatedPlatform("aes", max_delay=2, seed=4)
+        platform = small_platform("aes", max_delay=2, seed=4)
         captures = platform.capture_cipher_traces(4)
         assert len({c.plaintext for c in captures}) == 4
 
 
 class TestNoiseCapture:
     def test_noise_trace_length(self):
-        platform = SimulatedPlatform("aes", max_delay=2, seed=5)
+        platform = small_platform("aes", max_delay=2, seed=5)
         trace = platform.capture_noise_trace(5_000)
         assert trace.size >= 10_000  # >= min_ops x samples_per_op
 
@@ -52,7 +52,7 @@ class TestNoiseCapture:
 class TestSessionCaptures:
     @pytest.mark.parametrize("interleaved", [True, False])
     def test_session_ground_truth(self, interleaved):
-        platform = SimulatedPlatform("camellia", max_delay=2, seed=6)
+        platform = small_platform("camellia", max_delay=2, seed=6)
         session = platform.capture_session_trace(5, noise_interleaved=interleaved)
         assert session.true_starts.shape == (5,)
         assert np.all(np.diff(session.true_starts) > 0)
@@ -63,24 +63,24 @@ class TestSessionCaptures:
     def test_ciphertexts_are_correct(self):
         from repro.ciphers import Camellia128
 
-        platform = SimulatedPlatform("camellia", max_delay=2, seed=7)
+        platform = small_platform("camellia", max_delay=2, seed=7)
         session = platform.capture_session_trace(3)
         cam = Camellia128()
         for pt, ct in zip(session.plaintexts, session.ciphertexts):
             assert cam.encrypt(pt, session.key) == ct
 
     def test_interleaved_sessions_are_longer(self):
-        compact = SimulatedPlatform("aes", max_delay=2, seed=8).capture_session_trace(
+        compact = small_platform("aes", max_delay=2, seed=8).capture_session_trace(
             6, noise_interleaved=False
         )
-        spread = SimulatedPlatform("aes", max_delay=2, seed=8).capture_session_trace(
+        spread = small_platform("aes", max_delay=2, seed=8).capture_session_trace(
             6, noise_interleaved=True
         )
         assert spread.trace.size > compact.trace.size
 
     def test_seeds_reproduce_sessions(self):
-        a = SimulatedPlatform("aes", max_delay=4, seed=11).capture_session_trace(3)
-        b = SimulatedPlatform("aes", max_delay=4, seed=11).capture_session_trace(3)
+        a = small_platform("aes", max_delay=4, seed=11).capture_session_trace(3)
+        b = small_platform("aes", max_delay=4, seed=11).capture_session_trace(3)
         np.testing.assert_array_equal(a.trace, b.trace)
         np.testing.assert_array_equal(a.true_starts, b.true_starts)
         assert a.key == b.key
@@ -89,9 +89,9 @@ class TestSessionCaptures:
 class TestAttackSegments:
     def test_segments_match_profiling_cuts(self):
         """The campaign hand-off is exactly the profiling capture, cut."""
-        platform = SimulatedPlatform("aes", max_delay=2, seed=21)
+        platform = small_platform("aes", max_delay=2, seed=21)
         key = platform.random_key()
-        reference = SimulatedPlatform("aes", max_delay=2, seed=21)
+        reference = small_platform("aes", max_delay=2, seed=21)
         reference_key = reference.random_key()
         assert reference_key == key
         segments, pts = platform.capture_attack_segments(
@@ -105,18 +105,67 @@ class TestAttackSegments:
             assert pts[i].tobytes() == capture.plaintext
 
     def test_rejects_bad_segment_length(self):
-        platform = SimulatedPlatform("aes", max_delay=0, seed=22)
+        platform = small_platform("aes", max_delay=0, seed=22)
         with pytest.raises(ValueError):
             platform.capture_attack_segments(2, key=bytes(16), segment_length=0)
 
 
 class TestUtilities:
     def test_mean_co_samples_positive(self):
-        platform = SimulatedPlatform("simon", max_delay=4, seed=9)
+        platform = small_platform("simon", max_delay=4, seed=9)
         mean_len = platform.mean_co_samples(probes=3)
         assert mean_len > 500
 
     def test_masked_cipher_platform_works(self):
-        platform = SimulatedPlatform("aes_masked", max_delay=2, seed=10)
+        platform = small_platform("aes_masked", max_delay=2, seed=10)
         capture = platform.capture_cipher_trace()
         assert capture.trace.size > 1_000
+
+
+class TestPlatformSpec:
+    """Worker-side platform construction for parallel campaigns."""
+
+    def test_build_reproduces_direct_construction(self):
+        from repro.soc import PlatformSpec
+
+        spec = PlatformSpec(cipher_name="aes", max_delay=2, noise_std=1.0)
+        built = spec.build(31)
+        direct = small_platform("aes", max_delay=2, seed=31)
+        key = direct.random_key()
+        assert built.random_key() == key
+        a, pa = built.capture_attack_segments(4, key=key, segment_length=500)
+        b, pb = direct.capture_attack_segments(4, key=key, segment_length=500)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(pa, pb)
+
+    def test_of_round_trips_configuration(self):
+        from repro.soc import PlatformSpec
+
+        platform = small_platform("camellia", max_delay=4, seed=1,
+                                  noise_std=0.5)
+        spec = PlatformSpec.of(platform)
+        assert spec == PlatformSpec(
+            cipher_name="camellia", max_delay=4, noise_std=0.5
+        )
+        rebuilt = spec.build(1)
+        assert rebuilt.oscilloscope.noise_std == 0.5
+        assert rebuilt.countermeasure.max_delay == 4
+
+    def test_of_rejects_customised_oscilloscopes(self):
+        from repro.soc import Oscilloscope, PlatformSpec, SimulatedPlatform
+
+        platform = SimulatedPlatform(
+            "aes", max_delay=0, seed=0,
+            oscilloscope=Oscilloscope(samples_per_op=4, adc_bits=8),
+        )
+        with pytest.raises(ValueError, match="customised oscilloscope"):
+            PlatformSpec.of(platform)
+
+    def test_build_accepts_seed_sequences(self):
+        from repro.soc import PlatformSpec
+
+        seq = np.random.SeedSequence(7, spawn_key=(1, 3))
+        spec = PlatformSpec(cipher_name="aes", max_delay=0)
+        one = spec.build(seq).random_key()
+        two = spec.build(np.random.SeedSequence(7, spawn_key=(1, 3))).random_key()
+        assert one == two

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro.__main__ import main
@@ -41,3 +43,23 @@ class TestCli:
         assert main(argv) == 0
         resumed = capsys.readouterr().out
         assert "resumed" in resumed
+
+    def test_parallel_campaign_runs_and_resumes(self, tmp_path, capsys):
+        """`--workers N` routes to the sharded parallel campaign."""
+        store = str(tmp_path / "shards")
+        argv = ["campaign", "--rd", "0", "--traces", "512",
+                "--segment-length", "1600", "--aggregate", "8",
+                "--patience", "1", "--workers", "2", "--shard-size", "128",
+                "--batch-size", "128", "--store", store]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "parallel campaign" in first
+        assert "recovered key" in first
+        assert (tmp_path / "shards" / "shard-000000").is_dir()
+        assert main(argv) == 0
+        resumed = capsys.readouterr().out
+        assert re.search(r"\((?!0 )\d+ resumed\)", resumed)
+
+    def test_parallel_campaign_rejects_bad_worker_count(self):
+        assert main(["campaign", "--rd", "0", "--traces", "64",
+                     "--segment-length", "1600", "--workers", "0"]) == 2

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Distinguisher framework benchmark: throughput + traces-to-rank-1.
+
+For every registered distinguisher this measures, on deterministic
+synthetic leaky streams (first-order leaks for cpa/dpa/lra, a two-share
+masked stream for cpa2):
+
+* **update throughput** — traces/s through chunked online accumulation
+  (the per-trace cost a streaming campaign pays);
+* **evaluation latency** — seconds to recover all per-byte guess scores
+  from the sufficient statistics (the per-checkpoint cost);
+* **traces-to-rank-1** — the budget each statistic needs on its target
+  workload, walked incrementally up a geometric checkpoint ladder.
+
+Besides the printed table the benchmark writes
+``BENCH_distinguishers.json`` (override with ``--output``) so CI can track
+the perf trajectory machine-readably.
+
+Run directly (CI-sized with ``--quick``):
+
+    PYTHONPATH=src python benchmarks/bench_distinguishers.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.attacks.distinguishers import DistinguisherSpec
+from repro.attacks.key_rank import geometric_checkpoints
+from repro.attacks.leakage_models import get_leakage_model
+from repro.ciphers.aes import SBOX
+from repro.evaluation import format_table
+
+_SBOX = np.asarray(SBOX, dtype=np.uint8)
+_HW = np.asarray([bin(v).count("1") for v in range(256)], dtype=np.float64)
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")[:8]
+WINDOW1 = (2, 10)
+WINDOW2 = (20, 28)
+
+
+def first_order_stream(rng, n, samples, noise):
+    """Traces leaking HW(SBOX[pt ^ k]) per byte at known positions."""
+    pts = rng.integers(0, 256, (n, len(KEY)), dtype=np.uint8)
+    traces = rng.normal(0.0, noise, (n, samples))
+    for b in range(len(KEY)):
+        traces[:, (3 * b) % samples] += _HW[_SBOX[pts[:, b] ^ KEY[b]]]
+    return traces, pts
+
+
+def masked_stream(rng, n, samples, noise):
+    """Two-share masked traces: HW(v^m) and HW(SBOX[v]^m) per byte."""
+    pts = rng.integers(0, 256, (n, len(KEY)), dtype=np.uint8)
+    traces = rng.normal(0.0, noise, (n, samples))
+    for b in range(len(KEY)):
+        mask = rng.integers(0, 256, n, dtype=np.uint8)
+        v = pts[:, b] ^ KEY[b]
+        traces[:, WINDOW1[0] + b] += _HW[v ^ mask]
+        traces[:, WINDOW2[0] + b] += _HW[_SBOX[v] ^ mask]
+    return traces, pts
+
+
+def configurations(quick: bool):
+    """(name, spec, stream factory, budget, noise) per distinguisher."""
+    scale = 1 if not quick else 2
+    return [
+        ("cpa", DistinguisherSpec(name="cpa"), first_order_stream,
+         4000 // scale, 1.0),
+        ("dpa", DistinguisherSpec(name="dpa"), first_order_stream,
+         8000 // scale, 1.0),
+        ("cpa2", DistinguisherSpec(name="cpa2", window1=WINDOW1,
+                                   window2=WINDOW2),
+         masked_stream, 8000 // scale, 0.6),
+        ("lra", DistinguisherSpec(name="lra"), first_order_stream,
+         4000 // scale, 1.0),
+    ]
+
+
+def bench_one(name, spec, stream, budget, noise, samples, chunk):
+    rng = np.random.default_rng(0xBE7C)
+    traces, pts = stream(rng, budget, samples, noise)
+
+    # Update throughput over chunked accumulation.
+    acc = spec.build()
+    begin = time.perf_counter()
+    for lo in range(0, budget, chunk):
+        acc.update(traces[lo:lo + chunk], pts[lo:lo + chunk])
+    update_seconds = time.perf_counter() - begin
+
+    # Per-checkpoint evaluation latency (scores over all bytes).
+    begin = time.perf_counter()
+    acc.guess_scores()
+    eval_seconds = time.perf_counter() - begin
+
+    # Traces-to-rank-1 up an incremental geometric ladder.
+    ladder = geometric_checkpoints(budget, first=50)
+    walker = spec.build()
+    done = 0
+    rank1 = None
+    for point in ladder:
+        walker.update(traces[done:point], pts[done:point])
+        done = point
+        if done < walker.min_traces:
+            continue
+        if all(rank == 1 for rank in walker.key_ranks(KEY)):
+            rank1 = point
+            break
+
+    return {
+        "update_traces_per_s": budget / update_seconds,
+        "update_seconds": update_seconds,
+        "eval_seconds": eval_seconds,
+        "traces_to_rank1": rank1,
+        "budget": budget,
+        "recovered": walker.recovered_key() == KEY,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized budgets")
+    parser.add_argument("--samples", type=int, default=40,
+                        help="samples per synthetic trace")
+    parser.add_argument("--chunk", type=int, default=256,
+                        help="traces per online update chunk")
+    parser.add_argument("--output", default="BENCH_distinguishers.json")
+    args = parser.parse_args()
+
+    # Warm the cached hypothesis tables outside the timers.
+    for model in ("hw", "msb", "hd"):
+        get_leakage_model(model)
+
+    results = {}
+    rows = []
+    for name, spec, stream, budget, noise in configurations(args.quick):
+        measured = bench_one(
+            name, spec, stream, budget, noise, args.samples, args.chunk
+        )
+        results[name] = measured
+        rows.append([
+            name,
+            f"{measured['update_traces_per_s']:.0f}",
+            f"{measured['eval_seconds'] * 1e3:.1f}",
+            str(measured["traces_to_rank1"] or "x"),
+            str(measured["budget"]),
+        ])
+        print(f"[bench] {name}: "
+              f"{measured['update_traces_per_s']:.0f} traces/s, "
+              f"rank 1 at {measured['traces_to_rank1']}")
+
+    print()
+    print(format_table(
+        ["distinguisher", "update traces/s", "eval ms", "rank 1 at", "budget"],
+        rows,
+        title=f"Distinguisher framework ({len(KEY)}-byte key, "
+              f"{args.samples} samples, chunk {args.chunk})",
+    ))
+
+    payload = {
+        "benchmark": "distinguishers",
+        "quick": bool(args.quick),
+        "key_bytes": len(KEY),
+        "samples": args.samples,
+        "chunk": args.chunk,
+        "distinguishers": results,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nwrote {args.output}")
+
+    failed = [
+        name for name, measured in results.items()
+        if measured["traces_to_rank1"] is None
+    ]
+    if failed:
+        print(f"distinguishers missing rank 1 on their target workload: "
+              f"{', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,11 +11,14 @@ Five commands mirror the attacker workflow on the simulated platform:
   the batched :class:`~repro.runtime.ExperimentEngine` and print a
   Table-II-style summary;
 * ``campaign`` — a streaming attack campaign: capture batches flow into a
-  constant-memory online CPA (and optionally an on-disk trace store),
-  with geometric key-rank checkpoints and early stopping; re-running with
-  the same ``--store`` resumes where the store left off, and
+  constant-memory online distinguisher (and optionally an on-disk trace
+  store), with geometric key-rank checkpoints and early stopping;
+  re-running with the same ``--store`` resumes where the store left off,
   ``--workers N`` fans deterministically seeded trace shards out over a
-  process pool, merging the accumulators at every checkpoint.
+  process pool (merging the accumulators at every checkpoint), and
+  ``--distinguisher`` picks the attack statistic — first-order ``cpa`` /
+  ``dpa``, ``lra``, or the second-order ``cpa2`` that defeats the masked
+  AES target.
 """
 
 from __future__ import annotations
@@ -30,6 +33,85 @@ from repro.core.locator import CryptoLocator
 from repro.evaluation import match_hits
 from repro.evaluation.experiments import default_tolerance
 from repro.soc import SimulatedPlatform
+
+
+def _parse_window(text: str) -> tuple[int, int]:
+    """Parse a ``START:STOP`` sample-window argument."""
+    try:
+        start, stop = text.split(":")
+        return int(start), int(stop)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected START:STOP sample window, got {text!r}"
+        ) from None
+
+
+def _distinguisher_spec(args: argparse.Namespace, cipher: str | None = None):
+    """Validate the distinguisher CLI options into a buildable spec.
+
+    Prints the valid choices and returns ``None`` (the caller exits 2) for
+    unknown distinguisher / leakage-model names or inconsistent options —
+    the registry raises ``ValueError`` listing the valid names, so one
+    ``spec.build()`` probe covers every combination.
+    """
+    from repro.attacks.distinguishers import (
+        DistinguisherSpec,
+        masked_aes_windows,
+    )
+
+    window1 = getattr(args, "window1", None)
+    window2 = getattr(args, "window2", None)
+    aggregate = args.aggregate
+    if args.distinguisher == "cpa2" and window1 is None and window2 is None:
+        if cipher != "aes_masked":
+            print("cpa2 needs --window1/--window2 sample windows (they are "
+                  "derived automatically only for --cipher aes_masked)",
+                  file=sys.stderr)
+            return None
+        if getattr(args, "rd", 0) != 0:
+            print("cpa2 window derivation needs --rd 0: random delay "
+                  "smears the two op windows apart, so the sample pairing "
+                  "(and the attack) breaks under RD-2/RD-4",
+                  file=sys.stderr)
+            return None
+        window1, window2 = masked_aes_windows()
+        # The derived windows live in raw sample space; aggregation would
+        # shift them.
+        aggregate = 1
+        print(f"cpa2 windows (derived): {window1[0]}:{window1[1]} x "
+              f"{window2[0]}:{window2[1]}, aggregate forced to 1")
+    spec = DistinguisherSpec(
+        name=args.distinguisher,
+        leakage_model=args.leakage_model,
+        aggregate=aggregate,
+        window1=window1,
+        window2=window2,
+        basis=getattr(args, "basis", "bits"),
+    )
+    try:
+        spec.build()
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return None
+    return spec
+
+
+def _add_distinguisher_options(
+    parser: argparse.ArgumentParser, windows: bool = True
+) -> None:
+    parser.add_argument("--distinguisher", default="cpa",
+                        help="attack statistic: cpa, dpa, cpa2 "
+                             "(second-order, vs masking) or lra")
+    parser.add_argument("--leakage-model", default=None,
+                        help="leakage hypothesis (hw, msb, lsb, identity, "
+                             "hd); default: the distinguisher's own")
+    parser.add_argument("--basis", default="bits",
+                        help="LRA regression basis (bits or hw)")
+    if windows:
+        parser.add_argument("--window1", type=_parse_window, default=None,
+                            help="cpa2 first sample window, START:STOP")
+        parser.add_argument("--window2", type=_parse_window, default=None,
+                            help="cpa2 second sample window, START:STOP")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -117,6 +199,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.batch_size < 1:
         print("--batch-size must be >= 1", file=sys.stderr)
         return 2
+    if args.distinguisher == "cpa2":
+        print("cpa2 needs explicit sample windows; run it through "
+              "`repro campaign --distinguisher cpa2`", file=sys.stderr)
+        return 2
+    distinguisher = _distinguisher_spec(args)
+    if distinguisher is None:
+        return 2
+    if not args.cpa or (args.distinguisher, args.leakage_model) == ("cpa", None):
+        # The historical batch HW-CPA path (bit-identical output) unless a
+        # non-default distinguisher was actually requested.
+        distinguisher = None
     plan = BatchPlan.sweep(
         ciphers=ciphers,
         max_delays=[int(r) for r in args.rds.split(",") if r.strip()],
@@ -133,7 +226,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         method=args.engine,
         verbose=True,
     )
-    results = engine.run(plan, with_cpa=args.cpa, aggregate=args.aggregate)
+    results = engine.run(plan, with_cpa=args.cpa, aggregate=args.aggregate,
+                         distinguisher=distinguisher)
     print()
     print(format_table(
         ScenarioResult.header(),
@@ -154,6 +248,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    spec = _distinguisher_spec(args, cipher=args.cipher)
+    if spec is None:
+        return 2
     platform = PlatformSpec(
         cipher_name=args.cipher, max_delay=args.rd, noise_std=args.noise_std
     ).build(args.seed)
@@ -161,7 +258,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         platform, segment_length=args.segment_length, batch_size=args.batch_size
     )
     if args.workers is not None:
-        return _run_parallel_campaign(args, source)
+        return _run_parallel_campaign(args, source, spec)
     store = None
     if args.store is not None:
         from repro.runtime.parallel import is_shard_store_root
@@ -181,16 +278,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     campaign = AttackCampaign(
         source,
         store=store,
-        aggregate=args.aggregate,
         first_checkpoint=args.first_checkpoint,
         checkpoint_growth=args.growth,
         rank1_patience=args.patience,
         batch_size=args.batch_size,
+        distinguisher=spec,
     )
     if campaign.resumed_from:
         print(f"resumed {campaign.resumed_from} traces from the store")
-    print(f"campaign: {args.cipher} RD-{args.rd}, "
-          f"{source.n_samples}-sample segments, aggregate {args.aggregate}, "
+    print(f"campaign: {args.cipher} RD-{args.rd}, {spec.name} distinguisher, "
+          f"{source.n_samples}-sample segments, aggregate {spec.aggregate}, "
           f"<= {args.traces} traces")
     result = campaign.run(args.traces, verbose=True)
     exit_code = _report_campaign(result)
@@ -213,12 +310,12 @@ def _report_campaign(result) -> int:
     return 0 if result.traces_to_rank1 is not None else 1
 
 
-def _run_parallel_campaign(args: argparse.Namespace, source) -> int:
+def _run_parallel_campaign(args: argparse.Namespace, source, spec) -> int:
     """``repro campaign --workers N``: the sharded process-parallel path."""
     from repro.runtime.parallel import ParallelCampaign, PlatformCampaignSpec
     from repro.soc.platform import PlatformSpec
 
-    spec = PlatformCampaignSpec(
+    campaign_spec = PlatformCampaignSpec(
         platform=PlatformSpec(
             cipher_name=args.cipher, max_delay=args.rd,
             noise_std=args.noise_std,
@@ -228,20 +325,21 @@ def _run_parallel_campaign(args: argparse.Namespace, source) -> int:
         batch_size=args.batch_size,
     )
     campaign = ParallelCampaign(
-        spec,
+        campaign_spec,
         seed=args.seed,
         workers=args.workers,
         shard_size=args.shard_size,
         store_root=args.store,
-        aggregate=args.aggregate,
         first_checkpoint=args.first_checkpoint,
         checkpoint_growth=args.growth,
         rank1_patience=args.patience,
         batch_size=args.batch_size,
+        distinguisher=spec,
     )
     print(f"parallel campaign: {args.cipher} RD-{args.rd}, "
+          f"{spec.name} distinguisher, "
           f"{args.workers} workers x {args.shard_size}-trace shards, "
-          f"{source.n_samples}-sample segments, aggregate {args.aggregate}, "
+          f"{source.n_samples}-sample segments, aggregate {spec.aggregate}, "
           f"<= {args.traces} traces")
     if args.store is not None:
         print(f"store root: {args.store} (one trace store per shard)")
@@ -293,8 +391,9 @@ def main(argv: list[str] | None = None) -> int:
                          choices=("windowed", "dense"),
                          help="sliding-window scoring engine")
     p_bench.add_argument("--cpa", action="store_true",
-                         help="also mount the CPA per scenario")
+                         help="also mount the key-recovery attack per scenario")
     p_bench.add_argument("--aggregate", type=int, default=64)
+    _add_distinguisher_options(p_bench, windows=False)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--scale", type=float, default=1 / 32,
                          help="dataset scale relative to Table I")
@@ -302,7 +401,8 @@ def main(argv: list[str] | None = None) -> int:
 
     p_campaign = sub.add_parser(
         "campaign",
-        help="streaming online-CPA campaign with an optional on-disk store",
+        help="streaming online-distinguisher campaign with an optional "
+             "on-disk store",
     )
     p_campaign.add_argument(
         "--cipher", default="aes",
@@ -338,6 +438,7 @@ def main(argv: list[str] | None = None) -> int:
     p_campaign.add_argument("--shard-size", type=int, default=1024,
                             help="traces per parallel shard (seed and "
                                  "checkpoint granularity)")
+    _add_distinguisher_options(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
     args = parser.parse_args(argv)

@@ -10,6 +10,9 @@ reach rank 1" column of Table II.
 """
 
 from repro.attacks.leakage_models import (
+    LeakageModel,
+    available_leakage_models,
+    get_leakage_model,
     hw_byte,
     sbox_output_hypotheses,
     sbox_output_msb,
@@ -27,8 +30,24 @@ from repro.attacks.assessment import (
     snr_by_sample,
     welch_t_by_sample,
 )
+from repro.attacks.distinguishers import (
+    CpaDistinguisher,
+    Distinguisher,
+    DistinguisherSpec,
+    DpaDistinguisher,
+    LinearRegressionAnalysis,
+    SecondOrderCpa,
+    available_distinguishers,
+    available_lra_bases,
+    get_distinguisher,
+    masked_aes_windows,
+    resolve_distinguisher,
+)
 
 __all__ = [
+    "LeakageModel",
+    "available_leakage_models",
+    "get_leakage_model",
     "hw_byte",
     "sbox_output_hypotheses",
     "sbox_output_msb",
@@ -42,4 +61,15 @@ __all__ = [
     "TVLA_THRESHOLD",
     "snr_by_sample",
     "welch_t_by_sample",
+    "CpaDistinguisher",
+    "Distinguisher",
+    "DistinguisherSpec",
+    "DpaDistinguisher",
+    "LinearRegressionAnalysis",
+    "SecondOrderCpa",
+    "available_distinguishers",
+    "available_lra_bases",
+    "get_distinguisher",
+    "masked_aes_windows",
+    "resolve_distinguisher",
 ]

@@ -14,28 +14,32 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attacks.leakage_models import sbox_output_hypotheses
-from repro.signalproc import boxcar_aggregate
+from repro.attacks.leakage_models import LeakageModel, get_leakage_model
+from repro.signalproc import prepare_segments
 
 __all__ = ["cpa_byte_correlation", "CpaAttack"]
 
 _EPS = 1e-12
 
 
-def cpa_byte_correlation(traces: np.ndarray, pt_bytes: np.ndarray) -> np.ndarray:
+def cpa_byte_correlation(
+    traces: np.ndarray,
+    pt_bytes: np.ndarray,
+    model: str | LeakageModel = "hw",
+) -> np.ndarray:
     """Correlation matrix ``(256, n_samples)`` for one key byte.
 
     ``traces`` is ``(n, m)`` aligned power segments, ``pt_bytes`` the known
-    plaintext byte per trace.  Samples or hypotheses with zero variance get
-    correlation 0.
+    plaintext byte per trace; ``model`` names the leakage hypothesis
+    (:func:`repro.attacks.leakage_models.get_leakage_model`).  Samples or
+    hypotheses with zero variance get correlation 0.
     """
-    traces = np.asarray(traces, dtype=np.float64)
-    if traces.ndim != 2:
-        raise ValueError(f"expected (n, m) traces, got {traces.shape}")
+    traces = prepare_segments(traces)
     n = traces.shape[0]
     if n < 3:
         raise ValueError("CPA needs at least 3 traces")
-    hyps = sbox_output_hypotheses(pt_bytes)  # (n, 256)
+    model = get_leakage_model(model) if isinstance(model, str) else model
+    hyps = model.hypotheses(pt_bytes)  # (n, 256)
     if hyps.shape[0] != n:
         raise ValueError("plaintext count does not match trace count")
     h_c = hyps - hyps.mean(axis=0, keepdims=True)
@@ -71,18 +75,19 @@ class CpaAttack:
         Boxcar aggregation width in samples (1 disables).  The paper uses a
         minor aggregation to fix residual misalignment; under random delay
         a width comparable to the accumulated jitter works best.
+    model:
+        Leakage model name (or instance) for the hypothesis — ``"hw"``
+        reproduces the classic Hamming-weight CPA.
     """
 
-    def __init__(self, aggregate: int = 1) -> None:
+    def __init__(self, aggregate: int = 1, model: str | LeakageModel = "hw") -> None:
         if aggregate < 1:
             raise ValueError("aggregate must be >= 1")
         self.aggregate = int(aggregate)
+        self.model = get_leakage_model(model) if isinstance(model, str) else model
 
     def _prepare(self, traces: np.ndarray) -> np.ndarray:
-        traces = np.asarray(traces, dtype=np.float64)
-        if self.aggregate > 1:
-            traces = boxcar_aggregate(traces, self.aggregate)
-        return traces
+        return prepare_segments(traces, self.aggregate)
 
     def attack_byte(
         self, traces: np.ndarray, plaintexts: np.ndarray, byte_index: int
@@ -93,7 +98,9 @@ class CpaAttack:
             raise ValueError(
                 f"byte_index must be in [0, {plaintexts.shape[1]})"
             )
-        corr = cpa_byte_correlation(self._prepare(traces), plaintexts[:, byte_index])
+        corr = cpa_byte_correlation(
+            self._prepare(traces), plaintexts[:, byte_index], self.model
+        )
         scores = np.abs(corr).max(axis=1)
         best = int(np.argmax(scores))
         return CpaByteResult(
@@ -108,7 +115,7 @@ class CpaAttack:
         plaintexts = _as_plaintext_matrix(plaintexts)
         results = []
         for byte_index in range(plaintexts.shape[1]):
-            corr = cpa_byte_correlation(prepared, plaintexts[:, byte_index])
+            corr = cpa_byte_correlation(prepared, plaintexts[:, byte_index], self.model)
             scores = np.abs(corr).max(axis=1)
             best = int(np.argmax(scores))
             results.append(

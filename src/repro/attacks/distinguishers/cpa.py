@@ -1,0 +1,112 @@
+"""First-order CPA (Brier et al. [2]) on the shared statistics core.
+
+The Pearson correlation between a pluggable leakage hypothesis
+(:mod:`repro.attacks.leakage_models`) and every trace sample, recovered
+from additive sufficient statistics: per-sample sums and sums-of-squares,
+per-(byte, guess) hypothesis sums and sums-of-squares, and the
+hypothesis×sample cross-products.  Memory is ``O(n_bytes · 256 · m)`` —
+independent of the trace count.
+
+Incoming chunks are centred against a fixed per-sample reference (the
+first chunk's mean); hypotheses are centred against the model's constant
+uniform-byte mean.  Pearson correlation is shift-invariant, so the
+references change nothing but numerical conditioning — and because they
+are fixed, the statistics stay purely additive and therefore exactly
+mergeable (the base class re-bases the trace side on merge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.distinguishers.base import SufficientStatisticDistinguisher
+from repro.attacks.key_rank import MIN_CPA_TRACES
+from repro.attacks.leakage_models import LeakageModel, get_leakage_model
+
+__all__ = ["CpaDistinguisher"]
+
+_EPS = 1e-12  # matches repro.attacks.cpa._EPS
+
+
+class CpaDistinguisher(SufficientStatisticDistinguisher):
+    """Streaming CPA: chunk updates, batch-identical correlation recovery.
+
+    Feed ``(c, m)`` trace chunks plus their ``(c, n_bytes)`` plaintexts
+    through :meth:`update`; :meth:`correlation` then recovers the same
+    ``(256, m)`` Pearson matrix :func:`~repro.attacks.cpa.cpa_byte_correlation`
+    would compute over all traces at once (to ~1e-9), at any point of the
+    stream and regardless of the chunking.
+
+    Parameters
+    ----------
+    model:
+        Leakage model name (or a :class:`LeakageModel`) mapping the S-box
+        intermediate to predicted leakage — ``"hw"`` reproduces the
+        classic Hamming-weight CPA.
+    aggregate:
+        Section IV-C boxcar aggregation width applied to each chunk
+        before accumulation (aggregation is per-trace, so it commutes
+        with streaming); the sufficient statistics then live in the
+        aggregated sample space, shrinking memory and update cost alike.
+    """
+
+    name = "cpa"
+    _KIND = "cpa"
+    _STATE_FIELDS = ("_s_t", "_s_t2", "_s_h", "_s_h2", "_s_ht")
+    min_traces = MIN_CPA_TRACES
+
+    def __init__(self, model: str | LeakageModel = "hw", aggregate: int = 1) -> None:
+        super().__init__(aggregate=aggregate)
+        self.model = (
+            get_leakage_model(model) if isinstance(model, str) else model
+        )
+
+    def _config(self) -> dict:
+        return {"model": self.model.name, "aggregate": self.aggregate}
+
+    def _allocate(self, m: int) -> None:
+        b = self._n_bytes
+        self._s_t = np.zeros(m)
+        self._s_t2 = np.zeros(m)
+        self._s_h = np.zeros((b, 256))
+        self._s_h2 = np.zeros((b, 256))
+        self._s_ht = np.zeros((b, 256, m))
+
+    def _accumulate(self, t: np.ndarray, pts: np.ndarray) -> None:
+        self._s_t += t.sum(axis=0)
+        self._s_t2 += (t * t).sum(axis=0)
+        reference = self.model.reference
+        for b in range(self._n_bytes):
+            h = self.model.hypotheses(pts[:, b]) - reference  # (c, 256)
+            self._s_h[b] += h.sum(axis=0)
+            self._s_h2[b] += (h * h).sum(axis=0)
+            self._s_ht[b] += h.T @ t
+
+    def correlation(self, byte_index: int) -> np.ndarray:
+        """Recovered ``(256, m)`` correlation matrix for one key byte."""
+        self._require_data(MIN_CPA_TRACES)
+        self._check_byte_index(byte_index)
+        n = self._n
+        cross = self._s_ht[byte_index] - np.outer(
+            self._s_h[byte_index], self._s_t / n
+        )
+        h_norm = np.sqrt(
+            np.clip(self._s_h2[byte_index] - self._s_h[byte_index] ** 2 / n, 0, None)
+        )
+        t_norm = np.sqrt(np.clip(self._s_t2 - self._s_t ** 2 / n, 0, None))
+        denom = h_norm[:, None] * t_norm[None, :]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            corr = np.where(denom > _EPS, cross / np.maximum(denom, _EPS), 0.0)
+        return np.clip(corr, -1.0, 1.0)
+
+    score_matrix = correlation
+
+    def _merge_stats(self, other: "CpaDistinguisher", d: np.ndarray) -> None:
+        n_o = other._n
+        self._s_t += other._s_t + n_o * d
+        self._s_t2 += other._s_t2 + 2.0 * d * other._s_t + n_o * d * d
+        self._s_h += other._s_h
+        self._s_h2 += other._s_h2
+        # Hypotheses are centred on the model's fixed reference, so only
+        # the trace side of the cross-product shifts.
+        self._s_ht += other._s_ht + other._s_h[:, :, None] * d[None, None, :]

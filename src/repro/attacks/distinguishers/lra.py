@@ -1,0 +1,163 @@
+"""Linear-regression analysis (Doget et al., "univariate LRA").
+
+Instead of assuming a leakage function (Hamming weight), LRA *fits* one:
+for every key guess ``k`` and every sample, the traces are regressed on a
+basis of functions of the hypothesised intermediate ``v = SBOX[pt ^ k]``
+(by default an intercept plus the eight bits of ``v``), and the guess
+whose basis explains the most variance — the highest coefficient of
+determination R² — wins.  For the right guess the class-conditional trace
+means are a genuine function of ``v``; for wrong guesses the S-box's
+non-linearity scrambles the classes and the fit collapses.
+
+Streaming form: because ``v`` is a bijection of the plaintext byte for
+every guess, the sufficient statistics are simply the **class-conditional
+trace sums** per plaintext-byte value — counts ``(n_bytes, 256)`` and sums
+``(n_bytes, 256, m)`` — plus global per-sample totals.  The weighted
+normal equations for *any* guess and *any* basis are then assembled from
+these at scoring time, so the statistics are basis-agnostic, purely
+additive (exact merges), and the same memory order as CPA's
+cross-products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.distinguishers.base import SufficientStatisticDistinguisher
+from repro.ciphers.aes import SBOX
+
+__all__ = ["LinearRegressionAnalysis", "available_lra_bases", "lra_basis"]
+
+_EPS = 1e-12
+_SBOX_TABLE = np.asarray(SBOX, dtype=np.uint8)
+#: ``_SBOX_PERM[k, p] = SBOX[p ^ k]`` — the intermediate each guess maps
+#: plaintext class ``p`` to.
+_PT = np.arange(256, dtype=np.uint8)
+_SBOX_PERM = _SBOX_TABLE[_PT[None, :] ^ _PT[:, None]]
+
+
+def _bits_basis() -> np.ndarray:
+    columns = [np.ones(256)]
+    columns += [((np.arange(256) >> bit) & 1).astype(np.float64)
+                for bit in range(8)]
+    return np.stack(columns, axis=1)
+
+
+def _hw_basis() -> np.ndarray:
+    hw = np.asarray([bin(v).count("1") for v in range(256)], dtype=np.float64)
+    return np.stack([np.ones(256), hw], axis=1)
+
+
+_BASES = {"bits": _bits_basis, "hw": _hw_basis}
+#: Per-basis design tables over the 256 guesses, built once:
+#: ``G[k, p] = basis(SBOX[p ^ k])`` with shape ``(256, 256, P)``.
+_DESIGN_CACHE: dict[str, np.ndarray] = {}
+
+
+def available_lra_bases() -> tuple[str, ...]:
+    """The registered regression-basis names, sorted."""
+    return tuple(sorted(_BASES))
+
+
+def lra_basis(name: str) -> np.ndarray:
+    """The ``(256, P)`` basis-function table over intermediate values."""
+    factory = _BASES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown LRA basis {name!r}; available: "
+            f"{', '.join(available_lra_bases())}"
+        )
+    return factory()
+
+
+def _guess_designs(name: str) -> np.ndarray:
+    designs = _DESIGN_CACHE.get(name)
+    if designs is None:
+        designs = _DESIGN_CACHE[name] = lra_basis(name)[_SBOX_PERM]
+    return designs
+
+
+class LinearRegressionAnalysis(SufficientStatisticDistinguisher):
+    """Streaming LRA with a configurable regression basis.
+
+    Parameters
+    ----------
+    basis:
+        Basis-function family over the intermediate: ``"bits"`` (intercept
+        + 8 bits, the assumption-free default) or ``"hw"`` (intercept +
+        Hamming weight, a 2-parameter CPA-like model).
+    aggregate:
+        Boxcar aggregation width applied per chunk before accumulation.
+    """
+
+    name = "lra"
+    _KIND = "lra"
+    _STATE_FIELDS = ("_counts", "_class_sums", "_s_t", "_s_t2")
+
+    def __init__(self, basis: str = "bits", aggregate: int = 1) -> None:
+        super().__init__(aggregate=aggregate)
+        self._designs = _guess_designs(basis)   # validates the name
+        self.basis = basis
+        # The fit needs more observations than parameters for a non-trivial
+        # residual; below that every guess fits perfectly and scores tie.
+        self.min_traces = max(
+            SufficientStatisticDistinguisher.min_traces,
+            self._designs.shape[2] + 2,
+        )
+
+    def _config(self) -> dict:
+        return {"basis": self.basis, "aggregate": self.aggregate}
+
+    def _allocate(self, m: int) -> None:
+        b = self._n_bytes
+        self._counts = np.zeros((b, 256))
+        self._class_sums = np.zeros((b, 256, m))
+        self._s_t = np.zeros(m)
+        self._s_t2 = np.zeros(m)
+
+    def _accumulate(self, t: np.ndarray, pts: np.ndarray) -> None:
+        self._s_t += t.sum(axis=0)
+        self._s_t2 += (t * t).sum(axis=0)
+        for b in range(self._n_bytes):
+            classes = pts[:, b].astype(np.int64)
+            self._counts[b] += np.bincount(classes, minlength=256)
+            np.add.at(self._class_sums[b], classes, t)
+
+    def r_squared(self, byte_index: int) -> np.ndarray:
+        """Recovered ``(256, m)`` coefficient-of-determination matrix.
+
+        Entry (k, s) is the R² of regressing sample ``s`` on the basis of
+        ``SBOX[pt ^ k]``, computed from the weighted normal equations over
+        the 256 plaintext classes.  Singular systems (classes still
+        unobserved) fall back to the pseudo-inverse — the least-squares
+        fit over the observed classes.
+        """
+        self._require_data(self.min_traces)
+        self._check_byte_index(byte_index)
+        n = self._n
+        weights = self._counts[byte_index]                  # (256,)
+        designs = self._designs                             # (256, 256, P)
+        p = designs.shape[2]
+        gt = designs.transpose(0, 2, 1)                     # (256, P, 256)
+        xtx = gt @ (designs * weights[None, :, None])       # (256, P, P)
+        xty = (
+            gt.reshape(-1, 256) @ self._class_sums[byte_index]
+        ).reshape(256, p, -1)                               # (256, P, m)
+        beta = np.linalg.pinv(xtx) @ xty                    # (256, P, m)
+        ssr = self._s_t2[None, :] - np.einsum("kpm,kpm->km", beta, xty)
+        sst = self._s_t2 - self._s_t ** 2 / n               # (m,)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            r2 = np.where(
+                sst[None, :] > _EPS, 1.0 - ssr / np.maximum(sst[None, :], _EPS), 0.0
+            )
+        return np.clip(r2, 0.0, 1.0)
+
+    score_matrix = r_squared
+
+    def _merge_stats(self, other: "LinearRegressionAnalysis", d: np.ndarray) -> None:
+        self._s_t += other._s_t + other._n * d
+        self._s_t2 += other._s_t2 + 2.0 * d * other._s_t + other._n * d * d
+        self._counts += other._counts
+        self._class_sums += (
+            other._class_sums + other._counts[:, :, None] * d[None, None, :]
+        )

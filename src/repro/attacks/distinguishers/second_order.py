@@ -1,0 +1,287 @@
+"""Second-order centred-product CPA against first-order boolean masking.
+
+A first-order masked implementation splits every sensitive intermediate
+``v`` into two shares ``v ^ m`` and ``m``; no single trace sample then
+correlates with unmasked data, and first-order CPA/DPA fail at any trace
+budget.  The classic second-order counter (Chari et al., Prouff et al.) is
+to **combine two samples** that leak two shares under the same mask: for a
+uniform mask ``M``,
+
+    Cov( HW(a ^ M), HW(b ^ M) ) = (8 - 2·HW(a ^ b)) / 4,
+
+so the product of the two *centred* leakages co-varies with the Hamming
+distance ``HW(a ^ b)`` of the two shared values — mask-free, key-dependent
+data again.  For the repository's masked AES
+(:mod:`repro.ciphers.masked_aes`) the natural pair is the AddRoundKey
+output ``pt ^ k ^ m_out`` and the first SubBytes output
+``SBOX[pt ^ k] ^ m_out``; their combination predicts
+``HW((pt ^ k) ^ SBOX[pt ^ k])`` — the ``"hd"`` leakage model.
+
+:class:`SecondOrderCpa` correlates every sample pair from two configurable
+windows with that hypothesis, **streaming**: the centred product needs the
+global per-sample means, so it cannot be formed per chunk — instead the
+accumulator keeps the joint moments of the two windows up to order
+(2, 2) plus the hypothesis cross-moments, all additive around the fixed
+first-chunk centring reference.  The combined correlation matrix is then
+recovered exactly at any point of the stream, and two accumulators merge
+exactly (the re-basing of every moment under a reference shift is a
+closed-form affine update).
+
+Memory is ``O(n_bytes · 256 · w1 · w2)`` for window widths ``w1``/``w2``
+— keep the windows tight around the targeted operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.distinguishers.base import SufficientStatisticDistinguisher
+from repro.attacks.key_rank import MIN_CPA_TRACES
+from repro.attacks.leakage_models import LeakageModel, get_leakage_model
+
+__all__ = ["SecondOrderCpa", "masked_aes_windows"]
+
+_EPS = 1e-12
+
+
+def _as_window(window, label: str) -> tuple[int, int]:
+    try:
+        start, stop = (int(window[0]), int(window[1]))
+    except (TypeError, ValueError, IndexError):
+        raise ValueError(
+            f"{label} must be a (start, stop) sample pair, got {window!r}"
+        ) from None
+    if start < 0 or stop <= start:
+        raise ValueError(
+            f"{label} must satisfy 0 <= start < stop, got ({start}, {stop})"
+        )
+    return start, stop
+
+
+def masked_aes_windows(
+    samples_per_op: int = 2, nop_header: int = 0
+) -> tuple[tuple[int, int], tuple[int, int]]:
+    """The two sample windows second-order CPA needs on ``aes_masked``.
+
+    Derived from the masked cipher's deterministic operation layout under
+    RD-0 (random delay off — delay jitter would smear the pairing): the
+    CO records 256 masked-S-box table stores, then the key schedule, then
+    the 16-byte state load, and the two target blocks follow — the
+    AddRoundKey-0 outputs ``pt ^ k ^ m_out`` and, two 16-op blocks later,
+    the round-1 SubBytes outputs ``SBOX[pt ^ k] ^ m_out``.  Windows are
+    returned in trace-sample space relative to the capture segment start
+    (pass ``nop_header`` for windows into a raw, uncut trace).
+    """
+    from repro.ciphers.aes import expand_key
+    from repro.ciphers.base import LeakageRecorder
+
+    recorder = LeakageRecorder()
+    expand_key(bytes(16), recorder)
+    base = nop_header + 256 + len(recorder) + 16   # table + schedule + load
+    ark = (base, base + 16)
+    sbox_out = (base + 32, base + 48)
+    spo = int(samples_per_op)
+    return (
+        (ark[0] * spo, ark[1] * spo),
+        (sbox_out[0] * spo, sbox_out[1] * spo),
+    )
+
+
+class SecondOrderCpa(SufficientStatisticDistinguisher):
+    """Streaming centred-product CPA over two sample windows.
+
+    Parameters
+    ----------
+    window1, window2:
+        ``(start, stop)`` sample ranges (in the aggregated sample space)
+        of the two leakage windows to combine.  Every pair from
+        ``window1 × window2`` is correlated, so whole-block windows work
+        without knowing per-byte positions — the matching (byte, byte)
+        pair dominates for the right guess.
+    model:
+        The combined-leakage hypothesis; ``"hd"`` (Hamming distance of
+        S-box input and output) matches boolean masking with a shared
+        mask across the two windows.
+    aggregate:
+        Boxcar width applied before windowing (windows then address the
+        aggregated sample space).  Leave at 1 when the windows are
+        op-aligned.
+    """
+
+    name = "cpa2"
+    _KIND = "cpa2"
+    _STATE_FIELDS = (
+        "_s_u", "_s_v", "_s_u2", "_s_v2",
+        "_s_uv", "_s_u2v", "_s_uv2", "_s_u2v2",
+        "_s_h", "_s_h2", "_s_hu", "_s_hv", "_s_huv",
+    )
+    min_traces = MIN_CPA_TRACES
+
+    def __init__(
+        self,
+        window1,
+        window2,
+        model: str | LeakageModel = "hd",
+        aggregate: int = 1,
+    ) -> None:
+        super().__init__(aggregate=aggregate)
+        self.window1 = _as_window(window1, "window1")
+        self.window2 = _as_window(window2, "window2")
+        self.model = (
+            get_leakage_model(model) if isinstance(model, str) else model
+        )
+
+    def _config(self) -> dict:
+        return {
+            "window1": list(self.window1),
+            "window2": list(self.window2),
+            "model": self.model.name,
+            "aggregate": self.aggregate,
+        }
+
+    @property
+    def pair_count(self) -> int:
+        """Sample pairs per guess: ``w1 * w2``."""
+        w1 = self.window1[1] - self.window1[0]
+        w2 = self.window2[1] - self.window2[0]
+        return w1 * w2
+
+    def _allocate(self, m: int) -> None:
+        if self.window1[1] > m or self.window2[1] > m:
+            raise ValueError(
+                f"windows {self.window1}/{self.window2} exceed the "
+                f"{m}-sample aggregated traces"
+            )
+        b = self._n_bytes
+        w1 = self.window1[1] - self.window1[0]
+        w2 = self.window2[1] - self.window2[0]
+        self._s_u = np.zeros(w1)
+        self._s_v = np.zeros(w2)
+        self._s_u2 = np.zeros(w1)
+        self._s_v2 = np.zeros(w2)
+        self._s_uv = np.zeros((w1, w2))
+        self._s_u2v = np.zeros((w1, w2))
+        self._s_uv2 = np.zeros((w1, w2))
+        self._s_u2v2 = np.zeros((w1, w2))
+        self._s_h = np.zeros((b, 256))
+        self._s_h2 = np.zeros((b, 256))
+        self._s_hu = np.zeros((b, 256, w1))
+        self._s_hv = np.zeros((b, 256, w2))
+        self._s_huv = np.zeros((b, 256, w1, w2))
+
+    def _accumulate(self, t: np.ndarray, pts: np.ndarray) -> None:
+        u = t[:, self.window1[0]:self.window1[1]]
+        v = t[:, self.window2[0]:self.window2[1]]
+        u2 = u * u
+        v2 = v * v
+        self._s_u += u.sum(axis=0)
+        self._s_v += v.sum(axis=0)
+        self._s_u2 += u2.sum(axis=0)
+        self._s_v2 += v2.sum(axis=0)
+        self._s_uv += u.T @ v
+        self._s_u2v += u2.T @ v
+        self._s_uv2 += u.T @ v2
+        self._s_u2v2 += u2.T @ v2
+        c = t.shape[0]
+        uv = (u[:, :, None] * v[:, None, :]).reshape(c, -1)  # (c, w1*w2)
+        reference = self.model.reference
+        w1 = u.shape[1]
+        w2 = v.shape[1]
+        for b in range(self._n_bytes):
+            h = self.model.hypotheses(pts[:, b]) - reference  # (c, 256)
+            self._s_h[b] += h.sum(axis=0)
+            self._s_h2[b] += (h * h).sum(axis=0)
+            self._s_hu[b] += h.T @ u
+            self._s_hv[b] += h.T @ v
+            self._s_huv[b] += (h.T @ uv).reshape(256, w1, w2)
+
+    def combined_correlation(self, byte_index: int) -> np.ndarray:
+        """Recovered ``(256, w1*w2)`` correlation of hypothesis vs centred
+        products, identical (to float noise) to forming
+        ``(u - mean(u)) * (v - mean(v))`` over all traces and correlating
+        it in one batch.
+        """
+        self._require_data(MIN_CPA_TRACES)
+        self._check_byte_index(byte_index)
+        n = self._n
+        ubar = self._s_u / n
+        vbar = self._s_v / n
+        outer = np.outer(ubar, vbar)
+        # Centred product z_i = (u_i - ubar)(v_i - vbar) per sample pair;
+        # its plain sums follow from the stored joint moments.
+        z1 = self._s_uv - n * outer
+        z2 = (
+            self._s_u2v2
+            - 2.0 * self._s_u2v * vbar[None, :]
+            - 2.0 * self._s_uv2 * ubar[:, None]
+            + self._s_u2[:, None] * vbar[None, :] ** 2
+            + ubar[:, None] ** 2 * self._s_v2[None, :]
+            + 4.0 * outer * self._s_uv
+            - 3.0 * n * np.outer(ubar ** 2, vbar ** 2)
+        )
+        hz = (
+            self._s_huv[byte_index]
+            - self._s_hu[byte_index][:, :, None] * vbar[None, None, :]
+            - self._s_hv[byte_index][:, None, :] * ubar[None, :, None]
+            + self._s_h[byte_index][:, None, None] * outer[None]
+        )
+        s_h = self._s_h[byte_index]
+        cross = hz.reshape(256, -1) - np.outer(s_h, z1.ravel() / n)
+        h_norm = np.sqrt(np.clip(self._s_h2[byte_index] - s_h ** 2 / n, 0, None))
+        z_norm = np.sqrt(np.clip((z2 - z1 * z1 / n).ravel(), 0, None))
+        denom = h_norm[:, None] * z_norm[None, :]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            corr = np.where(denom > _EPS, cross / np.maximum(denom, _EPS), 0.0)
+        return np.clip(corr, -1.0, 1.0)
+
+    score_matrix = combined_correlation
+
+    def _merge_stats(self, other: "SecondOrderCpa", d: np.ndarray) -> None:
+        n_o = other._n
+        dx = d[self.window1[0]:self.window1[1]]
+        dy = d[self.window2[0]:self.window2[1]]
+        o_u, o_v = other._s_u, other._s_v
+        o_u2, o_v2 = other._s_u2, other._s_v2
+        o_uv = other._s_uv
+        dxy = np.outer(dx, dy)
+        # Every right-hand side reads only *other*'s (untouched) statistics,
+        # so the update order below is free.
+        self._s_uv += (
+            o_uv + dx[:, None] * o_v[None, :] + o_u[:, None] * dy[None, :]
+            + n_o * dxy
+        )
+        self._s_u2v += (
+            other._s_u2v + o_u2[:, None] * dy[None, :]
+            + 2.0 * dx[:, None] * o_uv + 2.0 * dxy * o_u[:, None]
+            + (dx ** 2)[:, None] * o_v[None, :] + n_o * np.outer(dx ** 2, dy)
+        )
+        self._s_uv2 += (
+            other._s_uv2 + dx[:, None] * o_v2[None, :]
+            + 2.0 * dy[None, :] * o_uv + 2.0 * dxy * o_v[None, :]
+            + (dy ** 2)[None, :] * o_u[:, None] + n_o * np.outer(dx, dy ** 2)
+        )
+        self._s_u2v2 += (
+            other._s_u2v2
+            + 2.0 * dy[None, :] * other._s_u2v
+            + (dy ** 2)[None, :] * o_u2[:, None]
+            + 2.0 * dx[:, None] * other._s_uv2
+            + 4.0 * dxy * o_uv
+            + 2.0 * dx[:, None] * (dy ** 2)[None, :] * o_u[:, None]
+            + (dx ** 2)[:, None] * o_v2[None, :]
+            + 2.0 * (dx ** 2)[:, None] * dy[None, :] * o_v[None, :]
+            + n_o * np.outer(dx ** 2, dy ** 2)
+        )
+        self._s_u += o_u + n_o * dx
+        self._s_v += o_v + n_o * dy
+        self._s_u2 += o_u2 + 2.0 * dx * o_u + n_o * dx * dx
+        self._s_v2 += o_v2 + 2.0 * dy * o_v + n_o * dy * dy
+        self._s_h += other._s_h
+        self._s_h2 += other._s_h2
+        self._s_huv += (
+            other._s_huv
+            + other._s_hu[:, :, :, None] * dy[None, None, None, :]
+            + other._s_hv[:, :, None, :] * dx[None, None, :, None]
+            + other._s_h[:, :, None, None] * dxy[None, None]
+        )
+        self._s_hu += other._s_hu + other._s_h[:, :, None] * dx[None, None, :]
+        self._s_hv += other._s_hv + other._s_h[:, :, None] * dy[None, None, :]

@@ -1,28 +1,43 @@
 """Classic difference-of-means DPA (Kocher et al. [1]).
 
-Partitions the traces by the MSB of the hypothesised S-box output and
-looks at the largest difference between the two partition means; the
-correct key guess produces the tallest differential spike.  Kept alongside
-CPA as a second attack the aligned segments can feed.
+Partitions the traces by a single-bit leakage model of the hypothesised
+S-box output (the MSB by default) and looks at the largest difference
+between the two partition means; the correct key guess produces the
+tallest differential spike.  Kept alongside CPA as a second attack the
+aligned segments can feed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.leakage_models import sbox_output_msb
+from repro.attacks.leakage_models import LeakageModel, get_leakage_model
+from repro.signalproc import prepare_segments
 
 __all__ = ["dpa_byte_difference", "dpa_attack_byte"]
 
 
+def _selection_model(model: str | LeakageModel) -> LeakageModel:
+    model = get_leakage_model(model) if isinstance(model, str) else model
+    if not model.binary:
+        raise ValueError(
+            f"DPA needs a single-bit leakage model, {model.name!r} is not binary"
+        )
+    return model
+
+
 def dpa_byte_difference(
-    traces: np.ndarray, pt_bytes: np.ndarray, key_guess: int
+    traces: np.ndarray,
+    pt_bytes: np.ndarray,
+    key_guess: int,
+    aggregate: int = 1,
+    model: str | LeakageModel = "msb",
 ) -> np.ndarray:
     """Difference-of-means trace for one key guess, shape ``(m,)``."""
-    traces = np.asarray(traces, dtype=np.float64)
-    if traces.ndim != 2:
-        raise ValueError(f"expected (n, m) traces, got {traces.shape}")
-    bit = sbox_output_msb(pt_bytes, key_guess)
+    traces = prepare_segments(traces, aggregate)
+    if not 0 <= key_guess <= 255:
+        raise ValueError("key_guess must be a byte")
+    bit = _selection_model(model).selection_bits(pt_bytes)[:, key_guess]
     ones = bit == 1
     zeros = ~ones
     if ones.sum() == 0 or zeros.sum() == 0:
@@ -30,9 +45,26 @@ def dpa_byte_difference(
     return traces[ones].mean(axis=0) - traces[zeros].mean(axis=0)
 
 
-def dpa_attack_byte(traces: np.ndarray, pt_bytes: np.ndarray) -> tuple[int, np.ndarray]:
-    """Best key guess for one byte plus the per-guess peak differentials."""
-    scores = np.empty(256)
-    for guess in range(256):
-        scores[guess] = np.abs(dpa_byte_difference(traces, pt_bytes, guess)).max()
+def dpa_attack_byte(
+    traces: np.ndarray,
+    pt_bytes: np.ndarray,
+    aggregate: int = 1,
+    model: str | LeakageModel = "msb",
+) -> tuple[int, np.ndarray]:
+    """Best key guess for one byte plus the per-guess peak differentials.
+
+    All 256 guesses share one selection-bit lookup and one partition-sum
+    matmul, rather than re-partitioning the traces per guess.
+    """
+    traces = prepare_segments(traces, aggregate)
+    n = traces.shape[0]
+    bits = _selection_model(model).selection_bits(pt_bytes).astype(np.float64)
+    ones = bits.sum(axis=0)[:, None]                   # (256, 1)
+    zeros = n - ones
+    ones_sum = bits.T @ traces                         # (256, m)
+    total = traces.sum(axis=0)[None, :]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        diff = ones_sum / ones - (total - ones_sum) / zeros
+    valid = (ones > 0) & (zeros > 0)
+    scores = np.abs(np.where(valid, diff, 0.0)).max(axis=1)
     return int(np.argmax(scores)), scores

@@ -70,6 +70,7 @@ def traces_to_rank1(
     true_key: bytes,
     checkpoints: list[int] | None = None,
     aggregate: int = 1,
+    distinguisher=None,
 ) -> int | None:
     """Smallest checkpoint at which *every* key byte reaches rank 1.
 
@@ -80,6 +81,13 @@ def traces_to_rank1(
     Caller-supplied checkpoints are deduplicated and filtered below the CPA
     minimum (:data:`MIN_CPA_TRACES`), so irregular ladders are accepted
     as-is.
+
+    ``distinguisher`` swaps the default batch Hamming-weight CPA for any
+    registered distinguisher (a name, a
+    :class:`~repro.attacks.distinguishers.DistinguisherSpec`, or a fresh
+    accumulator): the ladder is then walked with **incremental** online
+    updates — each trace is folded in exactly once instead of one full
+    batch attack per checkpoint.
     """
     traces = np.asarray(traces)
     n = traces.shape[0]
@@ -89,11 +97,37 @@ def traces_to_rank1(
         points = sorted(
             {int(c) for c in checkpoints if int(c) >= MIN_CPA_TRACES}
         )
+    if distinguisher is not None:
+        return _ladder_to_rank1(
+            traces, plaintexts, true_key, points, aggregate, distinguisher
+        )
     for count in points:
         if count > n:
             break
         ranks = full_key_ranks(traces[:count], plaintexts[:count], true_key, aggregate)
         if all(rank == 1 for rank in ranks):
+            return count
+    return None
+
+
+def _ladder_to_rank1(
+    traces, plaintexts, true_key, points, aggregate, distinguisher
+) -> int | None:
+    """Walk a checkpoint ladder with one incremental online accumulator."""
+    from repro.attacks.distinguishers import resolve_distinguisher
+
+    _, accumulator = resolve_distinguisher(distinguisher, aggregate=aggregate)
+    n = traces.shape[0]
+    done = 0
+    for count in points:
+        if count > n:
+            break
+        if count > done:
+            accumulator.update(traces[done:count], plaintexts[done:count])
+            done = count
+        if done < accumulator.min_traces:
+            continue
+        if all(rank == 1 for rank in accumulator.key_ranks(true_key)):
             return count
     return None
 

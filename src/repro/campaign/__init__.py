@@ -4,9 +4,12 @@ The campaign layer turns the batch attacks of :mod:`repro.attacks` into a
 streaming pipeline suitable for production-scale trace counts:
 
 * :class:`~repro.campaign.online.OnlineCpa` /
-  :class:`~repro.campaign.online.OnlineDpa` — constant-memory sufficient
-  statistics updated chunk-by-chunk, recovering the batch correlation /
-  difference matrices at any point of the stream;
+  :class:`~repro.campaign.online.OnlineDpa` — fixed-configuration shims
+  over the pluggable :mod:`repro.attacks.distinguishers` framework:
+  constant-memory sufficient statistics updated chunk-by-chunk,
+  recovering the batch correlation / difference matrices at any point of
+  the stream (any registered distinguisher plugs into the same campaign
+  machinery);
 * :class:`~repro.campaign.store.TraceStore` — an append-only, sharded
   on-disk store (``.npy`` segments + JSON manifest, memory-mapped reads)
   so captured traces survive the process and campaigns can resume.

@@ -1,389 +1,42 @@
-"""Online CPA/DPA accumulators with constant-memory sufficient statistics.
+"""Historical online CPA/DPA names, now thin shims over the framework.
 
-The batch attacks in :mod:`repro.attacks` need every trace in RAM and
-recompute everything from scratch at each key-rank checkpoint.  The
-accumulators here consume traces chunk-by-chunk and keep only sufficient
-statistics — per-byte hypothesis sums, sums-of-squares, and
-hypothesis×sample cross-products — from which the full ``(256, m)``
-correlation (or difference-of-means) matrix is recoverable at any point:
+The constant-memory sufficient-statistics accumulators that used to be
+implemented here (and duplicated against the batch attacks) live in
+:mod:`repro.attacks.distinguishers` as the shared core every distinguisher
+is built on.  :class:`OnlineCpa` and :class:`OnlineDpa` remain as the
+fixed-configuration entry points the streaming/parallel campaign layers
+were built against — a Hamming-weight CPA and an MSB difference-of-means
+DPA — with the exact update/merge/persistence semantics they always had:
 
-* :class:`OnlineCpa` reproduces :func:`repro.attacks.cpa.cpa_byte_correlation`
-  to ~1e-9 regardless of how the stream was chunked;
-* :class:`OnlineDpa` reproduces :func:`repro.attacks.dpa.dpa_byte_difference`
-  the same way.
+* chunk updates reproduce the batch attacks to ~1e-9 for any chunking;
+* ``merge`` / ``+=`` / ``+`` combine disjoint shards exactly;
+* ``save`` / ``load`` round-trip the statistics through ``.npz``.
 
-Memory is ``O(n_bytes · 256 · m)`` — independent of the trace count — so a
-million-trace campaign costs the same RAM as a hundred-trace one.  Incoming
-chunks are centred against a fixed per-sample reference (the first chunk's
-mean) before accumulation; Pearson correlation and mean differences are
-shift-invariant, and the reference keeps the sufficient-statistic
-cancellations benign for traces with a large DC component.
-
-Both accumulators persist to ``.npz`` (:meth:`OnlineCpa.save` /
-:meth:`OnlineCpa.load`), so a campaign checkpoint can be resumed without
-replaying the trace store.
-
-Merging
--------
-The sufficient statistics are purely additive, so two accumulators fed
-disjoint trace streams can be **merged** (:meth:`OnlineCpa.merge`,
-``a += b``, ``a + b``) into one whose recovered matrices match a single
-accumulator fed both streams — the algebra behind sharded parallel
-campaigns.  The only wrinkle is the centring reference: each accumulator
-centres against its own first chunk's mean, so a merge re-bases the
-incoming statistics onto the receiver's reference (an exact affine
-update) before adding.  Recovered correlations and mean differences are
-shift-invariant, so any merge order agrees to floating-point noise.
+New code should prefer the distinguisher classes (or
+:class:`~repro.attacks.distinguishers.DistinguisherSpec`) directly.
 """
 
 from __future__ import annotations
 
-import copy as _copy
-
-import numpy as np
-
-from repro.attacks.key_rank import MIN_CPA_TRACES, key_byte_rank
-from repro.attacks.leakage_models import sbox_output_hypotheses
-from repro.ciphers.aes import SBOX
-from repro.signalproc import boxcar_aggregate
+from repro.attacks.distinguishers.cpa import CpaDistinguisher
+from repro.attacks.distinguishers.dpa import DpaDistinguisher
 
 __all__ = ["OnlineCpa", "OnlineDpa"]
 
-_EPS = 1e-12  # matches repro.attacks.cpa._EPS
-#: Fixed hypothesis reference: the expected Hamming weight of a uniform byte.
-_H_REF = 4.0
-_SBOX_MSB = (np.asarray(SBOX, dtype=np.uint8) >> 7).astype(np.uint8)
 
-
-class _OnlineAccumulator:
-    """Shared chunk plumbing: validation, aggregation, lazy allocation."""
-
-    def __init__(self, aggregate: int = 1) -> None:
-        if aggregate < 1:
-            raise ValueError("aggregate must be >= 1")
-        self.aggregate = int(aggregate)
-        self._n = 0
-        self._n_bytes: int | None = None
-        self._t_ref: np.ndarray | None = None
-        self._s_t: np.ndarray | None = None
-
-    @property
-    def n_traces(self) -> int:
-        """Traces accumulated so far."""
-        return self._n
-
-    @property
-    def n_bytes(self) -> int | None:
-        """Key bytes under attack (``None`` before the first chunk)."""
-        return self._n_bytes
-
-    @property
-    def n_samples(self) -> int | None:
-        """Samples per trace *after* aggregation (``None`` before data)."""
-        return None if self._s_t is None else int(self._s_t.size)
-
-    def _ingest(
-        self, traces: np.ndarray, plaintexts: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Validate one chunk, aggregate it, and centre it on the reference."""
-        traces = np.asarray(traces, dtype=np.float64)
-        plaintexts = np.asarray(plaintexts, dtype=np.uint8)
-        if traces.ndim != 2:
-            raise ValueError(f"expected (c, m) trace chunk, got {traces.shape}")
-        if plaintexts.ndim != 2 or plaintexts.shape[0] != traces.shape[0]:
-            raise ValueError(
-                f"plaintext chunk {plaintexts.shape} does not match "
-                f"{traces.shape[0]} traces"
-            )
-        if traces.shape[0] == 0:
-            raise ValueError("empty chunk")
-        if self.aggregate > 1:
-            traces = boxcar_aggregate(traces, self.aggregate)
-        if self._t_ref is None:
-            self._n_bytes = int(plaintexts.shape[1])
-            self._t_ref = traces.mean(axis=0)
-            self._allocate(traces.shape[1])
-        elif traces.shape[1] != self._t_ref.size:
-            raise ValueError(
-                f"chunk has {traces.shape[1]} aggregated samples, "
-                f"accumulator holds {self._t_ref.size}"
-            )
-        elif plaintexts.shape[1] != self._n_bytes:
-            raise ValueError(
-                f"chunk has {plaintexts.shape[1]}-byte plaintexts, "
-                f"accumulator holds {self._n_bytes}-byte ones"
-            )
-        return traces - self._t_ref, plaintexts
-
-    def _allocate(self, m: int) -> None:  # pragma: no cover - overridden
-        raise NotImplementedError
-
-    def _require_data(self, minimum: int = 1) -> None:
-        if self._n < minimum:
-            raise ValueError(
-                f"accumulator holds {self._n} traces, needs >= {minimum}"
-            )
-
-    # -- merging --------------------------------------------------------- #
-
-    def copy(self):
-        """An independent deep copy (statistics arrays included)."""
-        return _copy.deepcopy(self)
-
-    def merge(self, other):
-        """Fold ``other``'s statistics into this accumulator, in place.
-
-        After ``a.merge(b)``, ``a`` recovers the same matrices as one
-        accumulator fed ``a``'s stream followed by ``b``'s (to floating-
-        point noise); ``b`` is left untouched.  An empty accumulator is
-        the identity on either side.  Returns ``self`` so merges chain.
-        """
-        if type(other) is not type(self):
-            raise TypeError(
-                f"cannot merge {type(other).__name__} into {type(self).__name__}"
-            )
-        if other.aggregate != self.aggregate:
-            raise ValueError(
-                f"aggregate mismatch: {self.aggregate} vs {other.aggregate}"
-            )
-        if other._n == 0:
-            return self
-        if self._n == 0:
-            donor = other.copy()
-            self._n = donor._n
-            self._n_bytes = donor._n_bytes
-            self._t_ref = donor._t_ref
-            for name in self._STATE_FIELDS:
-                setattr(self, name, getattr(donor, name))
-            return self
-        if other._t_ref.size != self._t_ref.size:
-            raise ValueError(
-                f"accumulators hold {self._t_ref.size} vs "
-                f"{other._t_ref.size} aggregated samples"
-            )
-        if other._n_bytes != self._n_bytes:
-            raise ValueError(
-                f"accumulators attack {self._n_bytes} vs "
-                f"{other._n_bytes} key bytes"
-            )
-        # Re-base the incoming statistics onto this reference: other's
-        # centred traces are t - r_other = (t - r_self) - d, so adding d
-        # back is an exact affine update of the sufficient statistics.
-        d = other._t_ref - self._t_ref
-        self._merge_stats(other, d)
-        self._n += other._n
-        return self
-
-    def _merge_stats(self, other, d: np.ndarray) -> None:  # pragma: no cover
-        raise NotImplementedError
-
-    def __iadd__(self, other):
-        return self.merge(other)
-
-    def __add__(self, other):
-        if type(other) is not type(self):
-            return NotImplemented
-        return self.copy().merge(other)
-
-    # -- shared guess bookkeeping -------------------------------------- #
-
-    def score_matrix(self, byte_index: int) -> np.ndarray:  # pragma: no cover
-        raise NotImplementedError
-
-    def guess_scores(self) -> np.ndarray:
-        """Per-byte guess scores, shape ``(n_bytes, 256)``.
-
-        The score of a guess is the max absolute value of its recovered
-        matrix row over the samples — the same statistic the batch attacks
-        rank by.
-        """
-        self._require_data()
-        return np.stack(
-            [
-                np.abs(self.score_matrix(b)).max(axis=1)
-                for b in range(self._n_bytes)
-            ]
-        )
-
-    def best_guesses(self) -> np.ndarray:
-        """The current best guess per key byte."""
-        return self.guess_scores().argmax(axis=1)
-
-    def recovered_key(self) -> bytes:
-        """The most likely key given everything accumulated so far."""
-        return bytes(int(g) for g in self.best_guesses())
-
-    def key_ranks(self, true_key: bytes) -> list[int]:
-        """Per-byte ranks of the true key (1 = recovered)."""
-        scores = self.guess_scores()
-        if len(true_key) != self._n_bytes:
-            raise ValueError(
-                f"true_key has {len(true_key)} bytes, accumulator attacks "
-                f"{self._n_bytes}"
-            )
-        return [
-            key_byte_rank(scores[b], true_key[b]) for b in range(self._n_bytes)
-        ]
-
-    # -- persistence ---------------------------------------------------- #
-
-    _KIND = ""            # subclass tag stored in the checkpoint
-    _STATE_FIELDS: tuple[str, ...] = ()   # statistic arrays to persist
-
-    def save(self, path) -> None:
-        """Persist the sufficient statistics as an ``.npz`` checkpoint."""
-        self._require_data()
-        arrays = {name: getattr(self, name) for name in self._STATE_FIELDS}
-        np.savez_compressed(
-            path,
-            kind=np.array(self._KIND),
-            aggregate=np.array([self.aggregate]),
-            n=np.array([self._n]),
-            t_ref=self._t_ref,
-            **arrays,
-        )
-
-    @classmethod
-    def load(cls, path):
-        """Restore an accumulator saved by :meth:`save`."""
-        with np.load(path) as state:
-            if str(state["kind"]) != cls._KIND:
-                raise ValueError(
-                    f"{path} is not a {cls.__name__} checkpoint"
-                )
-            acc = cls(aggregate=int(state["aggregate"][0]))
-            acc._n = int(state["n"][0])
-            acc._t_ref = state["t_ref"].copy()
-            for name in cls._STATE_FIELDS:
-                setattr(acc, name, state[name].copy())
-            acc._n_bytes = getattr(acc, cls._STATE_FIELDS[-1]).shape[0]
-        return acc
-
-
-class OnlineCpa(_OnlineAccumulator):
-    """Streaming CPA: chunk updates, batch-identical correlation recovery.
-
-    Feed ``(c, m)`` trace chunks plus their ``(c, n_bytes)`` plaintexts
-    through :meth:`update`; :meth:`correlation` then recovers the same
-    ``(256, m)`` Pearson matrix :func:`~repro.attacks.cpa.cpa_byte_correlation`
-    would compute over all traces at once (to ~1e-9), at any point of the
-    stream and regardless of the chunking.
-
-    ``aggregate`` applies the Section IV-C boxcar aggregation to each chunk
-    before accumulation (aggregation is per-trace, so it commutes with
-    streaming); the sufficient statistics then live in the aggregated
-    sample space, shrinking both memory and update cost by the same factor.
-    """
-
-    def _allocate(self, m: int) -> None:
-        b = self._n_bytes
-        self._s_t = np.zeros(m)
-        self._s_t2 = np.zeros(m)
-        self._s_h = np.zeros((b, 256))
-        self._s_h2 = np.zeros((b, 256))
-        self._s_ht = np.zeros((b, 256, m))
-
-    def update(self, traces: np.ndarray, plaintexts: np.ndarray) -> int:
-        """Accumulate one chunk; returns the new total trace count."""
-        t, pts = self._ingest(traces, plaintexts)
-        self._n += t.shape[0]
-        self._s_t += t.sum(axis=0)
-        self._s_t2 += (t * t).sum(axis=0)
-        for b in range(self._n_bytes):
-            h = sbox_output_hypotheses(pts[:, b]) - _H_REF  # (c, 256)
-            self._s_h[b] += h.sum(axis=0)
-            self._s_h2[b] += (h * h).sum(axis=0)
-            self._s_ht[b] += h.T @ t
-        return self._n
-
-    def correlation(self, byte_index: int) -> np.ndarray:
-        """Recovered ``(256, m)`` correlation matrix for one key byte."""
-        self._require_data(MIN_CPA_TRACES)
-        if not 0 <= byte_index < self._n_bytes:
-            raise ValueError(f"byte_index must be in [0, {self._n_bytes})")
-        n = self._n
-        cross = self._s_ht[byte_index] - np.outer(
-            self._s_h[byte_index], self._s_t / n
-        )
-        h_norm = np.sqrt(
-            np.clip(self._s_h2[byte_index] - self._s_h[byte_index] ** 2 / n, 0, None)
-        )
-        t_norm = np.sqrt(np.clip(self._s_t2 - self._s_t ** 2 / n, 0, None))
-        denom = h_norm[:, None] * t_norm[None, :]
-        with np.errstate(invalid="ignore", divide="ignore"):
-            corr = np.where(denom > _EPS, cross / np.maximum(denom, _EPS), 0.0)
-        return np.clip(corr, -1.0, 1.0)
-
-    score_matrix = correlation
-
-    def _merge_stats(self, other: "OnlineCpa", d: np.ndarray) -> None:
-        n_o = other._n
-        self._s_t += other._s_t + n_o * d
-        self._s_t2 += other._s_t2 + 2.0 * d * other._s_t + n_o * d * d
-        self._s_h += other._s_h
-        self._s_h2 += other._s_h2
-        # Hypotheses are centred on the fixed _H_REF, so only the trace
-        # side of the cross-product shifts.
-        self._s_ht += other._s_ht + other._s_h[:, :, None] * d[None, None, :]
+class OnlineCpa(CpaDistinguisher):
+    """Streaming Hamming-weight CPA (the campaign layer's historical default)."""
 
     _KIND = "online_cpa"
-    _STATE_FIELDS = ("_s_t", "_s_t2", "_s_h", "_s_h2", "_s_ht")
+
+    def __init__(self, aggregate: int = 1, model: str = "hw") -> None:
+        super().__init__(model=model, aggregate=aggregate)
 
 
-class OnlineDpa(_OnlineAccumulator):
-    """Streaming difference-of-means DPA (Kocher et al. [1]).
-
-    Partitions every chunk by the MSB of the hypothesised S-box output and
-    accumulates per-(byte, guess) partition counts and sums;
-    :meth:`difference` recovers the same differential trace
-    :func:`~repro.attacks.dpa.dpa_byte_difference` computes in one batch.
-    """
-
-    def _allocate(self, m: int) -> None:
-        b = self._n_bytes
-        self._s_t = np.zeros(m)
-        self._ones_count = np.zeros((b, 256))
-        self._ones_sum = np.zeros((b, 256, m))
-
-    def update(self, traces: np.ndarray, plaintexts: np.ndarray) -> int:
-        """Accumulate one chunk; returns the new total trace count."""
-        t, pts = self._ingest(traces, plaintexts)
-        self._n += t.shape[0]
-        self._s_t += t.sum(axis=0)
-        guesses = np.arange(256, dtype=np.uint8)
-        for b in range(self._n_bytes):
-            bits = _SBOX_MSB[pts[:, b][:, None] ^ guesses[None, :]]  # (c, 256)
-            self._ones_count[b] += bits.sum(axis=0)
-            self._ones_sum[b] += bits.astype(np.float64).T @ t
-        return self._n
-
-    def difference(self, byte_index: int) -> np.ndarray:
-        """Recovered ``(256, m)`` difference-of-means matrix for one byte.
-
-        Rows whose hypothesis puts every trace in one partition are zero,
-        matching the batch implementation.
-        """
-        self._require_data()
-        if not 0 <= byte_index < self._n_bytes:
-            raise ValueError(f"byte_index must be in [0, {self._n_bytes})")
-        ones = self._ones_count[byte_index][:, None]          # (256, 1)
-        zeros = self._n - ones
-        with np.errstate(invalid="ignore", divide="ignore"):
-            diff = (
-                self._ones_sum[byte_index] / ones
-                - (self._s_t[None, :] - self._ones_sum[byte_index]) / zeros
-            )
-        valid = (ones > 0) & (zeros > 0)
-        return np.where(valid, diff, 0.0)
-
-    score_matrix = difference
-
-    def _merge_stats(self, other: "OnlineDpa", d: np.ndarray) -> None:
-        self._s_t += other._s_t + other._n * d
-        self._ones_count += other._ones_count
-        self._ones_sum += (
-            other._ones_sum + other._ones_count[:, :, None] * d[None, None, :]
-        )
+class OnlineDpa(DpaDistinguisher):
+    """Streaming MSB difference-of-means DPA."""
 
     _KIND = "online_dpa"
-    _STATE_FIELDS = ("_s_t", "_ones_count", "_ones_sum")
+
+    def __init__(self, aggregate: int = 1, model: str = "msb") -> None:
+        super().__init__(model=model, aggregate=aggregate)

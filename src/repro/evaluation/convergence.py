@@ -82,7 +82,8 @@ def format_campaign(result, title: str | None = None) -> str:
             rank = rank1 = entropy = correct = "-"
         rows.append([str(record.n_traces), rank, rank1, entropy, correct])
     if title is None:
-        title = f"Campaign convergence ({result.summary()})"
+        statistic = getattr(result, "distinguisher", "cpa")
+        title = f"Campaign convergence [{statistic}] ({result.summary()})"
     return format_table(
         ["traces", "max rank", "rank-1 bytes", "GE (bits)", "key bytes"],
         rows,

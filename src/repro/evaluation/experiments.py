@@ -125,6 +125,7 @@ def run_cpa_scenario(
     aggregate: int = 64,
     segment_length: int | None = None,
     checkpoints: list[int] | None = None,
+    distinguisher=None,
 ) -> int | None:
     """Mount the CPA of Section IV-C on the located-and-aligned COs.
 
@@ -133,6 +134,9 @@ def run_cpa_scenario(
     is positional; using the nearest true start keeps the bookkeeping
     honest when there are false positives).  Returns the traces-to-rank-1
     count, or ``None`` on failure — Table II's CPA column.
+
+    ``distinguisher`` swaps the default batch HW CPA for any registered
+    distinguisher (see :func:`repro.attacks.traces_to_rank1`).
     """
     if located.size < 8:
         return None
@@ -155,4 +159,5 @@ def run_cpa_scenario(
         session.key,
         checkpoints=checkpoints,
         aggregate=aggregate,
+        distinguisher=distinguisher,
     )

@@ -32,8 +32,9 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro.attacks.distinguishers import resolve_distinguisher
 from repro.attacks.key_rank import MIN_CPA_TRACES, next_checkpoint
-from repro.campaign import OnlineCpa, TraceStore
+from repro.campaign import TraceStore
 from repro.soc.platform import SimulatedPlatform
 
 __all__ = [
@@ -151,6 +152,7 @@ class CampaignResult:
     store_path: str | None
     capture_seconds: float
     attack_seconds: float
+    distinguisher: str = "cpa"      # registry name of the attack statistic
 
     @property
     def key_recovered(self) -> bool:
@@ -186,6 +188,13 @@ class AttackCampaign:
     aggregate:
         Boxcar aggregation width applied by the accumulator (Section
         IV-C); also shrinks the sufficient statistics by the same factor.
+        Ignored when ``distinguisher`` carries its own aggregation.
+    distinguisher:
+        The attack statistic: ``None`` (the historical first-order HW
+        CPA), a registry name (``cpa``/``dpa``/``cpa2``/``lra``), a
+        :class:`~repro.attacks.distinguishers.DistinguisherSpec`, or a
+        fresh accumulator instance.  Store replay, checkpointing, and
+        early stopping work identically for all of them.
     first_checkpoint, checkpoint_growth:
         The geometric checkpoint ladder (matching
         :func:`repro.attacks.key_rank.geometric_checkpoints`).
@@ -214,6 +223,7 @@ class AttackCampaign:
         rank1_patience: int = 2,
         batch_size: int = 256,
         checkpoints: Sequence[int] | None = None,
+        distinguisher=None,
     ) -> None:
         if checkpoint_growth <= 1.0:
             raise ValueError("checkpoint_growth must be > 1")
@@ -237,20 +247,24 @@ class AttackCampaign:
             true_key if true_key is not None
             else getattr(source, "true_key", None)
         )
-        self.accumulator = OnlineCpa(aggregate=aggregate)
+        self.distinguisher_spec, self.accumulator = resolve_distinguisher(
+            distinguisher, aggregate=aggregate
+        )
+        self.aggregate = self.accumulator.aggregate
+        self._min_traces = max(MIN_CPA_TRACES, self.accumulator.min_traces)
         self._ladder: tuple[int, ...] | None = None
         if checkpoints is not None:
             ladder = sorted(
-                {int(c) for c in checkpoints if int(c) >= MIN_CPA_TRACES}
+                {int(c) for c in checkpoints if int(c) >= self._min_traces}
             )
             if not ladder:
                 raise ValueError(
                     f"explicit checkpoint ladder has no value >= "
-                    f"{MIN_CPA_TRACES}: {list(checkpoints)!r}"
+                    f"{self._min_traces}: {list(checkpoints)!r}"
                 )
             self._ladder = tuple(ladder)
             first_checkpoint = ladder[0]
-        self.first_checkpoint = max(int(first_checkpoint), MIN_CPA_TRACES)
+        self.first_checkpoint = max(int(first_checkpoint), self._min_traces)
         self.checkpoint_growth = float(checkpoint_growth)
         self.rank1_patience = int(rank1_patience)
         self.batch_size = int(batch_size)
@@ -289,8 +303,8 @@ class AttackCampaign:
         ``max_traces`` counts resumed traces too: resuming a 10 000-trace
         store with ``max_traces=15000`` captures at most 5 000 new ones.
         """
-        if max_traces < MIN_CPA_TRACES:
-            raise ValueError(f"max_traces must be >= {MIN_CPA_TRACES}")
+        if max_traces < self._min_traces:
+            raise ValueError(f"max_traces must be >= {self._min_traces}")
         records: list[CheckpointRecord] = []
         streak = 0
         capture_seconds = 0.0
@@ -300,7 +314,7 @@ class AttackCampaign:
         # A resumed store may already sit past checkpoints: evaluate the
         # restored statistics once so early stopping can engage without
         # waiting for a full new ladder rung.
-        if n >= max(self.first_checkpoint, MIN_CPA_TRACES):
+        if n >= self.first_checkpoint:
             begin = time.perf_counter()
             record = self._evaluate(n)
             attack_seconds += time.perf_counter() - begin
@@ -340,7 +354,7 @@ class AttackCampaign:
             early_stopped=stopped,
             recovered_key=(
                 self.accumulator.recovered_key()
-                if n >= MIN_CPA_TRACES
+                if n >= self._min_traces
                 else b""
             ),
             true_key=self.true_key,
@@ -348,6 +362,7 @@ class AttackCampaign:
             store_path=str(self.store.path) if self.store is not None else None,
             capture_seconds=capture_seconds,
             attack_seconds=attack_seconds,
+            distinguisher=self.accumulator.name,
         )
 
     # ------------------------------------------------------------------ #

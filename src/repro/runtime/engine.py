@@ -201,6 +201,7 @@ class ExperimentEngine:
         plan: BatchPlan,
         with_cpa: bool = False,
         aggregate: int = 64,
+        distinguisher=None,
     ) -> "list[ScenarioResult]":
         """Execute a plan; returns one :class:`ScenarioResult` per scenario.
 
@@ -235,7 +236,8 @@ class ExperimentEngine:
                 cpa = None
                 if with_cpa:
                     cpa = run_cpa_scenario(
-                        locator, session, starts, aggregate=aggregate
+                        locator, session, starts, aggregate=aggregate,
+                        distinguisher=distinguisher,
                     )
                 results[position] = ScenarioResult(
                     spec=spec,
@@ -266,6 +268,7 @@ class ExperimentEngine:
         workers: int | None = None,
         shard_size: int = 1024,
         attack_bytes: int | None = None,
+        distinguisher=None,
     ) -> CampaignResult:
         """Run one scenario's streaming attack campaign.
 
@@ -285,6 +288,10 @@ class ExperimentEngine:
         from the scenario platform exactly as in the serial path, so both
         paths attack the same key.  ``attack_bytes`` optionally reduces
         the attack to the leading key bytes (parallel path only).
+
+        ``distinguisher`` selects the attack statistic (a registry name or
+        :class:`~repro.attacks.distinguishers.DistinguisherSpec`); the
+        default is the first-order HW CPA with the given ``aggregate``.
         """
         platform = self.platform_for(spec)
         if workers is not None:
@@ -313,6 +320,7 @@ class ExperimentEngine:
                 checkpoint_growth=checkpoint_growth,
                 rank1_patience=rank1_patience,
                 batch_size=batch_size if batch_size is not None else 256,
+                distinguisher=distinguisher,
             )
             return campaign.run(max_traces, verbose=self.verbose)
         source = PlatformSegmentSource(
@@ -341,6 +349,7 @@ class ExperimentEngine:
             checkpoint_growth=checkpoint_growth,
             rank1_patience=rank1_patience,
             batch_size=batch_size if batch_size is not None else 256,
+            distinguisher=distinguisher,
         )
         return campaign.run(max_traces, verbose=self.verbose)
 

@@ -11,9 +11,12 @@ seed and the shard index:
 * a run **reruns bit-identically**, and the captured trace multiset is the
   same whether 1, 4, or 64 workers execute it;
 * workers are embarrassingly parallel — each captures its shard, folds it
-  into its own :class:`~repro.campaign.online.OnlineCpa`, optionally
-  persists it to its own :class:`~repro.campaign.store.TraceStore` shard
-  directory, and ships the sufficient statistics back;
+  into its own distinguisher accumulator (any registered distinguisher,
+  rebuilt worker-side from a picklable
+  :class:`~repro.attacks.distinguishers.DistinguisherSpec`; the
+  historical HW CPA by default), optionally persists it to its own
+  :class:`~repro.campaign.store.TraceStore` shard directory, and ships
+  the sufficient statistics back;
 * the parent **merges** accumulators in shard order at every rank-ladder
   checkpoint (checkpoints are aligned to shard boundaries) and applies the
   same early-stop streak logic as the serial
@@ -44,8 +47,13 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.attacks.distinguishers import (
+    Distinguisher,
+    DistinguisherSpec,
+    resolve_distinguisher,
+)
 from repro.attacks.key_rank import MIN_CPA_TRACES, geometric_checkpoints
-from repro.campaign import OnlineCpa, TraceStore
+from repro.campaign import TraceStore
 from repro.ciphers.registry import get_cipher
 from repro.runtime.campaign import (
     CampaignResult,
@@ -347,7 +355,7 @@ class ShardResult:
     """What one shard worker ships back to the merging parent."""
 
     index: int
-    accumulator: OnlineCpa
+    accumulator: Distinguisher
     replayed: int               # traces replayed from the shard's store
     capture_seconds: float
 
@@ -374,8 +382,14 @@ def run_shard(
     store_root=None,
     aggregate: int = 1,
     batch_size: int = 256,
+    distinguisher: DistinguisherSpec | None = None,
 ) -> ShardResult:
     """Capture (or resume) one shard and accumulate it.
+
+    ``distinguisher`` picks the shard's attack statistic (the historical
+    HW CPA when ``None``); the parent must merge shard accumulators of
+    the identical configuration, which is why workers receive the
+    picklable spec rather than a live accumulator.
 
     With a ``store_root`` the shard persists under its own
     ``shard-<index>`` trace-store directory: existing traces are replayed
@@ -386,7 +400,7 @@ def run_shard(
     shard size — per-index shard streams are prefixes of the same child-
     seed stream either way) replays only its first ``shard.count`` traces.
     """
-    accumulator = OnlineCpa(aggregate=aggregate)
+    _, accumulator = resolve_distinguisher(distinguisher, aggregate=aggregate)
     store = None
     replayed = 0
     if store_root is not None:
@@ -491,6 +505,7 @@ class ParallelCampaign:
         checkpoint_growth: float = 1.5,
         rank1_patience: int = 2,
         batch_size: int = 256,
+        distinguisher: DistinguisherSpec | str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -507,20 +522,34 @@ class ParallelCampaign:
         self.workers = int(workers)
         self.shard_size = int(shard_size)
         self.store_root = store_root
-        self.aggregate = int(aggregate)
-        self.first_checkpoint = max(int(first_checkpoint), MIN_CPA_TRACES)
+        self.distinguisher_spec, accumulator = resolve_distinguisher(
+            distinguisher, aggregate=aggregate
+        )
+        if self.distinguisher_spec is None:
+            raise TypeError(
+                "ParallelCampaign needs a picklable DistinguisherSpec (or a "
+                "registry name), not a live accumulator — pool workers "
+                "rebuild their own"
+            )
+        self.accumulator = accumulator
+        self.aggregate = accumulator.aggregate
+        self._min_traces = max(MIN_CPA_TRACES, accumulator.min_traces)
+        self.first_checkpoint = max(int(first_checkpoint), self._min_traces)
         self.checkpoint_growth = float(checkpoint_growth)
         self.rank1_patience = int(rank1_patience)
         self.batch_size = int(batch_size)
         self.true_key = spec.true_key
-        self.accumulator = OnlineCpa(aggregate=self.aggregate)
 
     def checkpoints(self, max_traces: int) -> list[int]:
         """The shard-aligned rank ladder this campaign will evaluate."""
-        return shard_aligned_checkpoints(
-            max_traces, self.shard_size,
-            first=self.first_checkpoint, growth=self.checkpoint_growth,
-        )
+        return [
+            value
+            for value in shard_aligned_checkpoints(
+                max_traces, self.shard_size,
+                first=self.first_checkpoint, growth=self.checkpoint_growth,
+            )
+            if value >= self._min_traces
+        ]
 
     def sharded_source(self) -> ShardedSegmentSource:
         """A serial source over this campaign's exact trace stream."""
@@ -533,8 +562,8 @@ class ParallelCampaign:
         capture timers (it can exceed wall clock when workers overlap);
         ``attack_seconds`` is the parent's merge + rank-evaluation time.
         """
-        if max_traces < MIN_CPA_TRACES:
-            raise ValueError(f"max_traces must be >= {MIN_CPA_TRACES}")
+        if max_traces < self._min_traces:
+            raise ValueError(f"max_traces must be >= {self._min_traces}")
         if self.store_root is not None:
             if (Path(self.store_root) / "manifest.json").exists():
                 raise ValueError(
@@ -545,7 +574,7 @@ class ParallelCampaign:
             Path(self.store_root).mkdir(parents=True, exist_ok=True)
         shards = plan_shards(self.seed, max_traces, self.shard_size)
         ladder = self.checkpoints(max_traces)
-        accumulator = self.accumulator = OnlineCpa(aggregate=self.aggregate)
+        accumulator = self.accumulator = self.distinguisher_spec.build()
         records: list[CheckpointRecord] = []
         streak = 0
         stopped = False
@@ -575,6 +604,7 @@ class ParallelCampaign:
                         futures[shard.index] = pool.submit(
                             run_shard, self.spec, shard, self.store_root,
                             self.aggregate, self.batch_size,
+                            self.distinguisher_spec,
                         )
                     submitted = max(submitted, horizon)
                     results = [
@@ -587,6 +617,7 @@ class ParallelCampaign:
                             self.spec, shard, store_root=self.store_root,
                             aggregate=self.aggregate,
                             batch_size=self.batch_size,
+                            distinguisher=self.distinguisher_spec,
                         )
                         for shard in shards[merged:needed]
                     ]
@@ -621,7 +652,7 @@ class ParallelCampaign:
             traces_to_rank1=streak_start(records, self.true_key, streak),
             early_stopped=stopped,
             recovered_key=(
-                accumulator.recovered_key() if n >= MIN_CPA_TRACES else b""
+                accumulator.recovered_key() if n >= self._min_traces else b""
             ),
             true_key=self.true_key,
             resumed_from=resumed,
@@ -630,5 +661,6 @@ class ParallelCampaign:
             ),
             capture_seconds=capture_seconds,
             attack_seconds=attack_seconds,
+            distinguisher=accumulator.name,
         )
 

@@ -11,6 +11,7 @@ from repro.signalproc.filters import (
     median_filter,
     moving_average,
     boxcar_aggregate,
+    prepare_segments,
 )
 from repro.signalproc.normalize import (
     standardize,
@@ -32,6 +33,7 @@ __all__ = [
     "median_filter",
     "moving_average",
     "boxcar_aggregate",
+    "prepare_segments",
     "standardize",
     "min_max_scale",
     "remove_dc",

@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["median_filter", "moving_average", "boxcar_aggregate"]
+__all__ = [
+    "median_filter",
+    "moving_average",
+    "boxcar_aggregate",
+    "prepare_segments",
+]
 
 
 def median_filter(signal: np.ndarray, size: int) -> np.ndarray:
@@ -60,6 +65,24 @@ def moving_average(signal: np.ndarray, size: int) -> np.ndarray:
     padded = np.pad(signal, (pad_left, pad_right), mode="edge")
     kernel = np.full(size, 1.0 / size)
     return np.convolve(padded, kernel, mode="valid")
+
+
+def prepare_segments(traces: np.ndarray, aggregate: int = 1) -> np.ndarray:
+    """Shared attack pre-processing: float64 segments, optional aggregation.
+
+    The single call site for the Section IV-C boxcar aggregation that the
+    batch CPA/DPA and every online distinguisher apply before their
+    statistics — one place to validate the ``(n, m)`` segment shape and the
+    aggregation width instead of each attack repeating it.
+    """
+    traces = np.asarray(traces, dtype=np.float64)
+    if traces.ndim != 2:
+        raise ValueError(f"expected (n, m) trace segments, got {traces.shape}")
+    if aggregate < 1:
+        raise ValueError(f"aggregation width must be positive, got {aggregate}")
+    if aggregate > 1:
+        traces = boxcar_aggregate(traces, aggregate)
+    return traces
 
 
 def boxcar_aggregate(traces: np.ndarray, width: int) -> np.ndarray:

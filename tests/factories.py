@@ -129,3 +129,87 @@ class SyntheticCampaignSpec:
         return SyntheticSource(
             self.key, seed=seed, noise=self.noise, samples=self.samples
         )
+
+
+def masked_leaky_traces(rng, n, key, noise=0.6, samples=24,
+                        window1=(2, 6), window2=(12, 16), offset=0.0):
+    """Traces with first-order boolean masking: two shares, no direct leak.
+
+    Byte ``b`` draws a fresh mask per trace and leaks ``HW(v ^ mask)`` in
+    ``window1`` and ``HW(SBOX[v] ^ mask)`` in ``window2`` (``v = pt ^ k``),
+    at offset ``b`` within each window.  No single sample correlates with
+    unmasked data, so first-order attacks fail while the centred product
+    of the two windows recovers ``HW(v ^ SBOX[v])`` — the ``hd`` model.
+    """
+    n_bytes = len(key)
+    assert window1[0] + n_bytes <= window1[1] <= samples
+    assert window2[0] + n_bytes <= window2[1] <= samples
+    pts = rng.integers(0, 256, (n, n_bytes), dtype=np.uint8)
+    traces = rng.normal(offset, noise, (n, samples))
+    for b in range(n_bytes):
+        mask = rng.integers(0, 256, n, dtype=np.uint8)
+        v = pts[:, b] ^ key[b]
+        traces[:, window1[0] + b] += hw_byte(v ^ mask)
+        traces[:, window2[0] + b] += hw_byte(SBOX_TABLE[v] ^ mask)
+    return traces, pts
+
+
+class SyntheticMaskedSource:
+    """A deterministic masked segment source (two shares per byte).
+
+    Randomness is drawn per trace, so the stream is invariant to capture
+    chunking — the same contract as :class:`SyntheticSource`.
+    """
+
+    window1 = (2, 6)
+    window2 = (12, 16)
+
+    def __init__(self, key: bytes, seed=0, noise: float = 0.6,
+                 samples: int = 24):
+        self.true_key = key
+        self.n_samples = samples
+        self.block_size = len(key)
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+
+    def capture(self, count: int):
+        pts = np.empty((count, self.block_size), dtype=np.uint8)
+        traces = np.empty((count, self.n_samples))
+        for i in range(count):
+            t, p = masked_leaky_traces(
+                self._rng, 1, self.true_key, noise=self.noise,
+                samples=self.n_samples, window1=self.window1,
+                window2=self.window2,
+            )
+            traces[i], pts[i] = t[0], p[0]
+        return traces, pts
+
+    def skip(self, count: int):
+        if count > 0:
+            self.capture(count)
+
+
+@dataclass(frozen=True)
+class SyntheticMaskedCampaignSpec:
+    """Picklable campaign-source spec over :class:`SyntheticMaskedSource`."""
+
+    key: bytes = KEY[:4]
+    noise: float = 0.6
+    samples: int = 24
+
+    @property
+    def n_samples(self) -> int:
+        return self.samples
+
+    @property
+    def block_size(self) -> int:
+        return len(self.key)
+
+    @property
+    def true_key(self) -> bytes:
+        return self.key
+
+    def build_source(self, seed) -> SyntheticMaskedSource:
+        return SyntheticMaskedSource(
+            self.key, seed=seed, noise=self.noise, samples=self.samples
+        )

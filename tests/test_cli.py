@@ -63,3 +63,67 @@ class TestCli:
     def test_parallel_campaign_rejects_bad_worker_count(self):
         assert main(["campaign", "--rd", "0", "--traces", "64",
                      "--segment-length", "1600", "--workers", "0"]) == 2
+
+
+class TestCliDistinguisherErrors:
+    """Unknown distinguisher / leakage-model names fail fast, listing the
+    valid choices (satellite: CLI error paths)."""
+
+    def test_campaign_rejects_unknown_distinguisher(self, capsys):
+        assert main(["campaign", "--distinguisher", "template"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown distinguisher" in err
+        assert "cpa, cpa2, dpa, lra" in err
+
+    def test_campaign_rejects_unknown_leakage_model(self, capsys):
+        assert main(["campaign", "--leakage-model", "hamming-cube"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown leakage model" in err
+        assert "hd, hw, identity, lsb, msb" in err
+
+    def test_bench_rejects_unknown_distinguisher(self, capsys):
+        assert main(["bench", "--distinguisher", "template"]) == 2
+        assert "cpa, cpa2, dpa, lra" in capsys.readouterr().err
+
+    def test_bench_rejects_unknown_leakage_model(self, capsys):
+        assert main(["bench", "--leakage-model", "nope"]) == 2
+        assert "hd, hw, identity, lsb, msb" in capsys.readouterr().err
+
+    def test_bench_routes_cpa2_to_campaign(self, capsys):
+        assert main(["bench", "--distinguisher", "cpa2"]) == 2
+        assert "repro campaign" in capsys.readouterr().err
+
+    def test_cpa2_needs_windows_outside_masked_aes(self, capsys):
+        assert main(["campaign", "--cipher", "aes",
+                     "--distinguisher", "cpa2"]) == 2
+        assert "--window1" in capsys.readouterr().err
+
+    def test_cpa2_window_derivation_needs_rd0(self, capsys):
+        """Auto-derived windows only pair up without delay jitter."""
+        assert main(["campaign", "--cipher", "aes_masked", "--rd", "2",
+                     "--distinguisher", "cpa2"]) == 2
+        assert "--rd 0" in capsys.readouterr().err
+
+    def test_lra_rejects_leakage_model(self, capsys):
+        assert main(["campaign", "--distinguisher", "lra",
+                     "--leakage-model", "hw"]) == 2
+        assert "basis" in capsys.readouterr().err
+
+    def test_bad_window_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--distinguisher", "cpa2",
+                  "--window1", "12-20", "--window2", "30:40"])
+
+
+class TestCliSecondOrderCampaign:
+    def test_masked_aes_second_order_recovers_key(self, capsys):
+        """`--distinguisher cpa2` derives windows and breaks aes_masked."""
+        argv = ["campaign", "--cipher", "aes_masked", "--rd", "0",
+                "--distinguisher", "cpa2", "--traces", "1600",
+                "--segment-length", "1100", "--first-checkpoint", "700",
+                "--growth", "2.0", "--patience", "1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cpa2 windows (derived)" in out
+        assert "[cpa2]" in out
+        assert "rank 1 at" in out

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Streaming vs repeated-batch checkpointed rank evaluation.
+"""Streaming attack throughput: rank evaluation, store, capture modes.
 
 The Table-II metric ("N. COs to reach rank 1") needs key ranks at a ladder
 of trace-count checkpoints.  The batch baseline
@@ -13,6 +13,16 @@ by at least that factor — this benchmark measures it, verifies both paths
 agree on every checkpoint's ranks, and also reports TraceStore append /
 replay throughput.
 
+It additionally measures the **capture modes** end to end: one seeded
+RD-0 platform campaign run twice — ``exact`` (bit-identical per-trace
+randomness) vs ``fast`` (bulk randomness + windowed segment synthesis) —
+verifying both recover the true key and reporting the wall-clock ratio.
+
+Besides the printed tables the benchmark writes
+``BENCH_streaming_attack.json`` (override with ``--output``) so CI can
+track the perf trajectory machine-readably against the committed
+baseline.
+
 Run directly (CI runs ``--quick``):
 
     PYTHONPATH=src python benchmarks/bench_streaming_attack.py --quick
@@ -21,6 +31,7 @@ Run directly (CI runs ``--quick``):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 import time
@@ -45,6 +56,57 @@ def synthetic_traces(
     for b in range(16):
         traces[:, (2 * b) % samples] += hw_byte(_SBOX[pts[:, b] ^ key[b]])
     return traces, pts
+
+
+def bench_capture_modes(
+    budget: int, segment_length: int = 600
+) -> tuple[list[list[str]], dict]:
+    """One seeded RD-0 campaign in each capture mode: wall clock + keys.
+
+    The campaign captures the attacked window (the prologue through the
+    first-round S-box, where the windowed fast path pays off exactly like
+    a triggered scope) and ranks once at the full budget, so the measured
+    wall clock isolates the capture + accumulate pipeline the modes
+    differ in rather than the mode-independent checkpoint evaluations
+    (reported separately by ``bench_distinguishers``).
+    """
+    from repro.runtime.campaign import AttackCampaign, PlatformSegmentSource
+    from repro.soc.platform import SimulatedPlatform
+
+    key = bytes(range(16))
+    measured = {}
+    for mode in ("exact", "fast"):
+        platform = SimulatedPlatform(
+            "aes", max_delay=0, seed=42, capture_mode=mode
+        )
+        source = PlatformSegmentSource(
+            platform, key=key, segment_length=segment_length
+        )
+        campaign = AttackCampaign(
+            source, aggregate=8, batch_size=256, checkpoints=[budget],
+        )
+        begin = time.perf_counter()
+        result = campaign.run(budget)
+        seconds = time.perf_counter() - begin
+        if result.recovered_key != key:
+            raise AssertionError(f"{mode} campaign failed to recover the key")
+        measured[mode] = {
+            "seconds": seconds,
+            "traces_per_s": budget / seconds,
+            "capture_seconds": result.capture_seconds,
+            "attack_seconds": result.attack_seconds,
+            "recovered": True,
+        }
+    speedup = measured["exact"]["seconds"] / measured["fast"]["seconds"]
+    measured["speedup"] = speedup
+    measured["traces"] = budget
+    rows = [
+        [f"campaign {mode} mode", "-", f"{budget}",
+         f"{measured[mode]['seconds']:7.3f}",
+         f"{measured[mode]['traces_per_s']:6.0f}/s"]
+        for mode in ("exact", "fast")
+    ]
+    return rows, measured
 
 
 def bench_rank_evaluation(
@@ -85,10 +147,17 @@ def bench_rank_evaluation(
         ["streaming online", f"{len(checkpoints)}", f"{n}",
          f"{t_stream:7.3f}", f"{speedup:4.1f}x"],
     ]
-    return rows, speedup
+    stats = {
+        "batch_seconds": t_batch,
+        "streaming_seconds": t_stream,
+        "streaming_speedup": speedup,
+        "streaming_traces_per_s": n / max(t_stream, 1e-9),
+        "checkpoints": len(checkpoints),
+    }
+    return rows, stats
 
 
-def bench_store(traces: np.ndarray, pts: np.ndarray) -> list[list[str]]:
+def bench_store(traces: np.ndarray, pts: np.ndarray) -> tuple[list[list[str]], dict]:
     """TraceStore append + memory-mapped replay throughput."""
     n = traces.shape[0]
     chunk = 512
@@ -107,12 +176,18 @@ def bench_store(traces: np.ndarray, pts: np.ndarray) -> list[list[str]]:
         t_replay = time.perf_counter() - begin
         assert acc.n_traces == n
         mb = store.nbytes() / 1e6
-    return [
+    rows = [
         ["store append", "-", f"{n}", f"{t_append:7.3f}",
          f"{n / t_append:6.0f}/s"],
         [f"store replay ({mb:.0f} MB)", "-", f"{n}", f"{t_replay:7.3f}",
          f"{n / t_replay:6.0f}/s"],
     ]
+    stats = {
+        "append_traces_per_s": n / max(t_append, 1e-9),
+        "replay_traces_per_s": n / max(t_replay, 1e-9),
+        "megabytes": mb,
+    }
+    return rows, stats
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -124,6 +199,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail below this streaming speedup "
                              "(default: 3.0, relaxed to 1.5 with --quick)")
+    parser.add_argument("--min-capture-speedup", type=float, default=None,
+                        help="fail below this fast-vs-exact campaign "
+                             "speedup (default: 2.0, relaxed to 1.3 with "
+                             "--quick for noisy CI runners)")
+    parser.add_argument("--campaign-traces", type=int, default=None,
+                        help="trace budget of the capture-mode campaigns")
+    parser.add_argument("--output", default="fresh_BENCH_streaming_attack.json",
+                        help="JSON trajectory path; the default is "
+                             "gitignored — pass BENCH_streaming_attack.json "
+                             "to refresh the committed baseline")
     args = parser.parse_args(argv)
 
     n = args.traces if args.traces else (4_000 if args.quick else 24_000)
@@ -131,13 +216,23 @@ def main(argv: list[str] | None = None) -> int:
     floor = args.min_speedup if args.min_speedup is not None else (
         1.5 if args.quick else 3.0
     )
+    capture_floor = (
+        args.min_capture_speedup if args.min_capture_speedup is not None
+        else (1.3 if args.quick else 2.0)
+    )
+    campaign_traces = args.campaign_traces if args.campaign_traces else (
+        1_536 if args.quick else 2_048
+    )
 
     rng = np.random.default_rng(0xBEEF)
     key = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
     traces, pts = synthetic_traces(rng, n, samples, key, noise=2.0)
 
-    rows, speedup = bench_rank_evaluation(traces, pts, key)
-    rows += bench_store(traces, pts)
+    rows, rank_stats = bench_rank_evaluation(traces, pts, key)
+    store_rows, store_stats = bench_store(traces, pts)
+    mode_rows, mode_stats = bench_capture_modes(campaign_traces)
+    rows += store_rows + mode_rows
+    speedup = rank_stats["streaming_speedup"]
     print(format_table(
         ["evaluator", "checkpoints", "traces processed", "seconds", "rate"],
         rows,
@@ -146,8 +241,29 @@ def main(argv: list[str] | None = None) -> int:
     ))
     print(f"\nstreaming speedup: {speedup:.1f}x (floor {floor:.1f}x); "
           f"checkpoint ranks identical on both paths")
+    print(f"RD-0 campaign fast vs exact capture mode: "
+          f"{mode_stats['speedup']:.1f}x wall clock over {campaign_traces} "
+          f"traces (floor {capture_floor:.1f}x); identical recovered keys")
+
+    payload = {
+        "benchmark": "streaming_attack",
+        "quick": bool(args.quick),
+        "traces": n,
+        "samples": samples,
+        "rank_evaluation": rank_stats,
+        "store": store_stats,
+        "capture_modes": mode_stats,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nwrote {args.output}")
+
     if speedup < floor:
         print("FAIL: streaming evaluation below the speedup floor",
+              file=sys.stderr)
+        return 1
+    if mode_stats["speedup"] < capture_floor:
+        print("FAIL: fast capture mode below the campaign speedup floor",
               file=sys.stderr)
         return 1
     return 0

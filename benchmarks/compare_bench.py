@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Compare a fresh ``BENCH_*.json`` against the committed baseline.
+
+The perf-smoke CI job re-runs the ``--quick`` benchmarks and hands their
+JSON output here next to the baseline committed at the repo root.  Every
+numeric *throughput* field — a leaf whose name ends in ``_per_s`` or is
+``speedup``/``streaming_speedup`` (higher is better) — is compared, and
+any regression beyond the threshold (default 30%) emits a warning in
+GitHub's ``::warning::`` annotation format.  The gate *warns* rather than
+fails by default because shared CI runners are noisy; pass ``--fail`` to
+turn regressions into a non-zero exit (e.g. for release branches or a
+quiet benchmarking host).
+
+Usage:
+
+    python benchmarks/compare_bench.py BASELINE.json FRESH.json \
+        [--threshold 0.30] [--fail]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Leaf names treated as higher-is-better throughput metrics.
+_SPEEDUP_NAMES = frozenset({"speedup", "streaming_speedup"})
+
+
+def throughput_fields(payload, prefix: str = "") -> "dict[str, float]":
+    """Flatten the higher-is-better numeric leaves of a bench payload."""
+    fields: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for name, value in payload.items():
+            path = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, dict):
+                fields.update(throughput_fields(value, path))
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                if name.endswith("_per_s") or name in _SPEEDUP_NAMES:
+                    fields[path] = float(value)
+    return fields
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> "list[str]":
+    """Regression messages for every throughput field below the gate."""
+    base_fields = throughput_fields(baseline)
+    fresh_fields = throughput_fields(fresh)
+    regressions = []
+    for path, base_value in sorted(base_fields.items()):
+        current = fresh_fields.get(path)
+        if current is None:
+            regressions.append(
+                f"{path}: present in the baseline but missing from the "
+                f"fresh run"
+            )
+            continue
+        if base_value <= 0:
+            continue
+        change = current / base_value - 1.0
+        if change < -threshold:
+            regressions.append(
+                f"{path}: {current:.0f} vs baseline {base_value:.0f} "
+                f"({change * 100:+.1f}%, gate -{threshold * 100:.0f}%)"
+            )
+    return regressions
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("fresh", help="freshly measured BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="regression fraction that triggers the gate")
+    parser.add_argument("--fail", action="store_true",
+                        help="exit non-zero on regression instead of warning")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    if baseline.get("benchmark") != fresh.get("benchmark"):
+        print(f"::warning::comparing different benchmarks: "
+              f"{baseline.get('benchmark')} vs {fresh.get('benchmark')}")
+
+    regressions = compare(baseline, fresh, args.threshold)
+    watched = len(throughput_fields(baseline))
+    name = baseline.get("benchmark", args.baseline)
+    if not regressions:
+        print(f"[compare] {name}: {watched} throughput fields within "
+              f"{args.threshold * 100:.0f}% of the committed baseline")
+        return 0
+    for message in regressions:
+        print(f"::warning::perf regression in {name}: {message}")
+    print(f"[compare] {name}: {len(regressions)}/{watched} fields regressed "
+          f"beyond {args.threshold * 100:.0f}%", file=sys.stderr)
+    return 1 if args.fail else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

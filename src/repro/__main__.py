@@ -96,6 +96,14 @@ def _distinguisher_spec(args: argparse.Namespace, cipher: str | None = None):
     return spec
 
 
+def _add_capture_mode_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--capture-mode", default="exact", choices=("exact", "fast"),
+        help="capture randomness path: 'exact' is bit-identical to the "
+             "scalar reference, 'fast' draws batch randomness in bulk "
+             "(statistically identical stream, much faster capture)")
+
+
 def _add_distinguisher_options(
     parser: argparse.ArgumentParser, windows: bool = True
 ) -> None:
@@ -225,6 +233,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         method=args.engine,
         verbose=True,
+        capture_mode=args.capture_mode,
     )
     results = engine.run(plan, with_cpa=args.cpa, aggregate=args.aggregate,
                          distinguisher=distinguisher)
@@ -252,7 +261,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if spec is None:
         return 2
     platform = PlatformSpec(
-        cipher_name=args.cipher, max_delay=args.rd, noise_std=args.noise_std
+        cipher_name=args.cipher, max_delay=args.rd, noise_std=args.noise_std,
+        capture_mode=args.capture_mode,
     ).build(args.seed)
     source = PlatformSegmentSource(
         platform, segment_length=args.segment_length, batch_size=args.batch_size
@@ -272,8 +282,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             n_samples=source.n_samples,
             block_size=source.block_size,
             key=source.true_key,
-            meta={"cipher": args.cipher, "rd": args.rd, "seed": args.seed},
+            meta={"cipher": args.cipher, "rd": args.rd, "seed": args.seed,
+                  "capture_mode": args.capture_mode},
         )
+        stored_mode = store.meta.get("capture_mode", "exact")
+        if len(store) and stored_mode != args.capture_mode:
+            print(f"{args.store} was captured in {stored_mode!r} capture "
+                  f"mode; resuming it in {args.capture_mode!r} would splice "
+                  f"two different trace streams", file=sys.stderr)
+            return 2
         print(f"store: {store.path} ({len(store)} traces on disk)")
     campaign = AttackCampaign(
         source,
@@ -318,7 +335,7 @@ def _run_parallel_campaign(args: argparse.Namespace, source, spec) -> int:
     campaign_spec = PlatformCampaignSpec(
         platform=PlatformSpec(
             cipher_name=args.cipher, max_delay=args.rd,
-            noise_std=args.noise_std,
+            noise_std=args.noise_std, capture_mode=args.capture_mode,
         ),
         key=source.true_key,
         segment_length=source.n_samples,
@@ -393,6 +410,7 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--cpa", action="store_true",
                          help="also mount the key-recovery attack per scenario")
     p_bench.add_argument("--aggregate", type=int, default=64)
+    _add_capture_mode_option(p_bench)
     _add_distinguisher_options(p_bench, windows=False)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--scale", type=float, default=1 / 32,
@@ -438,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
     p_campaign.add_argument("--shard-size", type=int, default=1024,
                             help="traces per parallel shard (seed and "
                                  "checkpoint granularity)")
+    _add_capture_mode_option(p_campaign)
     _add_distinguisher_options(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 

@@ -32,6 +32,9 @@ from repro.attacks.distinguishers.base import (
     Distinguisher,
     SufficientStatisticDistinguisher,
 )
+from repro.attacks.distinguishers.class_conditional import (
+    ClassConditionalDistinguisher,
+)
 from repro.attacks.distinguishers.cpa import CpaDistinguisher
 from repro.attacks.distinguishers.dpa import DpaDistinguisher
 from repro.attacks.distinguishers.lra import (
@@ -47,6 +50,7 @@ from repro.attacks.distinguishers.second_order import (
 __all__ = [
     "Distinguisher",
     "SufficientStatisticDistinguisher",
+    "ClassConditionalDistinguisher",
     "CpaDistinguisher",
     "DpaDistinguisher",
     "SecondOrderCpa",

@@ -74,6 +74,10 @@ class SufficientStatisticDistinguisher:
     name = ""
     #: Checkpoint tag stored in ``.npz`` state (subclass constant).
     _KIND = ""
+    #: Retired checkpoint tags of this distinguisher whose persisted
+    #: statistic layout is incompatible with the current one; loading one
+    #: fails with a versioning error instead of a type mismatch.
+    _LEGACY_KINDS: tuple[str, ...] = ()
     #: Statistic arrays to persist/merge-assign (subclass constant).
     _STATE_FIELDS: tuple[str, ...] = ()
     #: Fewest traces the recovered scores are defined for.
@@ -298,7 +302,15 @@ class SufficientStatisticDistinguisher:
     def load(cls, path):
         """Restore an accumulator saved by :meth:`save`."""
         with np.load(path) as state:
-            if str(state["kind"]) != cls._KIND:
+            kind = str(state["kind"])
+            if kind in cls._LEGACY_KINDS:
+                raise ValueError(
+                    f"{path} is a {kind!r} checkpoint from before the "
+                    f"class-conditional statistics refactor (state layout "
+                    f"{cls._KIND!r} differs); re-create it by replaying "
+                    f"the campaign's trace store"
+                )
+            if kind != cls._KIND:
                 raise ValueError(
                     f"{path} is not a {cls.__name__} checkpoint"
                 )

@@ -1,0 +1,147 @@
+"""Class-conditional sufficient statistics: one store, many statistics.
+
+The hypothesised intermediate of every first-order attack here is a fixed
+function of the plaintext byte and the key guess, so for *any* leakage
+model the per-guess statistics are linear functionals of one shared store:
+the per-(byte, plaintext-value) trace **counts** ``(n_bytes, 256)`` and
+centred trace **sums** ``(n_bytes, 256, m)``, plus the global per-sample
+sum and sum-of-squares.  Accumulation therefore costs ``O(c·m)`` per chunk
+— a bincount and a scatter-add — instead of the ``O(c·m·256)`` per-guess
+GEMM the previous CPA formulation paid, and the 256-guess hypothesis
+projection ``H @ S`` moves to *scoring* time, where it runs once per
+checkpoint instead of once per chunk.
+
+Because the store never sees the leakage model, the model becomes
+swappable **after** accumulation: :meth:`CpaDistinguisher.with_model
+<repro.attacks.distinguishers.cpa.CpaDistinguisher.with_model>` re-scores
+the identical statistics under a different hypothesis, exactly as LRA (the
+first user of this store) already re-fits any regression basis at scoring
+time.
+
+Chunk intake is **buffered**: centred chunks are staged and scattered into
+the store in larger batches (a few thousand rows), which amortises the
+fixed per-scatter numpy overhead that otherwise dominates small-chunk
+streaming updates.  Buffering only reorders floating-point additions of
+the same trace set, so batch == online == merged still holds to the same
+tolerance the property suite pins; every read (scoring, merge, save)
+flushes first, so the buffer is invisible to callers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.distinguishers.base import SufficientStatisticDistinguisher
+
+__all__ = ["ClassConditionalDistinguisher"]
+
+
+class ClassConditionalDistinguisher(SufficientStatisticDistinguisher):
+    """Shared class-conditional store with buffered scatter accumulation.
+
+    Subclasses (CPA, DPA, LRA) differ only in how they project the store
+    into per-guess scores; accumulation, merging and persistence are
+    identical, and their ``.npz`` state fields are interchangeable.
+    """
+
+    _STATE_FIELDS = ("_counts", "_class_sums", "_s_t", "_s_t2")
+    #: Scatter the staged buffer once it holds this many array elements
+    #: (rows × samples) — large enough to amortise per-call overhead,
+    #: small enough to bound the staging footprint to a few tens of MB.
+    _FLUSH_ELEMENTS = 1 << 22
+    #: Never stage more rows than this, regardless of the sample count.
+    _FLUSH_MAX_ROWS = 4096
+
+    def __init__(self, aggregate: int = 1) -> None:
+        super().__init__(aggregate=aggregate)
+        self._pending_t: list[np.ndarray] = []
+        self._pending_p: list[np.ndarray] = []
+        self._pending_rows = 0
+
+    # -- accumulation ---------------------------------------------------- #
+
+    def _allocate(self, m: int) -> None:
+        b = self._n_bytes
+        self._counts = np.zeros((b, 256))
+        self._class_sums = np.zeros((b, 256, m))
+        self._s_t = np.zeros(m)
+        self._s_t2 = np.zeros(m)
+
+    def _accumulate(self, t: np.ndarray, pts: np.ndarray) -> None:
+        self._pending_t.append(t)
+        self._pending_p.append(pts)
+        self._pending_rows += t.shape[0]
+        threshold = min(
+            self._FLUSH_MAX_ROWS,
+            max(1, self._FLUSH_ELEMENTS // max(1, t.shape[1])),
+        )
+        if self._pending_rows >= threshold:
+            self._flush()
+
+    def flush(self) -> None:
+        """Drain the staging buffer into the statistic arrays.
+
+        Runs automatically before any read (scoring, merge, save), so
+        callers never need it for correctness; benchmarks call it to
+        charge the staged scatter work to the update phase it belongs to.
+        """
+        self._flush()
+
+    def _flush(self) -> None:
+        """Scatter the staged (centred) chunks into the statistic arrays."""
+        if not self._pending_rows:
+            return
+        t = (
+            self._pending_t[0] if len(self._pending_t) == 1
+            else np.concatenate(self._pending_t)
+        )
+        pts = (
+            self._pending_p[0] if len(self._pending_p) == 1
+            else np.concatenate(self._pending_p)
+        )
+        self._pending_t, self._pending_p, self._pending_rows = [], [], 0
+        self._s_t += t.sum(axis=0)
+        self._s_t2 += np.einsum("ij,ij->j", t, t)
+        for b in range(self._n_bytes):
+            classes = pts[:, b]
+            # Stable argsort on uint8 keys is a radix sort; grouping the
+            # chunk by class turns the scatter-add into one segmented
+            # reduction (reduceat) — measurably faster than np.add.at.
+            order = np.argsort(classes, kind="stable")
+            counts = np.bincount(classes, minlength=256)
+            self._counts[b] += counts
+            present = np.flatnonzero(counts)
+            offsets = np.concatenate(([0], np.cumsum(counts[present])[:-1]))
+            self._class_sums[b][present] += np.add.reduceat(
+                t[order], offsets, axis=0
+            )
+
+    # -- flush-aware plumbing -------------------------------------------- #
+
+    def merge(self, other):
+        self._flush()
+        if isinstance(other, ClassConditionalDistinguisher):
+            other._flush()
+        return super().merge(other)
+
+    def save(self, path) -> None:
+        self._flush()
+        super().save(path)
+
+    def _projection_inputs(self, byte_index: int, minimum: int | None = None):
+        """Flush + validate, returning ``(n, counts, class_sums)`` for a byte."""
+        self._flush()
+        self._require_data(self.min_traces if minimum is None else minimum)
+        self._check_byte_index(byte_index)
+        return self._n, self._counts[byte_index], self._class_sums[byte_index]
+
+    def _merge_stats(self, other, d: np.ndarray) -> None:
+        # Re-base the incoming centred sums onto this reference: each of
+        # other's counts[v] traces gains +d, so class sums shift by
+        # counts[v]·d and the global moments by the usual affine update.
+        self._s_t += other._s_t + other._n * d
+        self._s_t2 += other._s_t2 + 2.0 * d * other._s_t + other._n * d * d
+        self._counts += other._counts
+        self._class_sums += (
+            other._class_sums + other._counts[:, :, None] * d[None, None, :]
+        )

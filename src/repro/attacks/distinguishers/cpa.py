@@ -1,25 +1,39 @@
-"""First-order CPA (Brier et al. [2]) on the shared statistics core.
+"""First-order CPA (Brier et al. [2]) on the class-conditional store.
 
 The Pearson correlation between a pluggable leakage hypothesis
-(:mod:`repro.attacks.leakage_models`) and every trace sample, recovered
-from additive sufficient statistics: per-sample sums and sums-of-squares,
-per-(byte, guess) hypothesis sums and sums-of-squares, and the
-hypothesis×sample cross-products.  Memory is ``O(n_bytes · 256 · m)`` —
-independent of the trace count.
+(:mod:`repro.attacks.leakage_models`) and every trace sample.  The
+hypothesis for guess ``k`` is a fixed function of the plaintext byte, so
+every hypothesis-side statistic is a linear functional of the shared
+class-conditional store (:mod:`~repro.attacks.distinguishers.class_conditional`):
+with centred model table ``H[v, k]`` and per-class counts/sums
+``c[v]``/``S[v, :]``,
+
+* hypothesis sum            ``Σh  = c  @ H``            (256,)
+* hypothesis sum-of-squares ``Σh² = c  @ H²``           (256,)
+* cross-products            ``Σht = Hᵀ @ S``            (256, m)
+
+Accumulation therefore never touches the model — the per-chunk cost is a
+bincount plus one scatter-add, ``O(c·m)`` instead of the previous
+formulation's per-guess ``O(c·m·256)`` GEMM — and the 256-guess
+projection runs once per scoring call.  That also makes the leakage model
+swappable *after* accumulation (:meth:`CpaDistinguisher.with_model`): the
+same statistics re-score under any registered hypothesis.
 
 Incoming chunks are centred against a fixed per-sample reference (the
-first chunk's mean); hypotheses are centred against the model's constant
-uniform-byte mean.  Pearson correlation is shift-invariant, so the
-references change nothing but numerical conditioning — and because they
-are fixed, the statistics stay purely additive and therefore exactly
-mergeable (the base class re-bases the trace side on merge).
+first chunk's mean); the model table is centred against its constant
+uniform-byte mean at scoring time.  Pearson correlation is
+shift-invariant, so the references change nothing but numerical
+conditioning — and because they are fixed, the statistics stay purely
+additive and therefore exactly mergeable.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.distinguishers.base import SufficientStatisticDistinguisher
+from repro.attacks.distinguishers.class_conditional import (
+    ClassConditionalDistinguisher,
+)
 from repro.attacks.key_rank import MIN_CPA_TRACES
 from repro.attacks.leakage_models import LeakageModel, get_leakage_model
 
@@ -28,8 +42,8 @@ __all__ = ["CpaDistinguisher"]
 _EPS = 1e-12  # matches repro.attacks.cpa._EPS
 
 
-class CpaDistinguisher(SufficientStatisticDistinguisher):
-    """Streaming CPA: chunk updates, batch-identical correlation recovery.
+class CpaDistinguisher(ClassConditionalDistinguisher):
+    """Streaming CPA: class-conditional updates, scoring-time projection.
 
     Feed ``(c, m)`` trace chunks plus their ``(c, n_bytes)`` plaintexts
     through :meth:`update`; :meth:`correlation` then recovers the same
@@ -42,7 +56,8 @@ class CpaDistinguisher(SufficientStatisticDistinguisher):
     model:
         Leakage model name (or a :class:`LeakageModel`) mapping the S-box
         intermediate to predicted leakage — ``"hw"`` reproduces the
-        classic Hamming-weight CPA.
+        classic Hamming-weight CPA.  Only consulted at scoring time; the
+        accumulated statistics are model-independent.
     aggregate:
         Section IV-C boxcar aggregation width applied to each chunk
         before accumulation (aggregation is per-trace, so it commutes
@@ -51,8 +66,11 @@ class CpaDistinguisher(SufficientStatisticDistinguisher):
     """
 
     name = "cpa"
-    _KIND = "cpa"
-    _STATE_FIELDS = ("_s_t", "_s_t2", "_s_h", "_s_h2", "_s_ht")
+    # The class-conditional refactor changed the persisted state fields,
+    # so the checkpoint kind is versioned and the old tag is refused with
+    # a pointed error instead of a KeyError.
+    _KIND = "cpa.cc1"
+    _LEGACY_KINDS = ("cpa",)
     min_traces = MIN_CPA_TRACES
 
     def __init__(self, model: str | LeakageModel = "hw", aggregate: int = 1) -> None:
@@ -64,35 +82,31 @@ class CpaDistinguisher(SufficientStatisticDistinguisher):
     def _config(self) -> dict:
         return {"model": self.model.name, "aggregate": self.aggregate}
 
-    def _allocate(self, m: int) -> None:
-        b = self._n_bytes
-        self._s_t = np.zeros(m)
-        self._s_t2 = np.zeros(m)
-        self._s_h = np.zeros((b, 256))
-        self._s_h2 = np.zeros((b, 256))
-        self._s_ht = np.zeros((b, 256, m))
+    def with_model(self, model: str | LeakageModel) -> "CpaDistinguisher":
+        """This accumulator's statistics re-scored under another hypothesis.
 
-    def _accumulate(self, t: np.ndarray, pts: np.ndarray) -> None:
-        self._s_t += t.sum(axis=0)
-        self._s_t2 += (t * t).sum(axis=0)
-        reference = self.model.reference
-        for b in range(self._n_bytes):
-            h = self.model.hypotheses(pts[:, b]) - reference  # (c, 256)
-            self._s_h[b] += h.sum(axis=0)
-            self._s_h2[b] += (h * h).sum(axis=0)
-            self._s_ht[b] += h.T @ t
+        The class-conditional store never saw the original model, so the
+        swap is exact: the copy scores identically to an accumulator that
+        was configured with ``model`` from the start and fed the same
+        stream.  The original is untouched.
+        """
+        swapped = self.copy()
+        swapped.model = (
+            get_leakage_model(model) if isinstance(model, str) else model
+        )
+        return swapped
 
     def correlation(self, byte_index: int) -> np.ndarray:
         """Recovered ``(256, m)`` correlation matrix for one key byte."""
-        self._require_data(MIN_CPA_TRACES)
-        self._check_byte_index(byte_index)
-        n = self._n
-        cross = self._s_ht[byte_index] - np.outer(
-            self._s_h[byte_index], self._s_t / n
+        n, counts, class_sums = self._projection_inputs(
+            byte_index, MIN_CPA_TRACES
         )
-        h_norm = np.sqrt(
-            np.clip(self._s_h2[byte_index] - self._s_h[byte_index] ** 2 / n, 0, None)
-        )
+        h = self.model.table - self.model.reference     # (256 values, 256 guesses)
+        s_h = counts @ h                                # (256,)
+        s_h2 = counts @ (h * h)                         # (256,)
+        s_ht = h.T @ class_sums                         # (256, m)
+        cross = s_ht - np.outer(s_h, self._s_t / n)
+        h_norm = np.sqrt(np.clip(s_h2 - s_h ** 2 / n, 0, None))
         t_norm = np.sqrt(np.clip(self._s_t2 - self._s_t ** 2 / n, 0, None))
         denom = h_norm[:, None] * t_norm[None, :]
         with np.errstate(invalid="ignore", divide="ignore"):
@@ -100,13 +114,3 @@ class CpaDistinguisher(SufficientStatisticDistinguisher):
         return np.clip(corr, -1.0, 1.0)
 
     score_matrix = correlation
-
-    def _merge_stats(self, other: "CpaDistinguisher", d: np.ndarray) -> None:
-        n_o = other._n
-        self._s_t += other._s_t + n_o * d
-        self._s_t2 += other._s_t2 + 2.0 * d * other._s_t + n_o * d * d
-        self._s_h += other._s_h
-        self._s_h2 += other._s_h2
-        # Hypotheses are centred on the model's fixed reference, so only
-        # the trace side of the cross-product shifts.
-        self._s_ht += other._s_ht + other._s_h[:, :, None] * d[None, None, :]

@@ -10,20 +10,23 @@ means are a genuine function of ``v``; for wrong guesses the S-box's
 non-linearity scrambles the classes and the fit collapses.
 
 Streaming form: because ``v`` is a bijection of the plaintext byte for
-every guess, the sufficient statistics are simply the **class-conditional
-trace sums** per plaintext-byte value — counts ``(n_bytes, 256)`` and sums
-``(n_bytes, 256, m)`` — plus global per-sample totals.  The weighted
-normal equations for *any* guess and *any* basis are then assembled from
-these at scoring time, so the statistics are basis-agnostic, purely
-additive (exact merges), and the same memory order as CPA's
-cross-products.
+every guess, the sufficient statistics are simply the shared
+**class-conditional store** (:mod:`~repro.attacks.distinguishers.class_conditional`)
+— counts ``(n_bytes, 256)`` and sums ``(n_bytes, 256, m)`` plus global
+per-sample totals — the very store first-order CPA and DPA now project at
+scoring time.  The weighted normal equations for *any* guess and *any*
+basis are assembled from it at scoring time, so the statistics are
+basis-agnostic, purely additive (exact merges), and the same memory order
+as CPA's.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.distinguishers.base import SufficientStatisticDistinguisher
+from repro.attacks.distinguishers.class_conditional import (
+    ClassConditionalDistinguisher,
+)
 from repro.ciphers.aes import SBOX
 
 __all__ = ["LinearRegressionAnalysis", "available_lra_bases", "lra_basis"]
@@ -77,7 +80,7 @@ def _guess_designs(name: str) -> np.ndarray:
     return designs
 
 
-class LinearRegressionAnalysis(SufficientStatisticDistinguisher):
+class LinearRegressionAnalysis(ClassConditionalDistinguisher):
     """Streaming LRA with a configurable regression basis.
 
     Parameters
@@ -92,7 +95,6 @@ class LinearRegressionAnalysis(SufficientStatisticDistinguisher):
 
     name = "lra"
     _KIND = "lra"
-    _STATE_FIELDS = ("_counts", "_class_sums", "_s_t", "_s_t2")
 
     def __init__(self, basis: str = "bits", aggregate: int = 1) -> None:
         super().__init__(aggregate=aggregate)
@@ -101,27 +103,12 @@ class LinearRegressionAnalysis(SufficientStatisticDistinguisher):
         # The fit needs more observations than parameters for a non-trivial
         # residual; below that every guess fits perfectly and scores tie.
         self.min_traces = max(
-            SufficientStatisticDistinguisher.min_traces,
+            ClassConditionalDistinguisher.min_traces,
             self._designs.shape[2] + 2,
         )
 
     def _config(self) -> dict:
         return {"basis": self.basis, "aggregate": self.aggregate}
-
-    def _allocate(self, m: int) -> None:
-        b = self._n_bytes
-        self._counts = np.zeros((b, 256))
-        self._class_sums = np.zeros((b, 256, m))
-        self._s_t = np.zeros(m)
-        self._s_t2 = np.zeros(m)
-
-    def _accumulate(self, t: np.ndarray, pts: np.ndarray) -> None:
-        self._s_t += t.sum(axis=0)
-        self._s_t2 += (t * t).sum(axis=0)
-        for b in range(self._n_bytes):
-            classes = pts[:, b].astype(np.int64)
-            self._counts[b] += np.bincount(classes, minlength=256)
-            np.add.at(self._class_sums[b], classes, t)
 
     def r_squared(self, byte_index: int) -> np.ndarray:
         """Recovered ``(256, m)`` coefficient-of-determination matrix.
@@ -132,16 +119,13 @@ class LinearRegressionAnalysis(SufficientStatisticDistinguisher):
         unobserved) fall back to the pseudo-inverse — the least-squares
         fit over the observed classes.
         """
-        self._require_data(self.min_traces)
-        self._check_byte_index(byte_index)
-        n = self._n
-        weights = self._counts[byte_index]                  # (256,)
+        n, weights, class_sums = self._projection_inputs(byte_index)
         designs = self._designs                             # (256, 256, P)
         p = designs.shape[2]
         gt = designs.transpose(0, 2, 1)                     # (256, P, 256)
         xtx = gt @ (designs * weights[None, :, None])       # (256, P, P)
         xty = (
-            gt.reshape(-1, 256) @ self._class_sums[byte_index]
+            gt.reshape(-1, 256) @ class_sums
         ).reshape(256, p, -1)                               # (256, P, m)
         beta = np.linalg.pinv(xtx) @ xty                    # (256, P, m)
         ssr = self._s_t2[None, :] - np.einsum("kpm,kpm->km", beta, xty)
@@ -153,11 +137,3 @@ class LinearRegressionAnalysis(SufficientStatisticDistinguisher):
         return np.clip(r2, 0.0, 1.0)
 
     score_matrix = r_squared
-
-    def _merge_stats(self, other: "LinearRegressionAnalysis", d: np.ndarray) -> None:
-        self._s_t += other._s_t + other._n * d
-        self._s_t2 += other._s_t2 + 2.0 * d * other._s_t + other._n * d * d
-        self._counts += other._counts
-        self._class_sums += (
-            other._class_sums + other._counts[:, :, None] * d[None, None, :]
-        )

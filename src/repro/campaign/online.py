@@ -27,7 +27,8 @@ __all__ = ["OnlineCpa", "OnlineDpa"]
 class OnlineCpa(CpaDistinguisher):
     """Streaming Hamming-weight CPA (the campaign layer's historical default)."""
 
-    _KIND = "online_cpa"
+    _KIND = "online_cpa.cc1"
+    _LEGACY_KINDS = ("online_cpa",)
 
     def __init__(self, aggregate: int = 1, model: str = "hw") -> None:
         super().__init__(model=model, aggregate=aggregate)
@@ -36,7 +37,8 @@ class OnlineCpa(CpaDistinguisher):
 class OnlineDpa(DpaDistinguisher):
     """Streaming MSB difference-of-means DPA."""
 
-    _KIND = "online_dpa"
+    _KIND = "online_dpa.cc1"
+    _LEGACY_KINDS = ("online_dpa",)
 
     def __init__(self, aggregate: int = 1, model: str = "msb") -> None:
         super().__init__(model=model, aggregate=aggregate)

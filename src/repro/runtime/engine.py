@@ -96,6 +96,11 @@ class ExperimentEngine:
         faithful, default) or ``"dense"`` (fast batched trunk).
     train_noise_ops, config_overrides:
         Training knobs forwarded to the default provider.
+    capture_mode:
+        Capture path for every platform the engine builds: ``"exact"``
+        (bit-identical to the scalar reference, default) or ``"fast"``
+        (bulk randomness — see
+        :class:`~repro.soc.platform.SimulatedPlatform`).
     """
 
     def __init__(
@@ -107,6 +112,7 @@ class ExperimentEngine:
         train_noise_ops: int = 60_000,
         config_overrides: "dict[str, PipelineConfig] | None" = None,
         verbose: bool = False,
+        capture_mode: str = "exact",
     ) -> None:
         self.dataset_scale = float(dataset_scale)
         self.seed = int(seed)
@@ -114,6 +120,7 @@ class ExperimentEngine:
         self.train_noise_ops = int(train_noise_ops)
         self.config_overrides = dict(config_overrides or {})
         self.verbose = verbose
+        self.capture_mode = capture_mode
         self._provider = locator_provider
         self._locators: dict[tuple[str, int, float], CryptoLocator] = {}
 
@@ -174,6 +181,7 @@ class ExperimentEngine:
             cipher_name=spec.cipher,
             max_delay=spec.max_delay,
             noise_std=spec.noise_std,
+            capture_mode=self.capture_mode,
         ).build(self.seed if clone else spec.seed)
 
     def capture_session(self, spec: ScenarioSpec) -> SessionTrace:
@@ -300,6 +308,7 @@ class ExperimentEngine:
                     cipher_name=spec.cipher,
                     max_delay=spec.max_delay,
                     noise_std=spec.noise_std,
+                    capture_mode=self.capture_mode,
                 ),
                 key=platform.random_key(),
                 segment_length=int(

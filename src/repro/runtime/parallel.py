@@ -253,6 +253,10 @@ class PlatformCampaignSpec:
             return self.key[: self.attack_bytes]
         return self.key
 
+    @property
+    def capture_mode(self) -> str:
+        return self.platform.capture_mode
+
     def build_source(self, seed) -> SegmentSource:
         source = PlatformSegmentSource(
             self.platform.build(seed),
@@ -401,6 +405,7 @@ def run_shard(
     seed stream either way) replays only its first ``shard.count`` traces.
     """
     _, accumulator = resolve_distinguisher(distinguisher, aggregate=aggregate)
+    capture_mode = getattr(spec, "capture_mode", "exact")
     store = None
     replayed = 0
     if store_root is not None:
@@ -413,6 +418,7 @@ def run_shard(
                 "shard_index": shard.index,
                 "start": shard.start,
                 "campaign_seed": shard.campaign_seed,
+                "capture_mode": capture_mode,
             },
         )
         meta = store.meta
@@ -426,6 +432,13 @@ def run_shard(
                 f"{meta.get('shard_index')} of campaign seed "
                 f"{meta.get('campaign_seed')}, not shard {shard.index} "
                 f"of seed {shard.campaign_seed}"
+            )
+        stored_mode = meta.get("capture_mode", "exact")
+        if len(store) and stored_mode != capture_mode:
+            raise ValueError(
+                f"store {store.path} was captured in {stored_mode!r} capture "
+                f"mode; resuming it in {capture_mode!r} would splice two "
+                f"different trace streams"
             )
         # The store holds a prefix of this shard's seeded stream (possibly
         # a longer one, if a previous run had a larger budget) — replay at

@@ -95,23 +95,33 @@ class Oscilloscope:
         powers: "list[np.ndarray]",
         rng: np.random.Generator,
         noise: "list[np.ndarray | None] | None" = None,
+        bulk_noise: bool = False,
     ) -> "list[np.ndarray]":
         """Capture a batch of power sequences (possibly ragged lengths).
 
-        Bit-identical to calling :meth:`capture` on each sequence in order
-        with the same generator: pulse shaping and quantisation run
-        vectorized over the concatenated batch, the band-limiting filter is
-        applied per trace (its edge padding is a per-trace boundary
-        condition), and acquisition noise is consumed per trace in batch
-        order.  ``noise`` optionally supplies pre-drawn per-trace noise (the
-        platform uses this to keep its generator consumption order exactly
-        equal to the scalar capture loop); entries may be ``None`` to draw
-        from ``rng`` instead.
+        By default bit-identical to calling :meth:`capture` on each
+        sequence in order with the same generator: pulse shaping and
+        quantisation run vectorized over the concatenated batch, the
+        band-limiting filter is applied per trace (its edge padding is a
+        per-trace boundary condition), and acquisition noise is consumed
+        per trace in batch order.  ``noise`` optionally supplies pre-drawn
+        per-trace noise (the platform uses this to keep its generator
+        consumption order exactly equal to the scalar capture loop);
+        entries may be ``None`` to draw from ``rng`` instead.
+
+        ``bulk_noise=True`` is the fast capture mode: one float32
+        ``standard_normal`` draw over the whole concatenated batch replaces
+        the per-trace float64 draws.  The noise stream differs from the
+        scalar path's (different generator consumption, float32 mantissa)
+        but is statistically identical well below the ADC's quantisation
+        step; ``noise`` must be ``None`` in this mode.
         """
         powers = [np.asarray(p, dtype=np.float64) for p in powers]
         for p in powers:
             if p.ndim != 1:
                 raise ValueError(f"expected 1D power sequences, got shape {p.shape}")
+        if bulk_noise and noise is not None:
+            raise ValueError("bulk_noise draws its own noise; noise must be None")
         if noise is not None and len(noise) != len(powers):
             raise ValueError("noise list must match the batch length")
         if not powers:
@@ -124,19 +134,24 @@ class Oscilloscope:
             np.multiply(flat_power, self._pulse[s], out=analog[s::spp])
         analog = self._bandlimit_batch(analog, lengths)
         if self.noise_std > 0:
-            offset = 0
-            for index, length in enumerate(lengths):
-                if length == 0:
-                    continue  # scalar capture returns early, drawing nothing
-                drawn = noise[index] if noise is not None and noise[index] is not None \
-                    else rng.normal(0.0, self.noise_std, length)
-                if drawn.size != length:
-                    raise ValueError(
-                        f"pre-drawn noise for trace {index} has {drawn.size} "
-                        f"samples, expected {length}"
-                    )
-                analog[offset: offset + length] += drawn
-                offset += length
+            if bulk_noise:
+                analog += self.noise_std * rng.standard_normal(
+                    analog.size, dtype=np.float32
+                )
+            else:
+                offset = 0
+                for index, length in enumerate(lengths):
+                    if length == 0:
+                        continue  # scalar capture returns early, drawing nothing
+                    drawn = noise[index] if noise is not None and noise[index] is not None \
+                        else rng.normal(0.0, self.noise_std, length)
+                    if drawn.size != length:
+                        raise ValueError(
+                            f"pre-drawn noise for trace {index} has {drawn.size} "
+                            f"samples, expected {length}"
+                        )
+                    analog[offset: offset + length] += drawn
+                    offset += length
         quantized = self._quantize(analog)
         splits = np.cumsum(lengths)[:-1]
         return [np.ascontiguousarray(t) for t in np.split(quantized, splits)]
@@ -195,6 +210,28 @@ class Oscilloscope:
                         tail, self._kernel, mode="valid"
                     )
             offset += length
+        return out
+
+    def _bandlimit_rows(self, analog: np.ndarray) -> np.ndarray:
+        """The front-end FIR over a ``(B, W)`` matrix of equal-length rows.
+
+        Vectorized across rows with per-row edge padding — the same
+        values :meth:`_bandlimit` produces on each row (taps accumulate in
+        the same ascending order ``np.convolve`` uses).  The windowed fast
+        capture path filters all traces of a batch in one pass with it.
+        """
+        k_size = self._kernel.size
+        if k_size <= 1 or analog.size == 0:
+            return analog
+        width = analog.shape[1]
+        if width < k_size - 1:
+            return np.vstack([self._bandlimit(row) for row in analog])
+        pad_l = k_size // 2
+        pad_r = k_size - 1 - pad_l
+        padded = np.pad(analog, ((0, 0), (pad_l, pad_r)), mode="edge")
+        out = np.zeros_like(analog)
+        for m, tap in enumerate(self._kernel[::-1]):
+            out += tap * padded[:, m: m + width]
         return out
 
     def _quantize(self, analog: np.ndarray) -> np.ndarray:

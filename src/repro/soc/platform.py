@@ -20,12 +20,24 @@ The random-delay countermeasure is active in every capture.
 Batched capture
 ---------------
 Both multi-trace capture paths are batch-first: the cipher executions go
-through the vectorized ``encrypt_batch`` and one batched synthesis call,
-while every random draw (keys, plaintexts, masks, delay plans, acquisition
-noise) is consumed in exactly the order the scalar loop consumes it.  The
-batched captures are therefore **bit-identical** to the scalar reference
-path (``batched=False``) for the same seed — only faster.  The test suite
-enforces the equivalence.
+through the vectorized ``encrypt_batch`` and one batched synthesis call.
+In the default ``exact`` capture mode every random draw (keys,
+plaintexts, masks, delay plans, acquisition noise) is consumed in exactly
+the order the scalar loop consumes it, so the batched captures are
+**bit-identical** to the scalar reference path (``batched=False``) for
+the same seed — only faster.  The test suite enforces the equivalence.
+
+The ``fast`` capture mode trades that bit-identity for bulk randomness:
+keys/plaintexts, delay plans and acquisition noise are drawn in one
+generator request per batch (noise as float32), and delay-free
+attack-segment captures synthesise only the segment window instead of the
+whole trace.  The stream is statistically indistinguishable from the
+exact one (same distributions, same attack budgets) and reproducible for
+a fixed seed *and* capture chunking, but it is a *different* stream — and
+because bulk draws interleave per batch, changing ``batch_size`` (or
+resuming a store mid-batch) re-deals the randomness where exact mode
+would not.  That is why ``exact`` stays the default and stores record the
+mode they were captured with.
 """
 
 from __future__ import annotations
@@ -45,6 +57,7 @@ from repro.soc.trace_synth import (
     BatchOpStream,
     OpStream,
     synthesize_trace,
+    synthesize_trace_windows,
     synthesize_traces,
 )
 from repro.soc.trng import TrngModel
@@ -97,6 +110,7 @@ class PlatformSpec:
     cipher_name: str
     max_delay: int = 4
     noise_std: float = 1.0
+    capture_mode: str = "exact"
 
     @classmethod
     def of(cls, platform: "SimulatedPlatform") -> "PlatformSpec":
@@ -111,6 +125,7 @@ class PlatformSpec:
             cipher_name=platform.cipher_name,
             max_delay=platform.countermeasure.max_delay,
             noise_std=float(platform.oscilloscope.noise_std),
+            capture_mode=platform.capture_mode,
         )
         rebuilt = spec.build(0)
         scope, original = rebuilt.oscilloscope, platform.oscilloscope
@@ -137,6 +152,7 @@ class PlatformSpec:
             max_delay=self.max_delay,
             seed=seed,
             oscilloscope=oscilloscope,
+            capture_mode=self.capture_mode,
         )
 
 
@@ -156,6 +172,13 @@ class SimulatedPlatform:
         acquisition noise, workload data) derives from it.
     leakage, oscilloscope:
         Measurement-chain overrides; sensible defaults otherwise.
+    capture_mode:
+        ``"exact"`` (default) keeps every multi-trace capture
+        bit-identical to the scalar per-trace reference path;
+        ``"fast"`` draws the batch randomness in bulk (and synthesises
+        only the segment window for delay-free attack captures) — a
+        statistically identical but different, still seed-deterministic
+        stream.
     """
 
     def __init__(
@@ -165,7 +188,13 @@ class SimulatedPlatform:
         seed: int | None = 0,
         leakage: HammingWeightLeakage | None = None,
         oscilloscope: Oscilloscope | None = None,
+        capture_mode: str = "exact",
     ) -> None:
+        if capture_mode not in ("exact", "fast"):
+            raise ValueError(
+                f"capture_mode must be 'exact' or 'fast', got {capture_mode!r}"
+            )
+        self.capture_mode = capture_mode
         self.cipher_name = cipher_name
         self._rng = np.random.default_rng(seed)
         kwargs = {}
@@ -260,13 +289,23 @@ class SimulatedPlatform:
     ) -> list[CipherTrace]:
         """One batched profiling capture of ``count`` traces.
 
-        Phase 1 draws each trace's randomness in the scalar order (key,
-        plaintext, delay plan, acquisition noise — trace by trace); phase 2
-        runs the vectorized cipher batch; phase 3 synthesises all traces
-        through one batched measurement-chain call.
+        ``exact`` mode: phase 1 draws each trace's randomness in the
+        scalar order (key, plaintext, delay plan, acquisition noise —
+        trace by trace); phase 2 runs the vectorized cipher batch; phase 3
+        synthesises all traces through one batched measurement-chain call.
+        ``fast`` mode replaces phase 1 with bulk draws: one generator
+        request for all keys/plaintexts and one per-batch TRNG/noise
+        request inside the synthesis call.
         """
+        if self.capture_mode == "fast":
+            return self._capture_cipher_batch_fast(count, key, nop_header)
         oscilloscope = self.oscilloscope
         n32 = self._co_datapath_ops(nop_header)
+        # RD-0 plans are deterministic and draw nothing from the TRNG, so
+        # skipping the plan objects keeps the stream bit-identical while
+        # avoiding count allocations (the delay-free synthesis path never
+        # consults them).
+        delay_free = self.countermeasure.max_delay == 0
         keys: list[bytes] = []
         plaintexts: list[bytes] = []
         plans = []
@@ -274,12 +313,15 @@ class SimulatedPlatform:
         for _ in range(count):
             keys.append(key if key is not None else self._random_block())
             plaintexts.append(self._random_block())
-            plan = self.countermeasure.plan(n32)
-            plans.append(plan)
+            total = n32
+            if not delay_free:
+                plan = self.countermeasure.plan(n32)
+                plans.append(plan)
+                total = plan.total
             if oscilloscope.noise_std > 0:
                 noise.append(self._rng.normal(
                     0.0, oscilloscope.noise_std,
-                    oscilloscope.noise_samples_for_ops(plan.total),
+                    oscilloscope.noise_samples_for_ops(total),
                 ))
             else:
                 noise.append(None)
@@ -295,7 +337,7 @@ class SimulatedPlatform:
             self.leakage,
             oscilloscope,
             self._rng,
-            plans=plans,
+            plans=plans if not delay_free else None,
             noise=noise,
         )
         return [
@@ -304,6 +346,43 @@ class SimulatedPlatform:
                 co_start=int(marker_samples[b][0]),
                 plaintext=plaintexts[b],
                 key=keys[b],
+            )
+            for b in range(count)
+        ]
+
+    def _capture_cipher_batch_fast(
+        self, count: int, key: bytes | None, nop_header: int
+    ) -> list[CipherTrace]:
+        """Bulk-randomness profiling capture (the ``fast`` capture mode)."""
+        block = self.cipher.block_size
+        plaintext_matrix = self._rng.integers(
+            0, 256, (count, block), dtype=np.uint8
+        )
+        if key is not None:
+            key_matrix = np.frombuffer(key, dtype=np.uint8).reshape(1, -1)
+        else:
+            key_matrix = self._rng.integers(
+                0, 256, (count, self.cipher.key_size), dtype=np.uint8
+            )
+        recorder = BatchLeakageRecorder(count)
+        recorder.record_nops(nop_header)
+        marker_op = len(recorder)
+        self.cipher.encrypt_batch(plaintext_matrix, key_matrix, recorder)
+        traces, marker_samples = synthesize_traces(
+            BatchOpStream.from_recorder(recorder),
+            np.array([marker_op]),
+            self.countermeasure,
+            self.leakage,
+            self.oscilloscope,
+            self._rng,
+            capture_mode="fast",
+        )
+        return [
+            CipherTrace(
+                trace=traces[b],
+                co_start=int(marker_samples[b][0]),
+                plaintext=plaintext_matrix[b].tobytes(),
+                key=key if key is not None else key_matrix[b].tobytes(),
             )
             for b in range(count)
         ]
@@ -325,9 +404,30 @@ class SimulatedPlatform:
 
         Returns ``(segments, plaintexts)``: ``(count, segment_length)``
         float64 and ``(count, block_size)`` uint8.
+
+        In ``fast`` capture mode with the countermeasure off the segment
+        window position is deterministic, so only the window itself is
+        synthesised (:func:`~repro.soc.trace_synth.synthesize_trace_windows`)
+        — the dominant cost of large delay-free campaigns drops from the
+        whole trace to the attacked segment.
         """
         if segment_length < 1:
             raise ValueError("segment_length must be >= 1")
+        if self.capture_mode == "fast" and self.countermeasure.max_delay == 0:
+            if count <= 0:
+                return (np.zeros((0, int(segment_length))),
+                        np.zeros((0, self.cipher.block_size), dtype=np.uint8))
+            chunk = (DEFAULT_CAPTURE_BATCH if batch_size is None
+                     else max(1, int(batch_size)))
+            parts = [
+                self._capture_segment_windows(
+                    min(chunk, count - begin), key, int(segment_length),
+                    nop_header,
+                )
+                for begin in range(0, count, chunk)
+            ]
+            return (np.concatenate([p[0] for p in parts]),
+                    np.concatenate([p[1] for p in parts]))
         captures = self.capture_cipher_traces(
             count, key=key, nop_header=nop_header, batch_size=batch_size
         )
@@ -339,6 +439,27 @@ class SimulatedPlatform:
             b"".join(capture.plaintext for capture in captures), dtype=np.uint8
         ).reshape(len(captures), self.cipher.block_size)
         return segments, plaintexts
+
+    def _capture_segment_windows(
+        self, count: int, key: bytes, segment_length: int, nop_header: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One fast-mode windowed capture chunk (delay-free platforms)."""
+        plaintext_matrix = self._rng.integers(
+            0, 256, (count, self.cipher.block_size), dtype=np.uint8
+        )
+        recorder = BatchLeakageRecorder(count)
+        recorder.record_nops(nop_header)
+        marker_op = len(recorder)
+        self.cipher.encrypt_batch(plaintext_matrix, key, recorder)
+        segments = synthesize_trace_windows(
+            BatchOpStream.from_recorder(recorder),
+            marker_op,
+            segment_length,
+            self.leakage,
+            self.oscilloscope,
+            self._rng,
+        )
+        return segments.astype(np.float64), plaintext_matrix
 
     def random_key(self) -> bytes:
         """Draw a key from the platform generator (deterministic per seed)."""

@@ -123,6 +123,46 @@ class RandomDelayCountermeasure:
             dummy_kinds=dummy_kinds,
         )
 
+    def plan_batch(self, n_ops: int, batch: int) -> "list[DelayPlan]":
+        """Draw ``batch`` delay plans from bulk TRNG requests.
+
+        The fast capture mode's plan source: all delay counts come from
+        one TRNG call, then all dummy operand values, then all dummy
+        kinds.  Each resulting plan is distributed identically to one
+        drawn by :meth:`plan`, but the TRNG is consumed in batch order
+        rather than trace order, so the streams differ from ``batch``
+        sequential :meth:`plan` calls — which is why the exact capture
+        mode keeps the per-trace path.  With the countermeasure off
+        (``max_delay == 0``) plans are deterministic and consume no TRNG,
+        so both paths coincide.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if n_ops == 0 or self.max_delay == 0:
+            return [self.plan(n_ops) for _ in range(batch)]
+        counts = self.trng.uniform_ints(0, self.max_delay, (batch, n_ops - 1))
+        per_trace = counts.sum(axis=1)
+        n_dummy = int(per_trace.sum())
+        dummy_values = self.trng.random_words(n_dummy, width=32)
+        pool = np.asarray(DUMMY_KIND_POOL, dtype=np.uint8)
+        dummy_kinds = pool[self.trng.uniform_ints(0, len(pool) - 1, n_dummy)]
+        bounds = np.concatenate(([0], np.cumsum(per_trace)))
+        base = np.arange(n_ops, dtype=np.int64)
+        offsets = np.concatenate(
+            (np.zeros((batch, 1), dtype=np.int64), np.cumsum(counts, axis=1)),
+            axis=1,
+        )
+        return [
+            DelayPlan(
+                n_ops=n_ops,
+                total=n_ops + int(per_trace[b]),
+                new_positions=base + offsets[b],
+                dummy_values=dummy_values[bounds[b]:bounds[b + 1]],
+                dummy_kinds=dummy_kinds[bounds[b]:bounds[b + 1]],
+            )
+            for b in range(batch)
+        ]
+
     def execute(self, plan: DelayPlan, values: np.ndarray,
                 kinds: np.ndarray) -> _DelayedStream:
         """Scatter real (value, kind) operations through a drawn plan."""

@@ -31,7 +31,13 @@ from repro.soc.leakage import HammingWeightLeakage
 from repro.soc.oscilloscope import Oscilloscope
 from repro.soc.random_delay import DelayPlan, RandomDelayCountermeasure
 
-__all__ = ["OpStream", "BatchOpStream", "synthesize_trace", "synthesize_traces"]
+__all__ = [
+    "OpStream",
+    "BatchOpStream",
+    "synthesize_trace",
+    "synthesize_traces",
+    "synthesize_trace_windows",
+]
 
 _M32 = np.uint64(0xFFFFFFFF)
 
@@ -199,6 +205,7 @@ def synthesize_traces(
     rng: np.random.Generator,
     plans: Sequence[DelayPlan] | None = None,
     noise: Sequence[np.ndarray | None] | None = None,
+    capture_mode: str = "exact",
 ) -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Synthesise one power trace per row of a batched operation stream.
 
@@ -214,11 +221,21 @@ def synthesize_traces(
         The measurement chain, as in :func:`synthesize_trace`.
     plans:
         Optional pre-drawn per-trace :class:`DelayPlan` list.  When absent,
-        plans are drawn here, trace by trace — the same TRNG consumption
-        order as ``B`` sequential :func:`synthesize_trace` calls.
+        plans are drawn here — trace by trace in ``exact`` mode (the same
+        TRNG consumption order as ``B`` sequential
+        :func:`synthesize_trace` calls), or in one bulk TRNG request per
+        batch in ``fast`` mode.
     noise:
         Optional pre-drawn per-trace acquisition noise (see
-        :meth:`Oscilloscope.capture_batch`).
+        :meth:`Oscilloscope.capture_batch`); ``exact`` mode only.
+    capture_mode:
+        ``"exact"`` (default) consumes every random draw in the scalar
+        path's order, making the result bit-identical to calling
+        :func:`synthesize_trace` per row with the same generators.
+        ``"fast"`` draws the batch's randomness in bulk — one delay-plan
+        TRNG request and one float32 acquisition-noise draw over the
+        concatenated batch — producing a statistically identical but
+        different stream, measurably faster on large batches.
 
     Returns
     -------
@@ -226,11 +243,16 @@ def synthesize_traces(
         ``B`` captured traces (float32, per-trace lengths vary with the
         inserted delays) and ``B`` per-trace marker sample arrays.
 
-    The result is bit-identical to calling :func:`synthesize_trace` on each
-    ``stream.row(b)`` in order with the same generators; only the work is
-    batched (datapath compilation once, leakage/pulse/ADC over the
-    concatenated batch, randomness consumed per trace in order).
+    Either mode batches the work itself (datapath compilation once,
+    leakage/pulse/ADC over the concatenated batch); with the random-delay
+    countermeasure off the per-trace plan/execute step disappears entirely
+    — the batch already *is* the flat stream, which is bit-identical by
+    construction and therefore shared by both modes.
     """
+    if capture_mode not in ("exact", "fast"):
+        raise ValueError(
+            f"capture_mode must be 'exact' or 'fast', got {capture_mode!r}"
+        )
     batch = stream.batch_size
     n_ops = len(stream)
     if isinstance(markers, np.ndarray):
@@ -251,29 +273,118 @@ def synthesize_traces(
 
     values32, kinds32, op_starts = stream.to_datapath_ops()
     n32 = values32.shape[-1]
-    if plans is None:
-        plans = [countermeasure.plan(n32) for _ in range(batch)]
-    elif len(plans) != batch:
+    delay_free = (
+        countermeasure.max_delay == 0 if plans is None
+        else all(plan.total == plan.n_ops for plan in plans)
+    )
+    if plans is not None and len(plans) != batch:
         raise ValueError(f"{len(plans)} delay plans for batch of {batch}")
-
-    delayed_values: list[np.ndarray] = []
-    delayed_kinds: list[np.ndarray] = []
-    for b in range(batch):
-        delayed = countermeasure.execute(plans[b], values32[b], kinds32)
-        delayed_values.append(delayed.values)
-        delayed_kinds.append(delayed.kinds)
-    flat_values = np.concatenate(delayed_values) if batch > 1 else delayed_values[0]
-    flat_kinds = np.concatenate(delayed_kinds) if batch > 1 else delayed_kinds[0]
+    if delay_free:
+        # No inserted ops: every trace keeps the shared structure, so the
+        # flat stream is just the batch matrix read row by row — no plan
+        # objects, no per-trace scatter copies, no list concatenation.
+        # Bit-identical to the general path (execute() degenerates to a
+        # copy when a plan inserts nothing), hence shared by both modes.
+        flat_values = values32.reshape(-1)
+        flat_kinds = np.tile(kinds32, batch)
+        lengths = [n32] * batch
+        positions = None      # identity op mapping
+    else:
+        if plans is None:
+            plans = (
+                countermeasure.plan_batch(n32, batch)
+                if capture_mode == "fast"
+                else [countermeasure.plan(n32) for _ in range(batch)]
+            )
+        delayed_values: list[np.ndarray] = []
+        delayed_kinds: list[np.ndarray] = []
+        for b in range(batch):
+            delayed = countermeasure.execute(plans[b], values32[b], kinds32)
+            delayed_values.append(delayed.values)
+            delayed_kinds.append(delayed.kinds)
+        flat_values = np.concatenate(delayed_values) if batch > 1 else delayed_values[0]
+        flat_kinds = np.concatenate(delayed_kinds) if batch > 1 else delayed_kinds[0]
+        lengths = [v.size for v in delayed_values]
+        positions = [plan.new_positions for plan in plans]
     flat_power = leakage.power(flat_values, flat_kinds)
-    lengths = [v.size for v in delayed_values]
     splits = np.cumsum(lengths)[:-1]
     powers = np.split(flat_power, splits)
-    traces = oscilloscope.capture_batch(powers, rng, noise=noise)
+    traces = oscilloscope.capture_batch(
+        powers, rng, noise=noise, bulk_noise=(capture_mode == "fast")
+    )
 
     marker_samples: list[np.ndarray] = []
     for b, marks in enumerate(per_trace_markers):
-        marker_ops = plans[b].new_positions[op_starts[marks]] if marks.size else marks
+        if marks.size:
+            marker_ops = op_starts[marks]
+            if positions is not None:
+                marker_ops = positions[b][marker_ops]
+        else:
+            marker_ops = marks
         marker_samples.append(
             np.asarray(oscilloscope.op_to_sample(marker_ops), dtype=np.int64)
         )
     return traces, marker_samples
+
+
+def synthesize_trace_windows(
+    stream: BatchOpStream,
+    start_op: int,
+    n_samples: int,
+    leakage: HammingWeightLeakage,
+    oscilloscope: Oscilloscope,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Fast-mode synthesis of one fixed sample window per trace (RD off).
+
+    A hardware rig triggered on a known event captures a short window, not
+    the whole execution; this is the simulator's equivalent for the
+    delay-free case, where the window position is deterministic.  Only the
+    operations covering ``n_samples`` samples from the first sample of
+    stream op ``start_op`` (plus a filter halo) run through the
+    measurement chain, and the acquisition noise is one bulk float32 draw
+    over the window batch — the capture cost scales with the window, not
+    the trace.
+
+    Sample values inside the window are identical to the full-trace
+    chain's except where a window edge falls strictly inside the trace:
+    there the band-limiting filter sees edge padding instead of the
+    out-of-window neighbour sample, a sub-LSB boundary effect confined to
+    the halo (which is synthesised and discarded).  The noise stream
+    necessarily differs from the exact path's (fewer draws, float32), so
+    this is a ``fast``-mode primitive: statistically indistinguishable
+    traces, not bit-identical ones.
+
+    Returns a ``(B, n_samples)`` float32 matrix, zero-padded where the
+    window extends past the end of the trace — the exact shape (and
+    padding convention) attack-segment consumers expect.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    if not 0 <= start_op < len(stream):
+        raise IndexError("start_op outside the operation stream")
+    values32, kinds32, op_starts = stream.to_datapath_ops()
+    batch, n32 = values32.shape
+    spp = oscilloscope.samples_per_op
+    total = n32 * spp
+    start = int(op_starts[start_op]) * spp   # < total: start_op is in range
+    stop = min(start + int(n_samples), total)
+    segments = np.zeros((batch, int(n_samples)), dtype=np.float32)
+    halo = oscilloscope._kernel.size // 2 + 1
+    lo_op = max(0, (start - halo) // spp)
+    hi_op = min(n32, -(-(stop + halo) // spp))
+    width = hi_op - lo_op
+    power = leakage.power(
+        values32[:, lo_op:hi_op].reshape(-1), np.tile(kinds32[lo_op:hi_op], batch)
+    ).reshape(batch, width)
+    analog = np.empty((batch, width * spp), dtype=np.float64)
+    for s in range(spp):
+        np.multiply(power, oscilloscope._pulse[s], out=analog[:, s::spp])
+    analog = oscilloscope._bandlimit_rows(analog)
+    cut = analog[:, start - lo_op * spp: stop - lo_op * spp]
+    if oscilloscope.noise_std > 0:
+        cut = cut + oscilloscope.noise_std * rng.standard_normal(
+            cut.shape, dtype=np.float32
+        )
+    segments[:, : stop - start] = oscilloscope._quantize(cut)
+    return segments

@@ -23,8 +23,15 @@ class TrngModel:
     def __init__(self, seed: int | None = None) -> None:
         self._rng = np.random.default_rng(seed)
 
-    def uniform_ints(self, low: int, high: int, size: int) -> np.ndarray:
-        """``size`` i.i.d. integers uniform on the inclusive range [low, high]."""
+    def uniform_ints(
+        self, low: int, high: int, size: int | tuple[int, ...]
+    ) -> np.ndarray:
+        """I.i.d. integers uniform on the inclusive range [low, high].
+
+        ``size`` may be a shape tuple: the bulk-randomness capture mode
+        draws a whole batch's delay decisions in one call (one TRNG
+        request per batch instead of one per trace).
+        """
         if high < low:
             raise ValueError(f"empty range [{low}, {high}]")
         return self._rng.integers(low, high + 1, size=size, dtype=np.int64)

@@ -63,3 +63,52 @@ class TestRecording:
             Simon128().encrypt(rng.bytes(16), rng.bytes(16), rec)
             counts.add(len(rec))
         assert len(counts) == 1
+
+
+class TestVectorizedBatch:
+    """Simon's own encrypt_batch (no loop fallback): bit-exact vs scalar."""
+
+    def test_overrides_the_loop_fallback(self):
+        from repro.ciphers.base import TraceableCipher
+
+        assert Simon128.encrypt_batch is not TraceableCipher.encrypt_batch
+
+    def test_official_vector_in_batch(self):
+        import numpy as np
+
+        pts = np.frombuffer(SPEC_PT * 3, dtype=np.uint8).reshape(3, 16)
+        out = Simon128().encrypt_batch(pts, SPEC_KEY)
+        for b in range(3):
+            assert out[b].tobytes() == SPEC_CT
+
+    def test_batch_matches_scalar_stream_bit_exactly(self):
+        import numpy as np
+
+        from repro.ciphers import BatchLeakageRecorder
+
+        rng = np.random.default_rng(0x51)
+        batch = 4
+        pts = rng.integers(0, 256, (batch, 16), dtype=np.uint8)
+        keys = rng.integers(0, 256, (batch, 16), dtype=np.uint8)
+        simon = Simon128()
+        recorder = BatchLeakageRecorder(batch)
+        cts = simon.encrypt_batch(pts, keys, recorder)
+        values, widths, kinds = recorder.as_batch_arrays()
+        for b in range(batch):
+            scalar_rec = LeakageRecorder()
+            ct = simon.encrypt(pts[b].tobytes(), keys[b].tobytes(), scalar_rec)
+            assert cts[b].tobytes() == ct
+            sv, sw, sk = scalar_rec.as_arrays()
+            np.testing.assert_array_equal(values[b], sv)
+            np.testing.assert_array_equal(widths, sw)
+            np.testing.assert_array_equal(kinds, sk)
+
+    def test_rejects_mismatched_recorder(self):
+        import numpy as np
+        import pytest
+
+        from repro.ciphers import BatchLeakageRecorder
+
+        pts = np.zeros((3, 16), dtype=np.uint8)
+        with pytest.raises(ValueError, match="batch"):
+            Simon128().encrypt_batch(pts, bytes(16), BatchLeakageRecorder(2))

@@ -151,8 +151,10 @@ class TestRunShard:
         again = run_shard(SPEC, self.SHARD, store_root=tmp_path, batch_size=32)
         assert again.replayed == 100
         assert again.capture_seconds == 0.0
+        again.accumulator.flush()
+        first.accumulator.flush()
         np.testing.assert_array_equal(
-            again.accumulator._s_ht, first.accumulator._s_ht
+            again.accumulator._class_sums, first.accumulator._class_sums
         )
 
     def test_partial_store_resumes_the_stream(self, tmp_path):
@@ -204,7 +206,7 @@ class TestParallelCampaign:
         ]
         assert a.recovered_key == b.recovered_key
         np.testing.assert_array_equal(
-            solo.accumulator._s_ht, fleet.accumulator._s_ht
+            solo.accumulator._class_sums, fleet.accumulator._class_sums
         )
 
     def test_matches_serial_campaign_at_every_shared_checkpoint(self):
@@ -261,7 +263,7 @@ class TestParallelCampaign:
             (r.n_traces, r.ranks) for r in straight.records
         ]
         np.testing.assert_allclose(
-            resumed.accumulator._s_ht, fresh.accumulator._s_ht,
+            resumed.accumulator._class_sums, fresh.accumulator._class_sums,
             rtol=1e-12, atol=1e-9,
         )
 

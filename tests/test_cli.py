@@ -44,6 +44,27 @@ class TestCli:
         resumed = capsys.readouterr().out
         assert "resumed" in resumed
 
+    def test_campaign_refuses_cross_mode_store_resume(self, tmp_path, capsys):
+        """A store captured in one capture mode cannot be resumed in the
+        other: the streams differ, splicing them would be silent garbage."""
+        store = str(tmp_path / "store")
+        argv = ["campaign", "--rd", "0", "--traces", "96",
+                "--segment-length", "600", "--aggregate", "8",
+                "--patience", "1", "--first-checkpoint", "64",
+                "--store", store]
+        # The tiny budget need not reach rank 1; it only seeds the store.
+        assert main(argv + ["--capture-mode", "fast"]) in (0, 1)
+        capsys.readouterr()
+        assert main(argv + ["--capture-mode", "exact"]) == 2
+        assert "capture" in capsys.readouterr().err
+
+    def test_campaign_fast_mode_recovers_the_key(self, capsys):
+        argv = ["campaign", "--rd", "0", "--traces", "400",
+                "--aggregate", "8", "--patience", "1",
+                "--first-checkpoint", "128", "--capture-mode", "fast"]
+        assert main(argv) == 0
+        assert "recovered key" in capsys.readouterr().out
+
     def test_parallel_campaign_runs_and_resumes(self, tmp_path, capsys):
         """`--workers N` routes to the sharded parallel campaign."""
         store = str(tmp_path / "shards")

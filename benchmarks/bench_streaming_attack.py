@@ -17,6 +17,12 @@ It additionally measures the **capture modes** end to end: one seeded
 RD-0 platform campaign run twice — ``exact`` (bit-identical per-trace
 randomness) vs ``fast`` (bulk randomness + windowed segment synthesis) —
 verifying both recover the true key and reporting the wall-clock ratio.
+A second capture-mode case repeats the comparison under **random delays**
+(RD-2, reduced two-byte key): since the windowed fast path maps the
+attacked window through each trace's delay plan, it synthesises only the
+shifted window instead of the whole countermeasure-stretched trace, and
+the benchmark verifies both modes still recover the identical (true)
+reduced key.
 
 Besides the printed tables the benchmark writes
 ``BENCH_streaming_attack.json`` (override with ``--output``) so CI can
@@ -102,6 +108,76 @@ def bench_capture_modes(
     measured["traces"] = budget
     rows = [
         [f"campaign {mode} mode", "-", f"{budget}",
+         f"{measured[mode]['seconds']:7.3f}",
+         f"{measured[mode]['traces_per_s']:6.0f}/s"]
+        for mode in ("exact", "fast")
+    ]
+    return rows, measured
+
+
+def bench_capture_modes_rd2(
+    budget: int,
+    max_delay: int = 2,
+    attack_bytes: int = 2,
+    segment_length: int = 1200,
+) -> tuple[list[list[str]], dict]:
+    """The capture-mode comparison under random delays (reduced key).
+
+    RD>0 is where the windowed fast path earns its keep: the exact mode
+    must synthesise every countermeasure-stretched trace in full, while
+    the fast mode maps the attacked window through each trace's delay
+    plan and synthesises only the shifted window.  Random delays smear
+    the S-box leakage across neighbouring samples, so convergence needs a
+    heavier aggregate, a window long enough to keep the delayed first
+    round in view, and more traces than the RD-0 case; the reduced
+    two-byte key bounds the rank-evaluation cost so wall clock stays
+    capture-dominated.  Both modes must recover the identical true
+    reduced key.
+    """
+    from repro.runtime.campaign import AttackCampaign, PlatformSegmentSource
+    from repro.runtime.parallel import ReducedKeySource
+    from repro.soc.platform import SimulatedPlatform
+
+    key = bytes(range(16))
+    measured = {}
+    for mode in ("exact", "fast"):
+        platform = SimulatedPlatform(
+            "aes", max_delay=max_delay, seed=42, capture_mode=mode
+        )
+        source = ReducedKeySource(
+            PlatformSegmentSource(
+                platform, key=key, segment_length=segment_length
+            ),
+            attack_bytes,
+        )
+        campaign = AttackCampaign(
+            source, aggregate=64, batch_size=256, checkpoints=[budget],
+        )
+        begin = time.perf_counter()
+        result = campaign.run(budget)
+        seconds = time.perf_counter() - begin
+        if result.recovered_key != key[:attack_bytes]:
+            raise AssertionError(
+                f"RD-{max_delay} {mode} campaign recovered "
+                f"{result.recovered_key.hex()} instead of the true reduced "
+                f"key {key[:attack_bytes].hex()}"
+            )
+        measured[mode] = {
+            "seconds": seconds,
+            "traces_per_s": budget / seconds,
+            "capture_seconds": result.capture_seconds,
+            "attack_seconds": result.attack_seconds,
+            "recovered": True,
+        }
+    measured["speedup"] = (
+        measured["exact"]["seconds"] / measured["fast"]["seconds"]
+    )
+    measured["traces"] = budget
+    measured["max_delay"] = max_delay
+    measured["attack_bytes"] = attack_bytes
+    measured["segment_length"] = segment_length
+    rows = [
+        [f"RD-{max_delay} campaign {mode} mode", "-", f"{budget}",
          f"{measured[mode]['seconds']:7.3f}",
          f"{measured[mode]['traces_per_s']:6.0f}/s"]
         for mode in ("exact", "fast")
@@ -204,7 +280,16 @@ def main(argv: list[str] | None = None) -> int:
                              "speedup (default: 2.0, relaxed to 1.3 with "
                              "--quick for noisy CI runners)")
     parser.add_argument("--campaign-traces", type=int, default=None,
-                        help="trace budget of the capture-mode campaigns")
+                        help="trace budget of the RD-0 capture-mode campaigns")
+    parser.add_argument("--rd2-traces", type=int, default=16_384,
+                        help="trace budget of the RD-2 capture-mode "
+                             "campaigns (the default is the smallest "
+                             "power-of-two budget at which both modes "
+                             "converge to the true reduced key)")
+    parser.add_argument("--min-rd2-speedup", type=float, default=None,
+                        help="fail below this fast-vs-exact RD-2 campaign "
+                             "speedup (default: 2.0, relaxed to 1.5 with "
+                             "--quick for noisy CI runners)")
     parser.add_argument("--output", default="fresh_BENCH_streaming_attack.json",
                         help="JSON trajectory path; the default is "
                              "gitignored — pass BENCH_streaming_attack.json "
@@ -223,6 +308,10 @@ def main(argv: list[str] | None = None) -> int:
     campaign_traces = args.campaign_traces if args.campaign_traces else (
         1_536 if args.quick else 2_048
     )
+    rd2_floor = (
+        args.min_rd2_speedup if args.min_rd2_speedup is not None
+        else (1.5 if args.quick else 2.0)
+    )
 
     rng = np.random.default_rng(0xBEEF)
     key = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
@@ -231,7 +320,8 @@ def main(argv: list[str] | None = None) -> int:
     rows, rank_stats = bench_rank_evaluation(traces, pts, key)
     store_rows, store_stats = bench_store(traces, pts)
     mode_rows, mode_stats = bench_capture_modes(campaign_traces)
-    rows += store_rows + mode_rows
+    rd2_rows, rd2_stats = bench_capture_modes_rd2(args.rd2_traces)
+    rows += store_rows + mode_rows + rd2_rows
     speedup = rank_stats["streaming_speedup"]
     print(format_table(
         ["evaluator", "checkpoints", "traces processed", "seconds", "rate"],
@@ -244,6 +334,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"RD-0 campaign fast vs exact capture mode: "
           f"{mode_stats['speedup']:.1f}x wall clock over {campaign_traces} "
           f"traces (floor {capture_floor:.1f}x); identical recovered keys")
+    print(f"RD-2 campaign fast vs exact capture mode: "
+          f"{rd2_stats['speedup']:.1f}x wall clock over {args.rd2_traces} "
+          f"traces (floor {rd2_floor:.1f}x); identical recovered reduced "
+          f"keys")
 
     payload = {
         "benchmark": "streaming_attack",
@@ -253,6 +347,7 @@ def main(argv: list[str] | None = None) -> int:
         "rank_evaluation": rank_stats,
         "store": store_stats,
         "capture_modes": mode_stats,
+        "capture_modes_rd2": rd2_stats,
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -264,6 +359,10 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if mode_stats["speedup"] < capture_floor:
         print("FAIL: fast capture mode below the campaign speedup floor",
+              file=sys.stderr)
+        return 1
+    if rd2_stats["speedup"] < rd2_floor:
+        print("FAIL: RD-2 fast capture mode below the campaign speedup floor",
               file=sys.stderr)
         return 1
     return 0

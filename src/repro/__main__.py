@@ -102,6 +102,23 @@ def _add_capture_mode_option(parser: argparse.ArgumentParser) -> None:
         help="capture randomness path: 'exact' is bit-identical to the "
              "scalar reference, 'fast' draws batch randomness in bulk "
              "(statistically identical stream, much faster capture)")
+    parser.add_argument(
+        "--backend", default=None, choices=("numpy", "numba"),
+        help="array backend for the synthesis/accumulation hot kernels; "
+             "'numba' JIT-compiles them when numba is installed (warns "
+             "and falls back to numpy otherwise); default: the "
+             "REPRO_BACKEND environment variable, then numpy")
+
+
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Activate ``--backend`` and export it to campaign worker processes."""
+    if getattr(args, "backend", None):
+        import os
+
+        from repro.backend import BACKEND_ENV, set_backend
+
+        set_backend(args.backend)
+        os.environ[BACKEND_ENV] = args.backend
 
 
 def _add_distinguisher_options(
@@ -198,6 +215,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.evaluation import format_table
     from repro.runtime import BatchPlan, ExperimentEngine, ScenarioResult
 
+    _apply_backend(args)
     ciphers = [c.strip() for c in args.ciphers.split(",") if c.strip()]
     unknown = sorted(set(ciphers) - set(available_ciphers()))
     if unknown:
@@ -257,6 +275,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    _apply_backend(args)
     spec = _distinguisher_spec(args, cipher=args.cipher)
     if spec is None:
         return 2

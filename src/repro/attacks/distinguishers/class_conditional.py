@@ -32,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.distinguishers.base import SufficientStatisticDistinguisher
+from repro.backend import get_backend
 
 __all__ = ["ClassConditionalDistinguisher"]
 
@@ -102,19 +103,9 @@ class ClassConditionalDistinguisher(SufficientStatisticDistinguisher):
         self._pending_t, self._pending_p, self._pending_rows = [], [], 0
         self._s_t += t.sum(axis=0)
         self._s_t2 += np.einsum("ij,ij->j", t, t)
-        for b in range(self._n_bytes):
-            classes = pts[:, b]
-            # Stable argsort on uint8 keys is a radix sort; grouping the
-            # chunk by class turns the scatter-add into one segmented
-            # reduction (reduceat) — measurably faster than np.add.at.
-            order = np.argsort(classes, kind="stable")
-            counts = np.bincount(classes, minlength=256)
-            self._counts[b] += counts
-            present = np.flatnonzero(counts)
-            offsets = np.concatenate(([0], np.cumsum(counts[present])[:-1]))
-            self._class_sums[b][present] += np.add.reduceat(
-                t[order], offsets, axis=0
-            )
+        get_backend().accumulate_class_stats(
+            self._counts, self._class_sums, t, pts[:, : self._n_bytes]
+        )
 
     # -- flush-aware plumbing -------------------------------------------- #
 

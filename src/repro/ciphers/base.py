@@ -40,7 +40,23 @@ __all__ = [
     "BatchLeakageRecorder",
     "NullRecorder",
     "TraceableCipher",
+    "be_words",
+    "word_bytes",
 ]
+
+
+def be_words(blocks: np.ndarray) -> np.ndarray:
+    """A ``(B, 8k)`` uint8 matrix as ``(B, k)`` big-endian uint64 words.
+
+    Shared by the vectorized 128-bit-block ciphers, which hold their state
+    as per-trace uint64 word vectors (``words[:, i]``).
+    """
+    return np.ascontiguousarray(blocks).view(">u8").astype(np.uint64)
+
+
+def word_bytes(word: np.ndarray) -> np.ndarray:
+    """A ``(B,)`` uint64 vector as ``(B, 8)`` big-endian bytes."""
+    return word.astype(">u8").view(np.uint8).reshape(word.size, 8)
 
 #: Anything ``record_many`` accepts: a numpy array, or any iterable of ints.
 IntArrayLike = Union[np.ndarray, Sequence[int], Iterable[int]]

@@ -17,6 +17,8 @@ from repro.ciphers.base import (
     LeakageRecorder,
     OpKind,
     TraceableCipher,
+    be_words,
+    word_bytes,
 )
 
 __all__ = ["Simon128", "Z2"]
@@ -49,13 +51,8 @@ def _ror_v(x: np.ndarray, r: int) -> np.ndarray:
 
 def _be_words(blocks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """A ``(B, 16)`` uint8 matrix as two big-endian uint64 word vectors."""
-    words = np.ascontiguousarray(blocks).view(">u8").astype(np.uint64)
+    words = be_words(blocks)
     return words[:, 0], words[:, 1]
-
-
-def _word_bytes(word: np.ndarray) -> np.ndarray:
-    """A ``(B,)`` uint64 vector as ``(B, 8)`` big-endian bytes."""
-    return word.astype(">u8").view(np.uint8).reshape(word.size, 8)
 
 
 def _round_keys(key: bytes, recorder: LeakageRecorder | None) -> list[int]:
@@ -143,7 +140,7 @@ class Simon128(TraceableCipher):
                 recorder.record(fx, width=64, kind=OpKind.SHIFT)
                 recorder.record(new_x, width=64, kind=OpKind.ALU)
             x, y = new_x, x
-        return np.concatenate([_word_bytes(x), _word_bytes(y)], axis=1)
+        return np.concatenate([word_bytes(x), word_bytes(y)], axis=1)
 
     def decrypt(self, ciphertext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
         """Inverse rounds in reverse key order."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.ciphers.base import OpKind
 
 __all__ = ["hamming_weight", "DEFAULT_PEDESTALS", "HammingWeightLeakage", "HammingDistanceLeakage"]
@@ -81,7 +82,7 @@ class HammingWeightLeakage:
         kinds = np.asarray(kinds, dtype=np.int64)
         if values.shape != kinds.shape:
             raise ValueError(f"values {values.shape} and kinds {kinds.shape} disagree")
-        return self._table[kinds] + self.alpha * hamming_weight(values)
+        return get_backend().hw_power(self._table, self.alpha, values, kinds)
 
     @property
     def max_power(self) -> float:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
+
 __all__ = ["Oscilloscope"]
 
 
@@ -237,15 +239,13 @@ class Oscilloscope:
     def _quantize(self, analog: np.ndarray) -> np.ndarray:
         """ADC: additive-noise-free clip + round to the code grid.
 
-        ``np.rint`` + in-place ops; identical values to the textbook
-        ``clip(round(v / lsb))`` formulation, measurably faster on the
-        multi-million-sample batches the batched capture path produces.
+        Routed through the active array backend; the numpy kernel keeps
+        the historical ``np.rint`` + in-place formulation bit-identically,
+        measurably faster than the textbook ``clip(round(v / lsb))`` on
+        the multi-million-sample batches the batched capture path
+        produces.
         """
-        codes = analog / self.lsb
-        np.rint(codes, out=codes)
-        np.clip(codes, 0, 2**self.adc_bits - 1, out=codes)
-        codes *= self.lsb
-        return codes.astype(np.float32)
+        return get_backend().quantize(analog, self.lsb, 2**self.adc_bits - 1)
 
     def op_to_sample(self, op_index: int | np.ndarray):
         """Map an operation index to the index of its first trace sample."""

@@ -29,9 +29,10 @@ the same seed — only faster.  The test suite enforces the equivalence.
 
 The ``fast`` capture mode trades that bit-identity for bulk randomness:
 keys/plaintexts, delay plans and acquisition noise are drawn in one
-generator request per batch (noise as float32), and delay-free
-attack-segment captures synthesise only the segment window instead of the
-whole trace.  The stream is statistically indistinguishable from the
+generator request per batch (noise as float32), and attack-segment
+captures synthesise only the segment window instead of the whole trace —
+under RD-2/RD-4 each trace's shifted window position is read off its
+pre-drawn delay plan.  The stream is statistically indistinguishable from the
 exact one (same distributions, same attack budgets) and reproducible for
 a fixed seed *and* capture chunking, but it is a *different* stream — and
 because bulk draws interleave per batch, changing ``batch_size`` (or
@@ -176,9 +177,9 @@ class SimulatedPlatform:
         ``"exact"`` (default) keeps every multi-trace capture
         bit-identical to the scalar per-trace reference path;
         ``"fast"`` draws the batch randomness in bulk (and synthesises
-        only the segment window for delay-free attack captures) — a
-        statistically identical but different, still seed-deterministic
-        stream.
+        only the — possibly delay-shifted — segment window for attack
+        captures) — a statistically identical but different, still
+        seed-deterministic stream.
     """
 
     def __init__(
@@ -405,15 +406,17 @@ class SimulatedPlatform:
         Returns ``(segments, plaintexts)``: ``(count, segment_length)``
         float64 and ``(count, block_size)`` uint8.
 
-        In ``fast`` capture mode with the countermeasure off the segment
-        window position is deterministic, so only the window itself is
-        synthesised (:func:`~repro.soc.trace_synth.synthesize_trace_windows`)
-        — the dominant cost of large delay-free campaigns drops from the
-        whole trace to the attacked segment.
+        In ``fast`` capture mode only the segment window itself is
+        synthesised (:func:`~repro.soc.trace_synth.synthesize_trace_windows`):
+        with the countermeasure off the window position is deterministic,
+        and under RD-2/RD-4 each trace's shifted window position is read
+        off its pre-drawn delay plan — the dominant cost of large
+        campaigns drops from the whole trace to the attacked segment in
+        every RD configuration.
         """
         if segment_length < 1:
             raise ValueError("segment_length must be >= 1")
-        if self.capture_mode == "fast" and self.countermeasure.max_delay == 0:
+        if self.capture_mode == "fast":
             if count <= 0:
                 return (np.zeros((0, int(segment_length))),
                         np.zeros((0, self.cipher.block_size), dtype=np.uint8))
@@ -443,7 +446,13 @@ class SimulatedPlatform:
     def _capture_segment_windows(
         self, count: int, key: bytes, segment_length: int, nop_header: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        """One fast-mode windowed capture chunk (delay-free platforms)."""
+        """One fast-mode windowed capture chunk (any RD configuration).
+
+        Under RD-2/RD-4 the chunk's delay plans are drawn in bulk inside
+        the synthesis call (one TRNG request per chunk), which maps each
+        trace's marker through its plan and synthesises only the shifted
+        window.
+        """
         plaintext_matrix = self._rng.integers(
             0, 256, (count, self.cipher.block_size), dtype=np.uint8
         )
@@ -458,6 +467,7 @@ class SimulatedPlatform:
             self.leakage,
             self.oscilloscope,
             self._rng,
+            countermeasure=self.countermeasure,
         )
         return segments.astype(np.float64), plaintext_matrix
 

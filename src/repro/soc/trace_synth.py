@@ -334,26 +334,36 @@ def synthesize_trace_windows(
     leakage: HammingWeightLeakage,
     oscilloscope: Oscilloscope,
     rng: np.random.Generator,
+    countermeasure: RandomDelayCountermeasure | None = None,
+    plans: Sequence[DelayPlan] | None = None,
 ) -> np.ndarray:
-    """Fast-mode synthesis of one fixed sample window per trace (RD off).
+    """Fast-mode synthesis of one sample window per trace (any RD config).
 
     A hardware rig triggered on a known event captures a short window, not
-    the whole execution; this is the simulator's equivalent for the
-    delay-free case, where the window position is deterministic.  Only the
-    operations covering ``n_samples`` samples from the first sample of
-    stream op ``start_op`` (plus a filter halo) run through the
-    measurement chain, and the acquisition noise is one bulk float32 draw
-    over the window batch — the capture cost scales with the window, not
-    the trace.
+    the whole execution; this is the simulator's equivalent.  With the
+    random-delay countermeasure off the window position is deterministic.
+    With it on, every inserted delay is decided by the :class:`DelayPlan`
+    *before* synthesis, so each trace's shifted window start is computable
+    up front (``plan.new_positions`` maps the marker op into the delayed
+    stream) and only the per-trace window — real ops and the dummies that
+    landed inside it — runs through the measurement chain.  Either way the
+    capture cost scales with the window, not the trace.
+
+    Plans come from ``plans`` (pre-drawn, e.g. for equivalence testing) or
+    are drawn here via ``countermeasure.plan_batch`` — one bulk TRNG
+    request per batch, the fast capture mode's plan source.  Leave both
+    ``None`` (or pass a delay-free countermeasure) for the RD-0 path.
 
     Sample values inside the window are identical to the full-trace
     chain's except where a window edge falls strictly inside the trace:
     there the band-limiting filter sees edge padding instead of the
     out-of-window neighbour sample, a sub-LSB boundary effect confined to
-    the halo (which is synthesised and discarded).  The noise stream
-    necessarily differs from the exact path's (fewer draws, float32), so
-    this is a ``fast``-mode primitive: statistically indistinguishable
-    traces, not bit-identical ones.
+    the halo (which is synthesised and discarded).  Noiseless windows are
+    therefore bit-identical cuts of the exact full trace under the same
+    plans — the property suite enforces this for RD-0 and RD>0 alike.
+    The acquisition noise is one bulk float32 draw over the window batch,
+    so noisy fast captures are statistically indistinguishable from the
+    exact path's, not bit-identical.
 
     Returns a ``(B, n_samples)`` float32 matrix, zero-padded where the
     window extends past the end of the trace — the exact shape (and
@@ -366,11 +376,28 @@ def synthesize_trace_windows(
     values32, kinds32, op_starts = stream.to_datapath_ops()
     batch, n32 = values32.shape
     spp = oscilloscope.samples_per_op
+    n_out = int(n_samples)
+    halo = oscilloscope._kernel.size // 2 + 1
+    if plans is None and countermeasure is not None and countermeasure.max_delay:
+        plans = countermeasure.plan_batch(n32, batch)
+    if plans is not None:
+        if len(plans) != batch:
+            raise ValueError(f"{len(plans)} delay plans for batch of {batch}")
+        for plan in plans:
+            if plan.n_ops != n32:
+                raise ValueError(
+                    f"plan was drawn for {plan.n_ops} ops, stream compiles "
+                    f"to {n32}"
+                )
+        if any(plan.total != plan.n_ops for plan in plans):
+            return _synthesize_delayed_windows(
+                values32, kinds32, int(op_starts[start_op]), n_out,
+                plans, leakage, oscilloscope, rng,
+            )
     total = n32 * spp
     start = int(op_starts[start_op]) * spp   # < total: start_op is in range
-    stop = min(start + int(n_samples), total)
-    segments = np.zeros((batch, int(n_samples)), dtype=np.float32)
-    halo = oscilloscope._kernel.size // 2 + 1
+    stop = min(start + n_out, total)
+    segments = np.zeros((batch, n_out), dtype=np.float32)
     lo_op = max(0, (start - halo) // spp)
     hi_op = min(n32, -(-(stop + halo) // spp))
     width = hi_op - lo_op
@@ -387,4 +414,110 @@ def synthesize_trace_windows(
             cut.shape, dtype=np.float32
         )
     segments[:, : stop - start] = oscilloscope._quantize(cut)
+    return segments
+
+
+def _gather_delayed_window(
+    plan: DelayPlan,
+    values: np.ndarray,
+    kinds: np.ndarray,
+    lo: int,
+    hi: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialise delayed-stream positions ``[lo, hi)`` of one trace.
+
+    Reconstructs exactly the ``execute`` scatter, but only for the window:
+    a real op sits at delayed position ``p`` iff ``new_positions`` contains
+    ``p`` (binary search); otherwise ``p`` holds dummy number
+    ``p - (#real ops before p)``, because ``execute`` fills dummy slots in
+    positional order.
+    """
+    positions = plan.new_positions
+    pos = np.arange(lo, hi, dtype=np.int64)
+    r = np.searchsorted(positions, pos, side="left")
+    is_real = positions[np.minimum(r, positions.size - 1)] == pos
+    out_values = np.empty(hi - lo, dtype=np.uint64)
+    out_kinds = np.empty(hi - lo, dtype=np.uint8)
+    real_src = r[is_real]
+    out_values[is_real] = values[real_src]
+    out_kinds[is_real] = kinds[real_src]
+    dummy = ~is_real
+    dummy_idx = pos[dummy] - r[dummy]
+    out_values[dummy] = plan.dummy_values[dummy_idx]
+    out_kinds[dummy] = plan.dummy_kinds[dummy_idx]
+    return out_values, out_kinds
+
+
+def _synthesize_delayed_windows(
+    values32: np.ndarray,
+    kinds32: np.ndarray,
+    marker_op: int,
+    n_samples: int,
+    plans: Sequence[DelayPlan],
+    leakage: HammingWeightLeakage,
+    oscilloscope: Oscilloscope,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Windowed fast capture under random delay (RD > 0).
+
+    Each trace's window starts where its plan moved the marker op to; the
+    traces' (ragged) op windows are gathered into one left-aligned matrix,
+    padded on the right by *sample-level* edge replication so the shared
+    equal-width FIR pass reproduces each row's own edge-padding boundary
+    condition bit-for-bit (rows clipped at the end of their delayed stream
+    must see exactly the padding the full-trace chain sees there).
+    """
+    batch = values32.shape[0]
+    spp = oscilloscope.samples_per_op
+    halo = oscilloscope._kernel.size // 2 + 1
+    starts = np.empty(batch, dtype=np.int64)
+    lengths = np.empty(batch, dtype=np.int64)   # valid samples in the cut
+    los = np.empty(batch, dtype=np.int64)
+    widths = np.empty(batch, dtype=np.int64)    # ops per gathered window
+    for b, plan in enumerate(plans):
+        start = int(plan.new_positions[marker_op]) * spp
+        stop = min(start + n_samples, plan.total * spp)
+        lo = max(0, (start - halo) // spp)
+        hi = min(plan.total, -(-(stop + halo) // spp))
+        starts[b], lengths[b] = start, stop - start
+        los[b], widths[b] = lo, hi - lo
+    width = int(widths.max())
+    win_values = np.empty((batch, width), dtype=np.uint64)
+    win_kinds = np.empty((batch, width), dtype=np.uint8)
+    for b, plan in enumerate(plans):
+        w = int(widths[b])
+        vals, knds = _gather_delayed_window(
+            plan, values32[b], kinds32, int(los[b]), int(los[b]) + w
+        )
+        win_values[b, :w] = vals
+        win_kinds[b, :w] = knds
+        if w < width:   # placeholder tail; overwritten at the sample level
+            win_values[b, w:] = vals[-1]
+            win_kinds[b, w:] = knds[-1]
+    power = leakage.power(
+        win_values.reshape(-1), win_kinds.reshape(-1)
+    ).reshape(batch, width)
+    analog = np.empty((batch, width * spp), dtype=np.float64)
+    for s in range(spp):
+        np.multiply(power, oscilloscope._pulse[s], out=analog[:, s::spp])
+    if (widths != width).any():
+        # Edge-replicate each short row's last valid *sample* so the
+        # equal-width FIR sees the same right-boundary condition the
+        # per-row filter (and hence the full-trace chain) would.
+        clipped = np.minimum(
+            np.arange(width * spp, dtype=np.int64)[None, :],
+            widths[:, None] * spp - 1,
+        )
+        analog = np.take_along_axis(analog, clipped, axis=1)
+    analog = oscilloscope._bandlimit_rows(analog)
+    offsets = starts - los * spp
+    cols = offsets[:, None] + np.arange(n_samples, dtype=np.int64)[None, :]
+    np.minimum(cols, width * spp - 1, out=cols)
+    cut = np.take_along_axis(analog, cols, axis=1)
+    if oscilloscope.noise_std > 0:
+        cut = cut + oscilloscope.noise_std * rng.standard_normal(
+            cut.shape, dtype=np.float32
+        )
+    segments = oscilloscope._quantize(cut)
+    segments[np.arange(n_samples)[None, :] >= lengths[:, None]] = 0.0
     return segments

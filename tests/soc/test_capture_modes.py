@@ -306,11 +306,20 @@ class TestFastModeUnderRandomDelay:
         captures = platform.capture_cipher_traces(6, batch_size=6)
         assert len({capture.key for capture in captures}) > 1
 
-    def test_rd4_fast_segments_use_the_full_trace_path(self):
+    def test_rd4_fast_segments_use_the_windowed_path(self):
+        """RD>0 fast segments come from per-plan windowed synthesis.
+
+        The delay plans are drawn in bulk and the attacked window is
+        mapped through each plan (see test_rd_windowed_capture for the
+        bit-identity contract); here we pin shape, dtype, and that the
+        windows carry real signal rather than padding.
+        """
         segments, pts = _platform(max_delay=4, seed=11, mode="fast") \
             .capture_attack_segments(10, key=KEY, segment_length=90)
         assert segments.shape == (10, 90)
         assert pts.shape == (10, 16)
+        assert segments.dtype == np.float64
+        assert (segments > 0).all(axis=1).any()
 
 
 class TestBandlimitRows:

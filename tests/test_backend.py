@@ -1,0 +1,145 @@
+"""Array-backend registry and kernel equivalence tests.
+
+The numpy backend *is* the historical inline code moved verbatim, so the
+suite's many bit-stability tests already cover it transitively; here we
+pin the registry semantics (selection, env resolution, fallback warnings)
+and — when numba is installed — the numba kernels' agreement with the
+numpy reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.backend as backend_mod
+from repro.backend import (
+    BACKEND_ENV,
+    available_backends,
+    get_backend,
+    set_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Leave the module-level backend state exactly as found."""
+    saved = backend_mod._active
+    yield
+    backend_mod._active = saved
+
+
+class TestRegistry:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        backend_mod._active = None
+        assert get_backend().name == "numpy"
+
+    def test_set_backend_numpy(self):
+        assert set_backend("numpy").name == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            set_backend("cupy")
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        backend_mod._active = None
+        assert get_backend().name == "numpy"
+
+    def test_invalid_env_warns_and_uses_numpy(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "fortran")
+        backend_mod._active = None
+        with pytest.warns(RuntimeWarning, match="not a known backend"):
+            assert get_backend().name == "numpy"
+
+    def test_numba_falls_back_when_missing(self):
+        if "numba" in available_backends():
+            pytest.skip("numba installed; fallback path not reachable")
+        with pytest.warns(RuntimeWarning, match="falling back to numpy"):
+            assert set_backend("numba").name == "numpy"
+
+    def test_available_backends_always_lists_numpy(self):
+        assert "numpy" in available_backends()
+
+
+class TestNumpyKernels:
+    def test_hw_power_matches_definition(self):
+        backend = set_backend("numpy")
+        table = np.asarray([0.0, 7.0, 10.0, 16.0, 14.0, 18.0])
+        values = np.asarray([0, 1, 3, (1 << 64) - 1], dtype=np.uint64)
+        kinds = np.asarray([1, 2, 4, 5], dtype=np.int64)
+        out = backend.hw_power(table, 0.5, values, kinds)
+        np.testing.assert_allclose(
+            out, table[kinds] + 0.5 * np.asarray([0, 1, 2, 64])
+        )
+
+    def test_quantize_clips_and_rounds(self):
+        backend = set_backend("numpy")
+        lsb, max_code = 0.25, 15
+        analog = np.asarray([-1.0, 0.1, 0.125, 3.7, 99.0])
+        out = backend.quantize(analog, lsb, max_code)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, [0.0, 0.0, 0.0, 3.75, 3.75])
+
+    def test_accumulate_class_stats_matches_bruteforce(self):
+        backend = set_backend("numpy")
+        rng = np.random.default_rng(5)
+        n, m, b = 200, 17, 3
+        t = rng.normal(size=(n, m))
+        pts = rng.integers(0, 256, size=(n, b), dtype=np.int64).astype(np.uint8)
+        counts = np.zeros((b, 256))
+        sums = np.zeros((b, 256, m))
+        backend.accumulate_class_stats(counts, sums, t, pts)
+        for byte in range(b):
+            for v in range(256):
+                mask = pts[:, byte] == v
+                assert counts[byte, v] == mask.sum()
+                np.testing.assert_allclose(
+                    sums[byte, v], t[mask].sum(axis=0), atol=1e-12
+                )
+
+
+class TestNumbaKernels:
+    """Numba backend vs the numpy reference (skipped without numba)."""
+
+    @pytest.fixture()
+    def pair(self):
+        pytest.importorskip("numba")
+        numba_backend = set_backend("numba")
+        if numba_backend.name != "numba":  # pragma: no cover
+            pytest.skip("numba import succeeded but backend fell back")
+        return set_backend("numpy"), numba_backend
+
+    def test_hw_power_agrees(self, pair):
+        ref, jit = pair
+        rng = np.random.default_rng(0)
+        table = np.asarray([2.0, 7.0, 10.0, 16.0, 14.0, 18.0])
+        values = rng.integers(0, 1 << 62, size=4096, dtype=np.int64).astype(np.uint64)
+        kinds = rng.integers(0, 6, size=4096, dtype=np.int64)
+        np.testing.assert_allclose(
+            jit.hw_power(table, 1.0, values, kinds),
+            ref.hw_power(table, 1.0, values, kinds),
+        )
+
+    def test_quantize_agrees(self, pair):
+        ref, jit = pair
+        rng = np.random.default_rng(1)
+        analog = rng.normal(20.0, 15.0, size=4096)
+        np.testing.assert_array_equal(
+            jit.quantize(analog, 48.0 / 4095, 4095),
+            ref.quantize(analog, 48.0 / 4095, 4095),
+        )
+
+    def test_accumulate_agrees(self, pair):
+        ref, jit = pair
+        rng = np.random.default_rng(2)
+        t = rng.normal(size=(512, 40))
+        pts = rng.integers(0, 256, size=(512, 4), dtype=np.int64).astype(np.uint8)
+        c_ref = np.zeros((4, 256)); s_ref = np.zeros((4, 256, 40))
+        c_jit = np.zeros((4, 256)); s_jit = np.zeros((4, 256, 40))
+        ref.accumulate_class_stats(c_ref, s_ref, t, pts)
+        jit.accumulate_class_stats(c_jit, s_jit, t, pts)
+        np.testing.assert_array_equal(c_jit, c_ref)
+        np.testing.assert_allclose(s_jit, s_ref, atol=1e-9)

@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Profiled attack subsystem benchmark: profiling, templates, NN models.
+
+On a deterministic synthetic leaky stream this measures the three costs
+the two-phase profiled workflow pays:
+
+* **profiling throughput** — traces/s through the streaming
+  class-conditional statistics (the clone-device capture loop's
+  bookkeeping cost);
+* **attack throughput + evaluation latency** — traces/s through chunked
+  log-likelihood accumulation and the per-checkpoint cost of turning the
+  sufficient statistic into per-byte guess scores, for both the Gaussian
+  template and the NN-profiled distinguisher;
+* **traces-to-rank-1** — the attack-phase budget each profiled model
+  needs, walked incrementally up a geometric checkpoint ladder.
+
+Besides the printed table the benchmark writes ``BENCH_profiled.json``
+(override with ``--output``) so CI can track the perf trajectory
+machine-readably.
+
+Run directly (CI-sized with ``--quick``):
+
+    PYTHONPATH=src python benchmarks/bench_profiled.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.attacks.key_rank import geometric_checkpoints
+from repro.ciphers.aes import SBOX
+from repro.evaluation import format_table
+from repro.profiled import (
+    ClassStats,
+    NnProfiledDistinguisher,
+    TemplateDistinguisher,
+    fit_nn_profile,
+    fit_template_profile,
+    select_pois,
+)
+
+_SBOX = np.asarray(SBOX, dtype=np.uint8)
+_HW = np.asarray([bin(v).count("1") for v in range(256)], dtype=np.float64)
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")[:8]
+
+
+def leaky_stream(rng, n, samples, noise):
+    """Traces leaking HW(SBOX[pt ^ k]) per byte at known positions."""
+    pts = rng.integers(0, 256, (n, len(KEY)), dtype=np.uint8)
+    traces = rng.normal(0.0, noise, (n, samples))
+    for b in range(len(KEY)):
+        traces[:, (3 * b) % samples] += _HW[_SBOX[pts[:, b] ^ KEY[b]]]
+    return traces, pts
+
+
+def bench_profiling(traces, pts, chunk, n_pois):
+    """Streaming statistics throughput + SNR-ranked POI selection."""
+    stats = ClassStats(KEY, model="hw")
+    begin = time.perf_counter()
+    for lo in range(0, len(traces), chunk):
+        stats.update(traces[lo:lo + chunk], pts[lo:lo + chunk])
+    seconds = time.perf_counter() - begin
+    pois = select_pois(stats.snr(), n_pois)
+    return {
+        "profiling_traces_per_s": len(traces) / seconds,
+        "profiling_seconds": seconds,
+        "n_traces": len(traces),
+    }, pois
+
+
+def bench_attack(build, traces, pts, chunk):
+    """Chunked accumulation throughput, eval latency, traces-to-rank-1."""
+    budget = len(traces)
+
+    # Warm the accumulate/score paths (allocator + caches) so the first
+    # configuration is not penalised relative to the others.
+    warm = build()
+    warm.update(traces[:chunk], pts[:chunk])
+    warm.guess_scores()
+
+    acc = build()
+    begin = time.perf_counter()
+    for lo in range(0, budget, chunk):
+        acc.update(traces[lo:lo + chunk], pts[lo:lo + chunk])
+    update_seconds = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    acc.guess_scores()
+    eval_seconds = time.perf_counter() - begin
+
+    walker = build()
+    done = 0
+    rank1 = None
+    for point in geometric_checkpoints(budget, first=25):
+        walker.update(traces[done:point], pts[done:point])
+        done = point
+        if all(rank == 1 for rank in walker.key_ranks(KEY)):
+            rank1 = point
+            break
+
+    return {
+        "update_traces_per_s": budget / update_seconds,
+        "update_seconds": update_seconds,
+        "eval_seconds": eval_seconds,
+        "traces_to_rank1": rank1,
+        "budget": budget,
+        "recovered": walker.recovered_key() == KEY,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized budgets")
+    parser.add_argument("--samples", type=int, default=40,
+                        help="samples per synthetic trace")
+    parser.add_argument("--chunk", type=int, default=256,
+                        help="traces per online update chunk")
+    parser.add_argument("--pois", type=int, default=2,
+                        help="points of interest per byte")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="nn training epochs (default 8, 4 with --quick)")
+    parser.add_argument("--noise", type=float, default=1.0)
+    parser.add_argument("--output", default="fresh_BENCH_profiled.json",
+                        help="JSON trajectory path; the default is "
+                             "gitignored — pass BENCH_profiled.json to "
+                             "refresh the committed baseline")
+    args = parser.parse_args()
+
+    scale = 2 if args.quick else 1
+    n_profiling = 8000 // scale
+    n_attack = 2000 // scale
+    epochs = args.epochs if args.epochs is not None else (8 // scale)
+
+    rng = np.random.default_rng(0xBE7C)
+    profiling = leaky_stream(rng, n_profiling, args.samples, args.noise)
+    attack = leaky_stream(
+        np.random.default_rng(0x5EED), n_attack, args.samples, args.noise
+    )
+
+    profiling_metrics, pois = bench_profiling(
+        *profiling, args.chunk, args.pois
+    )
+    print(f"[bench] profiling: "
+          f"{profiling_metrics['profiling_traces_per_s']:.0f} traces/s "
+          f"over {n_profiling} traces, {args.pois} POIs/byte")
+
+    begin = time.perf_counter()
+    template = fit_template_profile(profiling, KEY, pois=pois, pooled=False)
+    template_fit = time.perf_counter() - begin
+    begin = time.perf_counter()
+    nn = fit_nn_profile(profiling, KEY, pois=pois, epochs=epochs)
+    nn_fit = time.perf_counter() - begin
+
+    results = {}
+    rows = []
+    for name, cls, profile, fit_seconds in (
+        ("template", TemplateDistinguisher, template, template_fit),
+        ("nnp", NnProfiledDistinguisher, nn, nn_fit),
+    ):
+        measured = bench_attack(
+            lambda cls=cls, profile=profile: cls(profile), *attack, args.chunk
+        )
+        measured["fit_seconds"] = fit_seconds
+        results[name] = measured
+        rows.append([
+            name,
+            f"{fit_seconds:.2f}",
+            f"{measured['update_traces_per_s']:.0f}",
+            f"{measured['eval_seconds'] * 1e3:.1f}",
+            str(measured["traces_to_rank1"] or "x"),
+            str(measured["budget"]),
+        ])
+        print(f"[bench] {name}: fit {fit_seconds:.2f}s, "
+              f"{measured['update_traces_per_s']:.0f} traces/s, "
+              f"rank 1 at {measured['traces_to_rank1']}")
+
+    print()
+    print(format_table(
+        ["model", "fit s", "update traces/s", "eval ms", "rank 1 at",
+         "budget"],
+        rows,
+        title=f"Profiled attack subsystem ({len(KEY)}-byte key, "
+              f"{n_profiling} profiling traces, {args.pois} POIs/byte)",
+    ))
+
+    payload = {
+        "benchmark": "profiled",
+        "quick": bool(args.quick),
+        "key_bytes": len(KEY),
+        "samples": args.samples,
+        "chunk": args.chunk,
+        "pois_per_byte": args.pois,
+        "epochs": epochs,
+        "profiling": profiling_metrics,
+        "distinguishers": results,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nwrote {args.output}")
+
+    failed = [
+        name for name, measured in results.items()
+        if measured["traces_to_rank1"] is None
+    ]
+    if failed:
+        print(f"profiled models missing rank 1 on their target workload: "
+              f"{', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

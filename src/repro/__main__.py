@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands mirror the attacker workflow on the simulated platform:
+Seven commands mirror the attacker workflow on the simulated platform:
 
 * ``train``  — profile a clone device and train a locator, saving it to
   an ``.npz`` artefact;
@@ -17,8 +17,14 @@ Five commands mirror the attacker workflow on the simulated platform:
   ``--workers N`` fans deterministically seeded trace shards out over a
   process pool (merging the accumulators at every checkpoint), and
   ``--distinguisher`` picks the attack statistic — first-order ``cpa`` /
-  ``dpa``, ``lra``, or the second-order ``cpa2`` that defeats the masked
-  AES target.
+  ``dpa``, ``lra``, the second-order ``cpa2`` that defeats the masked
+  AES target, or the profiled ``template`` / ``nnp`` (which need
+  ``--profile DIR``);
+* ``profile`` — the profiling phase of a profiled attack: capture
+  known-key traces into a store, rank POIs, fit Gaussian templates or
+  per-byte NN classifiers, and save a reusable profile directory;
+* ``assess`` — SNR / Welch-t (TVLA-style) leakage maps over a known-key
+  trace store, with the customary |t| > 4.5 leakage verdict.
 """
 
 from __future__ import annotations
@@ -62,6 +68,12 @@ def _distinguisher_spec(args: argparse.Namespace, cipher: str | None = None):
     window1 = getattr(args, "window1", None)
     window2 = getattr(args, "window2", None)
     aggregate = args.aggregate
+    profile = getattr(args, "profile", None)
+    if args.distinguisher in ("template", "nnp") and aggregate != 1:
+        # Profiles score the raw sample space they were built in.
+        aggregate = 1
+        print(f"{args.distinguisher} scores the profile's sample space; "
+              f"aggregate forced to 1")
     if args.distinguisher == "cpa2" and window1 is None and window2 is None:
         if cipher != "aes_masked":
             print("cpa2 needs --window1/--window2 sample windows (they are "
@@ -87,6 +99,7 @@ def _distinguisher_spec(args: argparse.Namespace, cipher: str | None = None):
         window1=window1,
         window2=window2,
         basis=getattr(args, "basis", "bits"),
+        profile=profile,
     )
     try:
         spec.build()
@@ -94,6 +107,39 @@ def _distinguisher_spec(args: argparse.Namespace, cipher: str | None = None):
         print(str(error), file=sys.stderr)
         return None
     return spec
+
+
+def _check_profile_target(spec, args: argparse.Namespace) -> int | None:
+    """Cross-check a profiled spec against the campaign's target options.
+
+    Returns the profile's segment length (for defaulting
+    ``--segment-length``) or ``None`` after printing the mismatch — a
+    profile built on one cipher/RD configuration scores garbage on
+    another, so refusing beats silently diverging.
+    """
+    from repro.profiled import load_manifest
+
+    try:
+        manifest = load_manifest(spec.profile)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return None
+    meta = manifest.get("meta", {})
+    for option in ("cipher", "rd"):
+        profiled = meta.get(option)
+        requested = getattr(args, option)
+        if profiled is not None and profiled != requested:
+            print(f"profile {spec.profile} was built on "
+                  f"--{option} {profiled}, campaign targets "
+                  f"--{option} {requested}", file=sys.stderr)
+            return None
+    segment_length = int(manifest["segment_length"])
+    if args.segment_length is not None and args.segment_length != segment_length:
+        print(f"profile {spec.profile} was built on {segment_length}-sample "
+              f"segments; --segment-length {args.segment_length} cannot be "
+              f"scored against it", file=sys.stderr)
+        return None
+    return segment_length
 
 
 def _add_capture_mode_option(parser: argparse.ArgumentParser) -> None:
@@ -132,6 +178,10 @@ def _add_distinguisher_options(
                              "hd); default: the distinguisher's own")
     parser.add_argument("--basis", default="bits",
                         help="LRA regression basis (bits or hw)")
+    parser.add_argument("--profile", default=None,
+                        help="saved profile directory for the profiled "
+                             "distinguishers (template / nnp); create one "
+                             "with `repro profile`")
     if windows:
         parser.add_argument("--window1", type=_parse_window, default=None,
                             help="cpa2 first sample window, START:STOP")
@@ -229,6 +279,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("cpa2 needs explicit sample windows; run it through "
               "`repro campaign --distinguisher cpa2`", file=sys.stderr)
         return 2
+    if args.distinguisher in ("template", "nnp"):
+        print(f"{args.distinguisher} scores fixed profile segments; run it "
+              f"through `repro campaign --distinguisher {args.distinguisher} "
+              f"--profile DIR`", file=sys.stderr)
+        return 2
     distinguisher = _distinguisher_spec(args)
     if distinguisher is None:
         return 2
@@ -279,12 +334,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     spec = _distinguisher_spec(args, cipher=args.cipher)
     if spec is None:
         return 2
+    segment_length = args.segment_length
+    if spec.profile is not None:
+        segment_length = _check_profile_target(spec, args)
+        if segment_length is None:
+            return 2
+        if args.segment_length is None:
+            print(f"segment length {segment_length} (from the profile)")
     platform = PlatformSpec(
         cipher_name=args.cipher, max_delay=args.rd, noise_std=args.noise_std,
         capture_mode=args.capture_mode,
     ).build(args.seed)
     source = PlatformSegmentSource(
-        platform, segment_length=args.segment_length, batch_size=args.batch_size
+        platform, segment_length=segment_length, batch_size=args.batch_size
     )
     if args.workers is not None:
         return _run_parallel_campaign(args, source, spec)
@@ -331,6 +393,132 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"store now holds {len(store)} traces "
               f"({store.nbytes() / 1e6:.1f} MB on disk)")
     return exit_code
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: known-key profiling campaign → saved profile."""
+    from pathlib import Path
+
+    from repro.campaign import TraceStore
+    from repro.profiled import (
+        ProfilingCampaign,
+        fit_nn_profile,
+        fit_template_profile,
+        masked_byte_pois,
+    )
+    from repro.runtime.campaign import PlatformSegmentSource
+    from repro.soc.platform import PlatformSpec
+
+    _apply_backend(args)
+    masked = args.cipher == "aes_masked"
+    if masked and args.rd != 0:
+        print("profiling the masked target needs --rd 0: random delay "
+              "smears the share operations apart, so the fixed POI layout "
+              "(and the profile) breaks under RD-2/RD-4", file=sys.stderr)
+        return 2
+    model = args.model or ("hd" if masked else "hw")
+    segment_length = args.segment_length
+    if segment_length is None and masked:
+        from repro.attacks.distinguishers import masked_aes_windows
+
+        segment_length = masked_aes_windows()[1][1] + 16
+    platform = PlatformSpec(
+        cipher_name=args.cipher, max_delay=args.rd, noise_std=args.noise_std,
+        capture_mode=args.capture_mode,
+    ).build(args.seed)
+    source = PlatformSegmentSource(
+        platform, segment_length=segment_length, batch_size=args.batch_size
+    )
+    output = Path(args.output)
+    store = TraceStore.open_or_create(
+        args.store if args.store is not None else output / "traces",
+        n_samples=source.n_samples,
+        block_size=source.block_size,
+        key=source.true_key,
+        meta={"cipher": args.cipher, "rd": args.rd, "seed": args.seed,
+              "capture_mode": args.capture_mode},
+    )
+    campaign = ProfilingCampaign(
+        source, store, model=model, batch_size=args.batch_size
+    )
+    if campaign.resumed_from:
+        print(f"resumed {campaign.resumed_from} traces from the store")
+    print(f"profiling: {args.cipher} RD-{args.rd}, {model} classes, "
+          f"{source.n_samples}-sample segments, {args.traces} traces")
+    result = campaign.run(args.traces, verbose=True)
+    print(f"captured in {result.capture_seconds:.1f}s")
+    if masked:
+        # First-order SNR is blind on the masked target; the POIs come
+        # from the known operation layout instead.
+        pois = masked_byte_pois(source.block_size)
+        print("POIs: share-operation layout (SNR is blind under masking)")
+    else:
+        pois = result.select_pois(args.pois, min_spacing=args.min_spacing)
+        print(f"POIs: top {args.pois} SNR samples per byte")
+    meta = {"cipher": args.cipher, "rd": args.rd,
+            "noise_std": args.noise_std, "seed": args.seed}
+    if args.kind == "template":
+        pooled = (not masked) if args.covariance == "auto" \
+            else args.covariance == "pooled"
+        if masked and pooled:
+            print("warning: pooled covariance cannot represent the masked "
+                  "target's joint leakage; expect chance-level ranks",
+                  file=sys.stderr)
+        profile = fit_template_profile(
+            result.store, store.key, model=model, pois=pois,
+            pooled=pooled, meta=meta,
+        )
+    else:
+        combine = masked if args.combine == "auto" else args.combine == "yes"
+        profile = fit_nn_profile(
+            result.store, store.key, model=model, pois=pois,
+            hidden=args.hidden, combine=combine, epochs=args.epochs,
+            batch_size=args.nn_batch_size, lr=args.lr, seed=args.seed,
+            meta=meta, verbose=True,
+        )
+    profile.save(output)
+    print(profile.describe())
+    print(f"profile saved to {output}")
+    return 0
+
+
+def cmd_assess(args: argparse.Namespace) -> int:
+    """``repro assess``: SNR / Welch-t leakage maps over a trace store."""
+    from repro.attacks.assessment import TVLA_THRESHOLD
+    from repro.campaign import TraceStore
+    from repro.profiled import ClassStats
+
+    store = TraceStore.open(args.store)
+    if store.key is None:
+        print(f"{args.store} records no capture key; leakage assessment "
+              f"needs known-key (profiling) traces", file=sys.stderr)
+        return 2
+    if not len(store):
+        print(f"{args.store} is empty", file=sys.stderr)
+        return 2
+    stats = ClassStats(store.key, model=args.model)
+    for traces, plaintexts in store.iter_chunks(args.batch_size):
+        stats.update(traces, plaintexts)
+    snr = stats.snr()
+    welch_t = stats.welch_t()
+    peak_t = float(np.abs(welch_t).max())
+    print(f"assessed {stats.n_traces} traces x {store.n_samples} samples, "
+          f"{args.model} classes")
+    print(f"{'byte':>4}  {'max SNR':>9}  {'@sample':>7}  "
+          f"{'max |t|':>9}  {'@sample':>7}")
+    for b in range(snr.shape[0]):
+        s_at = int(snr[b].argmax())
+        t_at = int(np.abs(welch_t[b]).argmax())
+        print(f"{b:>4}  {snr[b, s_at]:>9.4f}  {s_at:>7}  "
+              f"{abs(welch_t[b, t_at]):>9.2f}  {t_at:>7}")
+    if args.output is not None:
+        np.savez_compressed(args.output, snr=snr, welch_t=welch_t)
+        print(f"maps saved to {args.output}")
+    leaks = peak_t >= TVLA_THRESHOLD
+    print(f"peak |t| = {peak_t:.2f} "
+          f"({'exceeds' if leaks else 'below'} the TVLA threshold "
+          f"{TVLA_THRESHOLD})")
+    return 0 if leaks else 1
 
 
 def _report_campaign(result) -> int:
@@ -478,6 +666,73 @@ def main(argv: list[str] | None = None) -> int:
     _add_capture_mode_option(p_campaign)
     _add_distinguisher_options(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="known-key profiling campaign: capture, rank POIs, fit and "
+             "save a template or NN profile directory",
+    )
+    p_profile.add_argument(
+        "--cipher", default="aes",
+        choices=("aes", "aes_masked", "camellia", "clefia", "simon"))
+    p_profile.add_argument("--rd", type=int, default=0, choices=(0, 2, 4))
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--traces", type=int, default=4096,
+                           help="profiling trace budget (resumed included)")
+    p_profile.add_argument("--output", required=True,
+                           help="profile directory to create")
+    p_profile.add_argument("--store", default=None,
+                           help="profiling trace-store directory (default: "
+                                "OUTPUT/traces); reuse to resume")
+    p_profile.add_argument("--kind", default="template",
+                           choices=("template", "nn"),
+                           help="profile family: Gaussian templates or "
+                                "per-byte MLP classifiers")
+    p_profile.add_argument("--model", default=None,
+                           help="leakage model labelling the classes "
+                                "(default: hd for aes_masked, else hw)")
+    p_profile.add_argument("--segment-length", type=int, default=None,
+                           help="samples per segment (default: derived for "
+                                "aes_masked, else mean CO length)")
+    p_profile.add_argument("--pois", type=int, default=3,
+                           help="POIs per byte by SNR rank (ignored for "
+                                "aes_masked, which uses the share layout)")
+    p_profile.add_argument("--min-spacing", type=int, default=1,
+                           help="minimum sample distance between POIs")
+    p_profile.add_argument("--covariance", default="auto",
+                           choices=("auto", "pooled", "class"),
+                           help="template covariance: pooled across classes "
+                                "or per class (auto: per class only for "
+                                "aes_masked, whose leakage is "
+                                "covariance-only)")
+    p_profile.add_argument("--hidden", type=int, default=32,
+                           help="nn hidden width")
+    p_profile.add_argument("--combine", default="auto",
+                           choices=("auto", "yes", "no"),
+                           help="nn centred-product feature combining "
+                                "(auto: only for aes_masked)")
+    p_profile.add_argument("--epochs", type=int, default=10)
+    p_profile.add_argument("--nn-batch-size", type=int, default=128)
+    p_profile.add_argument("--lr", type=float, default=1e-3)
+    p_profile.add_argument("--batch-size", type=int, default=256,
+                           help="traces per capture batch")
+    p_profile.add_argument("--noise-std", type=float, default=1.0)
+    _add_capture_mode_option(p_profile)
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_assess = sub.add_parser(
+        "assess",
+        help="SNR / Welch-t leakage assessment over a known-key trace store",
+    )
+    p_assess.add_argument("--store", required=True,
+                          help="trace-store directory to assess")
+    p_assess.add_argument("--model", default="hw",
+                          help="leakage model defining the class split")
+    p_assess.add_argument("--output", default=None,
+                          help="save the per-byte SNR / t maps to this .npz")
+    p_assess.add_argument("--batch-size", type=int, default=1024,
+                          help="traces per streamed chunk")
+    p_assess.set_defaults(func=cmd_assess)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -17,15 +17,25 @@ name      statistic                                           breaks
                                                                masking
 ``lra``   linear-regression analysis with a configurable       unmasked
           basis (no leakage-model assumption)                  targets
+``template``  Gaussian-template log-likelihood over a saved    per profile
+          profile directory (``repro profile``)                (masking with
+                                                               per-class
+                                                               covariance)
+``nnp``   NN-profiled log-likelihood over a saved profile      per profile
+          directory
 ========  ==================================================  ==============
 
 Campaigns configure distinguishers through the picklable
 :class:`DistinguisherSpec` (process-pool workers rebuild their accumulator
 from it); interactive code can call :func:`get_distinguisher` directly.
+The two profiled distinguishers are registered **lazily** (they live in
+:mod:`repro.profiled`, which imports this package's base module), so
+importing the registry stays cycle-free and cheap.
 """
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
 
 from repro.attacks.distinguishers.base import (
@@ -71,18 +81,35 @@ _REGISTRY: dict[str, type] = {
     "lra": LinearRegressionAnalysis,
 }
 
+#: Distinguishers resolved on first use — their modules import this
+#: package's submodules, so eager registration would be a cycle.
+_LAZY_REGISTRY: dict[str, tuple[str, str]] = {
+    "template": ("repro.profiled.distinguishers", "TemplateDistinguisher"),
+    "nnp": ("repro.profiled.distinguishers", "NnProfiledDistinguisher"),
+}
+
 
 def available_distinguishers() -> tuple[str, ...]:
     """The registered distinguisher names, sorted."""
-    return tuple(sorted(_REGISTRY))
+    return tuple(sorted(set(_REGISTRY) | set(_LAZY_REGISTRY)))
 
 
 def _check_name(name: str) -> None:
-    if name not in _REGISTRY:
+    if name not in _REGISTRY and name not in _LAZY_REGISTRY:
         raise ValueError(
             f"unknown distinguisher {name!r}; available: "
             f"{', '.join(available_distinguishers())}"
         )
+
+
+def _registry_class(name: str) -> type:
+    _check_name(name)
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        module_name, attr = _LAZY_REGISTRY[name]
+        cls = getattr(importlib.import_module(module_name), attr)
+        _REGISTRY[name] = cls
+    return cls
 
 
 def get_distinguisher(name: str, **kwargs) -> Distinguisher:
@@ -91,8 +118,7 @@ def get_distinguisher(name: str, **kwargs) -> Distinguisher:
     Raises ``ValueError`` listing the valid names for unknown ones;
     keyword arguments go to the distinguisher's constructor.
     """
-    _check_name(name)
-    return _REGISTRY[name](**kwargs)
+    return _registry_class(name)(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -106,7 +132,10 @@ class DistinguisherSpec:
     ``leakage_model=None`` uses the distinguisher's default model
     (``hw`` for cpa, ``msb`` for dpa, ``hd`` for cpa2); ``window1`` /
     ``window2`` configure ``cpa2``'s sample pair, ``basis`` configures
-    ``lra``'s regression family.
+    ``lra``'s regression family, and ``profile`` points the profiled
+    distinguishers (``template`` / ``nnp``) at their saved profile
+    directory — a plain path, so the spec stays picklable and pool
+    workers load the profile themselves.
     """
 
     name: str = "cpa"
@@ -115,10 +144,25 @@ class DistinguisherSpec:
     window1: tuple[int, int] | None = None
     window2: tuple[int, int] | None = None
     basis: str = "bits"
+    profile: str | None = None
 
     def build(self) -> Distinguisher:
         """A fresh, empty accumulator of this configuration."""
         _check_name(self.name)
+        if self.name in _LAZY_REGISTRY:
+            if self.profile is None:
+                raise ValueError(
+                    f"{self.name} needs a saved profile directory "
+                    f"(`repro profile` creates one; pass profile=DIR)"
+                )
+            if self.leakage_model is not None:
+                raise ValueError(
+                    f"{self.name} takes its leakage model from the profile "
+                    f"manifest; leave leakage_model unset"
+                )
+            return _registry_class(self.name)(
+                str(self.profile), aggregate=self.aggregate
+            )
         if self.name == "cpa":
             return CpaDistinguisher(
                 model=self.leakage_model or "hw", aggregate=self.aggregate

@@ -1,0 +1,54 @@
+"""Profiled attacks: profiling campaigns, profile artifacts, distinguishers.
+
+The two-phase profiled workflow on top of the campaign core:
+
+1. **Profile** (:class:`ProfilingCampaign`): capture known-key traces into
+   a :class:`~repro.campaign.store.TraceStore`, accumulate streaming
+   class-conditional statistics (:class:`ClassStats`), rank POIs by SNR
+   (:func:`select_pois`; :func:`masked_byte_pois` for the masked target
+   where first-order SNR is blind), then fit a
+   :class:`GaussianTemplateProfile` or :class:`NnProfile` and persist it
+   as a versioned profile directory.
+2. **Attack** (:class:`TemplateDistinguisher` / :class:`NnProfiledDistinguisher`):
+   registered distinguishers (``template`` / ``nnp``) that accumulate
+   mergeable per-byte log-likelihood statistics from a saved profile —
+   every campaign orchestrator, checkpoint ladder and CLI path works
+   unchanged via ``DistinguisherSpec(name=..., profile=DIR)``.
+"""
+
+from repro.profiled.distinguishers import (
+    NnProfiledDistinguisher,
+    ProfiledDistinguisher,
+    TemplateDistinguisher,
+)
+from repro.profiled.profile import (
+    PROFILE_VERSION,
+    GaussianTemplateProfile,
+    NnProfile,
+    fit_nn_profile,
+    fit_template_profile,
+    load_manifest,
+    load_profile,
+    masked_byte_pois,
+)
+from repro.profiled.profiling import ProfilingCampaign, ProfilingResult
+from repro.profiled.stats import ClassStats, class_values, select_pois
+
+__all__ = [
+    "PROFILE_VERSION",
+    "ClassStats",
+    "GaussianTemplateProfile",
+    "NnProfile",
+    "NnProfiledDistinguisher",
+    "ProfiledDistinguisher",
+    "ProfilingCampaign",
+    "ProfilingResult",
+    "TemplateDistinguisher",
+    "class_values",
+    "fit_nn_profile",
+    "fit_template_profile",
+    "load_manifest",
+    "load_profile",
+    "masked_byte_pois",
+    "select_pois",
+]

@@ -235,13 +235,15 @@ class TestLinearRegression:
 
 class TestRegistryAndSpec:
     def test_available_names(self):
-        assert available_distinguishers() == ("cpa", "cpa2", "dpa", "lra")
+        assert available_distinguishers() == (
+            "cpa", "cpa2", "dpa", "lra", "nnp", "template"
+        )
 
     def test_unknown_name_lists_choices(self):
-        with pytest.raises(ValueError, match="cpa, cpa2, dpa, lra"):
-            get_distinguisher("template")
-        with pytest.raises(ValueError, match="cpa, cpa2, dpa, lra"):
-            DistinguisherSpec(name="template").build()
+        with pytest.raises(ValueError, match="cpa, cpa2, dpa, lra, nnp, template"):
+            get_distinguisher("mia")
+        with pytest.raises(ValueError, match="cpa, cpa2, dpa, lra, nnp, template"):
+            DistinguisherSpec(name="mia").build()
 
     def test_spec_builds_each_kind(self):
         assert isinstance(DistinguisherSpec().build(), CpaDistinguisher)

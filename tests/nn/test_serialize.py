@@ -3,13 +3,18 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.nn import (
+    Adam,
+    ArrayDataset,
     BatchNorm1d,
     Conv1d,
     GlobalAvgPool1d,
     Linear,
+    ReLU,
     Sequential,
+    Trainer,
     load_state,
     save_state,
 )
@@ -49,3 +54,41 @@ class TestRoundtrip:
         np.testing.assert_array_equal(
             clone.steps[1].running_mean, model.steps[1].running_mean
         )
+
+    def test_trained_model_roundtrips_through_trainer(self, tmp_path, rng):
+        """Train → save → load into a fresh net → identical predictions.
+
+        This is the contract the profiled nn artifacts lean on: a fitted
+        classifier must survive disk exactly, not merely approximately."""
+        x = rng.normal(0, 1, (200, 6)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        train = ArrayDataset(x[:160], y[:160])
+        val = ArrayDataset(x[160:], y[160:])
+        model = Sequential(Linear(6, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.02), rng=rng)
+        trainer.fit(train, val, epochs=4, batch_size=32)
+        reference = model.forward(x)
+        save_state(model, tmp_path / "trained.npz")
+        clone = Sequential(
+            Linear(6, 8, rng=np.random.default_rng(99)),
+            ReLU(),
+            Linear(8, 2, rng=np.random.default_rng(99)),
+        )
+        load_state(clone, tmp_path / "trained.npz")
+        clone.eval()
+        np.testing.assert_array_equal(clone.forward(x), reference)
+
+
+class TestStrictLoading:
+    def test_architecture_mismatch_refused(self, tmp_path):
+        save_state(make_model(0), tmp_path / "m.npz")
+        other = Sequential(Linear(2, 2, rng=np.random.default_rng(0)))
+        with pytest.raises(KeyError, match="state mismatch"):
+            load_state(other, tmp_path / "m.npz")
+
+    def test_shape_mismatch_refused(self, tmp_path):
+        model = Sequential(Linear(4, 3, rng=np.random.default_rng(0)))
+        save_state(model, tmp_path / "m.npz")
+        wider = Sequential(Linear(5, 3, rng=np.random.default_rng(0)))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_state(wider, tmp_path / "m.npz")

@@ -1,0 +1,136 @@
+"""Streaming class-conditional statistics and SNR/t-test POI ranking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from factories import KEY, leaky_traces
+
+from repro.attacks.assessment import snr_by_sample, welch_t_by_sample
+from repro.profiled import ClassStats, class_values, select_pois
+
+SMALL_KEY = KEY[:4]
+
+
+def _stats(rng, n=400, model="hw", key=SMALL_KEY, noise=1.0):
+    traces, pts = leaky_traces(rng, n, key, noise=noise)
+    stats = ClassStats(key, model=model)
+    stats.update(traces, pts)
+    return stats, traces, pts
+
+
+class TestLabels:
+    def test_labels_follow_the_model_table(self, rng):
+        stats, _, pts = _stats(rng, n=32)
+        labels = stats.labels(pts)
+        model = stats.model
+        for b in range(len(SMALL_KEY)):
+            expected = np.searchsorted(
+                stats.classes, model.table[pts[:, b], SMALL_KEY[b]]
+            )
+            np.testing.assert_array_equal(labels[:, b], expected)
+
+    def test_class_values_are_the_unique_table_values(self):
+        stats = ClassStats(SMALL_KEY, model="hw")
+        np.testing.assert_array_equal(stats.classes, np.arange(9))
+        np.testing.assert_array_equal(
+            class_values(stats.model), stats.classes
+        )
+
+
+class TestAgainstAssessment:
+    def test_snr_matches_snr_by_sample(self, rng):
+        stats, traces, pts = _stats(rng)
+        labels = stats.labels(pts)
+        snr = stats.snr()
+        for b in range(len(SMALL_KEY)):
+            np.testing.assert_allclose(
+                snr[b],
+                snr_by_sample(traces, stats.classes[labels[:, b]]),
+                atol=1e-10,
+            )
+
+    def test_welch_t_matches_welch_t_by_sample(self, rng):
+        stats, traces, pts = _stats(rng)
+        labels = stats.labels(pts)
+        welch = stats.welch_t()
+        pivot = (stats.classes.min() + stats.classes.max()) / 2
+        for b in range(len(SMALL_KEY)):
+            values = stats.classes[labels[:, b]]
+            np.testing.assert_allclose(
+                welch[b],
+                welch_t_by_sample(
+                    traces[values < pivot], traces[values > pivot]
+                ),
+                atol=1e-10,
+            )
+
+
+class TestStreaming:
+    def test_chunked_equals_batch(self, rng):
+        traces, pts = leaky_traces(rng, 300, SMALL_KEY)
+        batch = ClassStats(SMALL_KEY)
+        batch.update(traces, pts)
+        chunked = ClassStats(SMALL_KEY)
+        for begin in range(0, 300, 77):
+            chunked.update(traces[begin:begin + 77], pts[begin:begin + 77])
+        np.testing.assert_allclose(batch.snr(), chunked.snr(), atol=1e-10)
+        np.testing.assert_allclose(
+            batch.welch_t(), chunked.welch_t(), atol=1e-10
+        )
+
+    def test_merge_equals_combined(self, rng):
+        traces, pts = leaky_traces(rng, 240, SMALL_KEY)
+        combined = ClassStats(SMALL_KEY)
+        combined.update(traces, pts)
+        left = ClassStats(SMALL_KEY)
+        left.update(traces[:100], pts[:100])
+        right = ClassStats(SMALL_KEY)
+        right.update(traces[100:], pts[100:])
+        left.merge(right)
+        assert left.n_traces == combined.n_traces
+        np.testing.assert_allclose(left.snr(), combined.snr(), atol=1e-10)
+
+    def test_merge_rejects_mismatched_key_and_model(self, rng):
+        a = ClassStats(SMALL_KEY)
+        with pytest.raises(ValueError, match="mismatch"):
+            a.merge(ClassStats(bytes(4)))
+        with pytest.raises(ValueError, match="mismatch"):
+            a.merge(ClassStats(SMALL_KEY, model="msb"))
+
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        stats, _, _ = _stats(rng, n=120)
+        stats.save(tmp_path / "stats.npz")
+        loaded = ClassStats.load(tmp_path / "stats.npz")
+        assert loaded.n_traces == stats.n_traces
+        assert loaded.model.name == stats.model.name
+        np.testing.assert_allclose(loaded.snr(), stats.snr(), atol=1e-12)
+        np.testing.assert_allclose(
+            loaded.welch_t(), stats.welch_t(), atol=1e-12
+        )
+
+
+class TestSelectPois:
+    def test_picks_the_leaky_samples(self, rng):
+        stats, _, _ = _stats(rng, n=600)
+        pois = select_pois(stats.snr(), 1)
+        # leaky_traces leaks byte b at sample 2*b.
+        np.testing.assert_array_equal(
+            pois[:, 0], [2 * b for b in range(len(SMALL_KEY))]
+        )
+
+    def test_rows_are_sorted_and_unique(self, rng):
+        stats, _, _ = _stats(rng, n=200)
+        pois = select_pois(stats.snr(), 5)
+        for row in pois:
+            assert sorted(set(row.tolist())) == row.tolist()
+
+    def test_min_spacing_is_respected(self):
+        snr = np.zeros((1, 20))
+        snr[0, [4, 5, 6, 15]] = [3.0, 2.9, 2.8, 1.0]
+        pois = select_pois(snr, 2, min_spacing=3)
+        np.testing.assert_array_equal(pois[0], [4, 15])
+
+    def test_raises_when_spacing_leaves_too_few(self):
+        with pytest.raises(ValueError, match="min_spacing"):
+            select_pois(np.ones((1, 10)), 4, min_spacing=5)

@@ -91,10 +91,10 @@ class TestCliDistinguisherErrors:
     valid choices (satellite: CLI error paths)."""
 
     def test_campaign_rejects_unknown_distinguisher(self, capsys):
-        assert main(["campaign", "--distinguisher", "template"]) == 2
+        assert main(["campaign", "--distinguisher", "mia"]) == 2
         err = capsys.readouterr().err
         assert "unknown distinguisher" in err
-        assert "cpa, cpa2, dpa, lra" in err
+        assert "cpa, cpa2, dpa, lra, nnp, template" in err
 
     def test_campaign_rejects_unknown_leakage_model(self, capsys):
         assert main(["campaign", "--leakage-model", "hamming-cube"]) == 2
@@ -103,8 +103,8 @@ class TestCliDistinguisherErrors:
         assert "hd, hw, identity, lsb, msb" in err
 
     def test_bench_rejects_unknown_distinguisher(self, capsys):
-        assert main(["bench", "--distinguisher", "template"]) == 2
-        assert "cpa, cpa2, dpa, lra" in capsys.readouterr().err
+        assert main(["bench", "--distinguisher", "mia"]) == 2
+        assert "cpa, cpa2, dpa, lra, nnp, template" in capsys.readouterr().err
 
     def test_bench_rejects_unknown_leakage_model(self, capsys):
         assert main(["bench", "--leakage-model", "nope"]) == 2
@@ -148,3 +148,74 @@ class TestCliSecondOrderCampaign:
         assert "cpa2 windows (derived)" in out
         assert "[cpa2]" in out
         assert "rank 1 at" in out
+
+
+class TestCliProfiledWorkflow:
+    """profile → assess → campaign --profile, plus the refusal paths."""
+
+    def test_profile_attack_and_assess_roundtrip(self, tmp_path, capsys):
+        """The full profiled workflow through the CLI on the fast path."""
+        profile_dir = str(tmp_path / "prof")
+        assert main(["profile", "--cipher", "aes", "--rd", "0",
+                     "--traces", "1200", "--seed", "5",
+                     "--output", profile_dir, "--pois", "2",
+                     "--capture-mode", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "template profile: aes RD-0" in out
+        assert main(["campaign", "--cipher", "aes", "--rd", "0",
+                     "--seed", "77", "--traces", "400", "--patience", "1",
+                     "--first-checkpoint", "100",
+                     "--distinguisher", "template", "--profile", profile_dir,
+                     "--capture-mode", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "(from the profile)" in out
+        assert "rank 1 at" in out
+        # The profiling store doubles as assessment input: an unmasked
+        # target must trip the TVLA threshold.
+        assert main(["assess", "--store", str(tmp_path / "prof" / "traces"),
+                     "--output", str(tmp_path / "maps.npz")]) == 0
+        out = capsys.readouterr().out
+        assert "exceeds the TVLA threshold" in out
+        assert (tmp_path / "maps.npz").is_file()
+
+    def test_profile_masked_needs_rd0(self, capsys):
+        assert main(["profile", "--cipher", "aes_masked", "--rd", "2",
+                     "--output", "unused"]) == 2
+        assert "--rd 0" in capsys.readouterr().err
+
+    def test_campaign_requires_a_profile_argument(self, capsys):
+        assert main(["campaign", "--distinguisher", "nnp"]) == 2
+        assert "repro profile" in capsys.readouterr().err
+
+    def test_campaign_rejects_profile_target_mismatch(self, tmp_path, capsys):
+        profile_dir = str(tmp_path / "prof")
+        assert main(["profile", "--cipher", "aes", "--rd", "0",
+                     "--traces", "600", "--output", profile_dir,
+                     "--pois", "2", "--capture-mode", "fast"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "--cipher", "camellia", "--rd", "0",
+                     "--distinguisher", "template",
+                     "--profile", profile_dir]) == 2
+        assert "--cipher aes" in capsys.readouterr().err
+        assert main(["campaign", "--cipher", "aes", "--rd", "4",
+                     "--distinguisher", "template",
+                     "--profile", profile_dir]) == 2
+        assert "--rd 0" in capsys.readouterr().err
+        assert main(["campaign", "--cipher", "aes", "--rd", "0",
+                     "--segment-length", "123",
+                     "--distinguisher", "template",
+                     "--profile", profile_dir]) == 2
+        assert "--segment-length" in capsys.readouterr().err
+
+    def test_campaign_rejects_a_non_profile_directory(self, tmp_path, capsys):
+        assert main(["campaign", "--distinguisher", "template",
+                     "--profile", str(tmp_path)]) == 2
+        assert "manifest.json" in capsys.readouterr().err
+
+    def test_bench_routes_profiled_to_campaign(self, capsys):
+        assert main(["bench", "--distinguisher", "nnp"]) == 2
+        assert "repro campaign" in capsys.readouterr().err
+
+    def test_assess_rejects_a_missing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["assess", "--store", str(tmp_path / "nope")])

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands mirror the attacker workflow on the simulated platform:
+Eight commands mirror the attacker workflow on the simulated platform:
 
 * ``train``  — profile a clone device and train a locator, saving it to
   an ``.npz`` artefact;
@@ -24,7 +24,16 @@ Seven commands mirror the attacker workflow on the simulated platform:
   known-key traces into a store, rank POIs, fit Gaussian templates or
   per-byte NN classifiers, and save a reusable profile directory;
 * ``assess`` — SNR / Welch-t (TVLA-style) leakage maps over a known-key
-  trace store, with the customary |t| > 4.5 leakage verdict.
+  trace store, with the customary |t| > 4.5 leakage verdict;
+* ``tvla``   — the non-specific fixed-vs-random TVLA: interleaved capture
+  of the two populations straight off the platform (no pre-existing
+  store needed), a streaming Welch-t verdict, and ``--grid`` to sweep
+  the built-in countermeasure matrix (baseline, shuffling, RD+jitter,
+  first- and second-order masking) in one command.
+
+The capture countermeasures stack via ``--countermeasure`` (``shuffle``,
+``jitter``/``jitter-N``, comma-separated, on top of ``--rd``) and
+``--masking-order 2`` for the three-share masked AES datapath.
 """
 
 from __future__ import annotations
@@ -50,6 +59,43 @@ def _parse_window(text: str) -> tuple[int, int]:
         raise argparse.ArgumentTypeError(
             f"expected START:STOP sample window, got {text!r}"
         ) from None
+
+
+_COUNTERMEASURE_CHOICES = "none, shuffle, jitter, jitter-N (N in 1..99)"
+
+
+def _parse_countermeasures(text: str | None) -> tuple[bool, int] | None:
+    """Parse ``--countermeasure`` into ``(shuffle, jitter_strength)``.
+
+    Accepts a comma-separated combination of ``none``, ``shuffle``,
+    ``jitter`` (strength 10) and ``jitter-N``.  Prints the valid choices
+    and returns ``None`` for anything else — the caller exits 2.
+    """
+    shuffle = False
+    jitter = 0
+    for token in (text or "none").split(","):
+        token = token.strip().lower()
+        if token in ("", "none"):
+            continue
+        if token == "shuffle":
+            shuffle = True
+        elif token == "jitter":
+            jitter = 10
+        elif token.startswith("jitter-"):
+            try:
+                jitter = int(token[len("jitter-"):])
+            except ValueError:
+                jitter = -1
+            if not 1 <= jitter <= 99:
+                print(f"invalid jitter strength in {token!r}; valid "
+                      f"countermeasures: {_COUNTERMEASURE_CHOICES}",
+                      file=sys.stderr)
+                return None
+        else:
+            print(f"unknown countermeasure {token!r}; valid choices: "
+                  f"{_COUNTERMEASURE_CHOICES}", file=sys.stderr)
+            return None
+    return shuffle, jitter
 
 
 def _distinguisher_spec(args: argparse.Namespace, cipher: str | None = None):
@@ -86,11 +132,25 @@ def _distinguisher_spec(args: argparse.Namespace, cipher: str | None = None):
                   "(and the attack) breaks under RD-2/RD-4",
                   file=sys.stderr)
             return None
-        window1, window2 = masked_aes_windows()
+        countermeasures = _parse_countermeasures(
+            getattr(args, "countermeasure", None)
+        )
+        if countermeasures is None:
+            return None
+        if countermeasures != (False, 0):
+            print("cpa2 window derivation needs a deterministic op layout: "
+                  "shuffling permutes the two op windows and clock jitter "
+                  "drifts the sample grid, so the fixed sample pairing "
+                  "breaks under --countermeasure shuffle/jitter",
+                  file=sys.stderr)
+            return None
+        shares = getattr(args, "masking_order", 1) + 1
+        window1, window2 = masked_aes_windows(shares=shares)
         # The derived windows live in raw sample space; aggregation would
         # shift them.
         aggregate = 1
-        print(f"cpa2 windows (derived): {window1[0]}:{window1[1]} x "
+        print(f"cpa2 windows (derived, {shares} shares): "
+              f"{window1[0]}:{window1[1]} x "
               f"{window2[0]}:{window2[1]}, aggregate forced to 1")
     spec = DistinguisherSpec(
         name=args.distinguisher,
@@ -165,6 +225,85 @@ def _apply_backend(args: argparse.Namespace) -> None:
 
         set_backend(args.backend)
         os.environ[BACKEND_ENV] = args.backend
+
+
+def _add_countermeasure_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--countermeasure", default="none",
+        help=f"software/clock countermeasures on top of the random delay, "
+             f"comma-separated: {_COUNTERMEASURE_CHOICES}")
+    parser.add_argument(
+        "--masking-order", type=int, default=1, choices=(1, 2),
+        help="boolean masking order for --cipher aes_masked "
+             "(2 = three-share second-order datapath)")
+
+
+def _resolve_countermeasures(
+    args: argparse.Namespace, ciphers=None
+) -> tuple[bool, int] | None:
+    """Validate the countermeasure options against the other target options.
+
+    Returns ``(shuffle, jitter)`` or ``None`` after printing the problem
+    (unknown name, masking order on an unmasked cipher, jitter under fast
+    capture) — the caller exits 2.
+    """
+    ciphers = list(ciphers) if ciphers is not None else [args.cipher]
+    countermeasures = _parse_countermeasures(
+        getattr(args, "countermeasure", None)
+    )
+    if countermeasures is None:
+        return None
+    shuffle, jitter = countermeasures
+    unmasked = [c for c in ciphers if c != "aes_masked"]
+    if getattr(args, "masking_order", 1) != 1 and unmasked:
+        print(f"--masking-order {args.masking_order} needs cipher "
+              f"aes_masked; {', '.join(unmasked)} has no masked datapath",
+              file=sys.stderr)
+        return None
+    unshuffleable = [c for c in ciphers if c != "aes"]
+    if shuffle and unshuffleable:
+        print(f"--countermeasure shuffle is only wired for cipher aes "
+              f"({', '.join(unshuffleable)} declares no shuffle groups)",
+              file=sys.stderr)
+        return None
+    if jitter and getattr(args, "capture_mode", "exact") == "fast":
+        print("--countermeasure jitter resamples whole traces and is not "
+              "supported with --capture-mode fast", file=sys.stderr)
+        return None
+    return shuffle, jitter
+
+
+def _check_store_config(path, capture_mode: str, countermeasure: str) -> bool:
+    """Refuse resuming a store captured under a different configuration.
+
+    Probes the existing store's manifest *before* ``open_or_create`` gets
+    to enforce the capture key, so the user sees which configuration
+    knob actually diverged (the countermeasure TRNG also shifts the
+    derived key, which would otherwise surface as an opaque key
+    mismatch).  Returns ``False`` after printing when the store holds
+    traces from another capture mode or countermeasure stack.
+    """
+    from repro.campaign import TraceStore
+
+    try:
+        store = TraceStore.open(path)
+    except FileNotFoundError:
+        return True
+    if not len(store):
+        return True
+    stored_mode = store.meta.get("capture_mode", "exact")
+    if stored_mode != capture_mode:
+        print(f"{path} was captured in {stored_mode!r} capture mode; "
+              f"resuming it in {capture_mode!r} would splice two "
+              f"different trace streams", file=sys.stderr)
+        return False
+    stored_cm = store.meta.get("countermeasure")
+    if stored_cm is not None and stored_cm != countermeasure:
+        print(f"{path} was captured under countermeasure {stored_cm!r}; "
+              f"resuming it under {countermeasure!r} would splice two "
+              f"different trace streams", file=sys.stderr)
+        return False
+    return True
 
 
 def _add_distinguisher_options(
@@ -284,6 +423,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"through `repro campaign --distinguisher {args.distinguisher} "
               f"--profile DIR`", file=sys.stderr)
         return 2
+    countermeasures = _resolve_countermeasures(args, ciphers=ciphers)
+    if countermeasures is None:
+        return 2
+    shuffle, jitter = countermeasures
     distinguisher = _distinguisher_spec(args)
     if distinguisher is None:
         return 2
@@ -300,6 +443,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         noise_stds=[float(s) for s in args.noise_stds.split(",") if s.strip()],
         base_seed=args.seed + 100,
         batch_size=args.batch_size,
+        shuffle=shuffle,
+        jitter=jitter,
+        masking_order=args.masking_order,
     )
     engine = ExperimentEngine(
         dataset_scale=args.scale,
@@ -331,6 +477,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
     _apply_backend(args)
+    countermeasures = _resolve_countermeasures(args)
+    if countermeasures is None:
+        return 2
+    shuffle, jitter = countermeasures
     spec = _distinguisher_spec(args, cipher=args.cipher)
     if spec is None:
         return 2
@@ -341,15 +491,17 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             return 2
         if args.segment_length is None:
             print(f"segment length {segment_length} (from the profile)")
-    platform = PlatformSpec(
+    platform_spec = PlatformSpec(
         cipher_name=args.cipher, max_delay=args.rd, noise_std=args.noise_std,
-        capture_mode=args.capture_mode,
-    ).build(args.seed)
+        capture_mode=args.capture_mode, shuffle=shuffle, jitter=jitter,
+        masking_order=args.masking_order,
+    )
+    platform = platform_spec.build(args.seed)
     source = PlatformSegmentSource(
         platform, segment_length=segment_length, batch_size=args.batch_size
     )
     if args.workers is not None:
-        return _run_parallel_campaign(args, source, spec)
+        return _run_parallel_campaign(args, source, spec, platform_spec)
     store = None
     if args.store is not None:
         from repro.runtime.parallel import is_shard_store_root
@@ -358,19 +510,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"{args.store} holds per-shard stores from a parallel "
                   f"campaign; resume it with --workers", file=sys.stderr)
             return 2
-        store = TraceStore.open_or_create(
-            args.store,
-            n_samples=source.n_samples,
-            block_size=source.block_size,
-            key=source.true_key,
-            meta={"cipher": args.cipher, "rd": args.rd, "seed": args.seed,
-                  "capture_mode": args.capture_mode},
-        )
-        stored_mode = store.meta.get("capture_mode", "exact")
-        if len(store) and stored_mode != args.capture_mode:
-            print(f"{args.store} was captured in {stored_mode!r} capture "
-                  f"mode; resuming it in {args.capture_mode!r} would splice "
-                  f"two different trace streams", file=sys.stderr)
+        if not _check_store_config(args.store, args.capture_mode,
+                                   platform.countermeasure_name):
+            return 2
+        try:
+            store = TraceStore.open_or_create(
+                args.store,
+                n_samples=source.n_samples,
+                block_size=source.block_size,
+                key=source.true_key,
+                meta={"cipher": args.cipher, "rd": args.rd,
+                      "seed": args.seed,
+                      "capture_mode": args.capture_mode,
+                      "countermeasure": platform.countermeasure_name},
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
             return 2
         print(f"store: {store.path} ({len(store)} traces on disk)")
     campaign = AttackCampaign(
@@ -410,34 +565,54 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.soc.platform import PlatformSpec
 
     _apply_backend(args)
+    countermeasures = _resolve_countermeasures(args)
+    if countermeasures is None:
+        return 2
+    shuffle, jitter = countermeasures
+    if shuffle or jitter:
+        print("profiling assumes a fixed per-sample operation layout; "
+              "shuffling permutes it and clock jitter drifts it, so "
+              "--countermeasure shuffle/jitter cannot be profiled",
+              file=sys.stderr)
+        return 2
     masked = args.cipher == "aes_masked"
     if masked and args.rd != 0:
         print("profiling the masked target needs --rd 0: random delay "
               "smears the share operations apart, so the fixed POI layout "
               "(and the profile) breaks under RD-2/RD-4", file=sys.stderr)
         return 2
+    shares = args.masking_order + 1
     model = args.model or ("hd" if masked else "hw")
     segment_length = args.segment_length
     if segment_length is None and masked:
         from repro.attacks.distinguishers import masked_aes_windows
 
-        segment_length = masked_aes_windows()[1][1] + 16
+        segment_length = masked_aes_windows(shares=shares)[1][1] + 16
     platform = PlatformSpec(
         cipher_name=args.cipher, max_delay=args.rd, noise_std=args.noise_std,
-        capture_mode=args.capture_mode,
+        capture_mode=args.capture_mode, masking_order=args.masking_order,
     ).build(args.seed)
     source = PlatformSegmentSource(
         platform, segment_length=segment_length, batch_size=args.batch_size
     )
     output = Path(args.output)
-    store = TraceStore.open_or_create(
-        args.store if args.store is not None else output / "traces",
-        n_samples=source.n_samples,
-        block_size=source.block_size,
-        key=source.true_key,
-        meta={"cipher": args.cipher, "rd": args.rd, "seed": args.seed,
-              "capture_mode": args.capture_mode},
-    )
+    store_path = args.store if args.store is not None else output / "traces"
+    if not _check_store_config(store_path, args.capture_mode,
+                               platform.countermeasure_name):
+        return 2
+    try:
+        store = TraceStore.open_or_create(
+            store_path,
+            n_samples=source.n_samples,
+            block_size=source.block_size,
+            key=source.true_key,
+            meta={"cipher": args.cipher, "rd": args.rd, "seed": args.seed,
+                  "capture_mode": args.capture_mode,
+                  "countermeasure": platform.countermeasure_name},
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     campaign = ProfilingCampaign(
         source, store, model=model, batch_size=args.batch_size
     )
@@ -450,13 +625,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if masked:
         # First-order SNR is blind on the masked target; the POIs come
         # from the known operation layout instead.
-        pois = masked_byte_pois(source.block_size)
+        pois = masked_byte_pois(source.block_size, shares=shares)
         print("POIs: share-operation layout (SNR is blind under masking)")
     else:
         pois = result.select_pois(args.pois, min_spacing=args.min_spacing)
         print(f"POIs: top {args.pois} SNR samples per byte")
     meta = {"cipher": args.cipher, "rd": args.rd,
-            "noise_std": args.noise_std, "seed": args.seed}
+            "noise_std": args.noise_std, "seed": args.seed,
+            "masking_order": args.masking_order}
     if args.kind == "template":
         pooled = (not masked) if args.covariance == "auto" \
             else args.covariance == "pooled"
@@ -496,14 +672,22 @@ def cmd_assess(args: argparse.Namespace) -> int:
     if not len(store):
         print(f"{args.store} is empty", file=sys.stderr)
         return 2
+    stored_cm = store.meta.get("countermeasure")
+    if (args.expect_countermeasure is not None
+            and stored_cm != args.expect_countermeasure):
+        print(f"{args.store} records countermeasure {stored_cm!r}, not "
+              f"{args.expect_countermeasure!r}; assessing it would answer "
+              f"a different configuration's question", file=sys.stderr)
+        return 2
     stats = ClassStats(store.key, model=args.model)
     for traces, plaintexts in store.iter_chunks(args.batch_size):
         stats.update(traces, plaintexts)
     snr = stats.snr()
     welch_t = stats.welch_t()
     peak_t = float(np.abs(welch_t).max())
+    config = f", {stored_cm}" if stored_cm is not None else ""
     print(f"assessed {stats.n_traces} traces x {store.n_samples} samples, "
-          f"{args.model} classes")
+          f"{args.model} classes{config}")
     print(f"{'byte':>4}  {'max SNR':>9}  {'@sample':>7}  "
           f"{'max |t|':>9}  {'@sample':>7}")
     for b in range(snr.shape[0]):
@@ -521,6 +705,90 @@ def cmd_assess(args: argparse.Namespace) -> int:
     return 0 if leaks else 1
 
 
+#: The ``repro tvla --grid`` scenario matrix: (cipher, rd, shuffle,
+#: jitter, masking order).  The hiding rows (shuffle, jitter) smear but
+#: keep first-order leakage — they fail at a few hundred traces per
+#: population — while the two masked rows pass.  Random delay is left
+#: out of the hiding rows: its cumulative drift already de-aligns the
+#: sample grid so far that naive sample-aligned TVLA loses power (which
+#: is precisely why the attack pipeline re-locates COs first).
+_TVLA_GRID = (
+    ("aes", 0, False, 0, 1),
+    ("aes", 0, True, 0, 1),
+    ("aes", 0, False, 10, 1),
+    ("aes_masked", 0, False, 0, 1),
+    ("aes_masked", 0, False, 0, 2),
+)
+
+
+def _run_tvla_grid(args: argparse.Namespace) -> int:
+    """``repro tvla --grid``: the built-in countermeasure verdict table."""
+    from repro.evaluation import TvlaCampaign
+    from repro.soc.platform import PlatformSpec
+
+    if args.store is not None or args.output is not None:
+        print("--store/--output are per-configuration; run grid entries "
+              "individually to persist them", file=sys.stderr)
+        return 2
+    print(f"tvla grid: {len(_TVLA_GRID)} configurations, "
+          f"{args.traces} traces per population")
+    for cipher, rd, shuffle, jitter, order in _TVLA_GRID:
+        spec = PlatformSpec(
+            cipher_name=cipher, max_delay=rd, noise_std=args.noise_std,
+            # Jitter resamples whole traces, which only the exact capture
+            # path supports.
+            capture_mode="exact" if jitter else args.capture_mode,
+            shuffle=shuffle, jitter=jitter, masking_order=order,
+        )
+        campaign = TvlaCampaign(
+            spec, seed=args.seed, batch_size=args.batch_size,
+        )
+        result = campaign.run(args.traces)
+        print(f"  {cipher:>10}  {result.summary()}")
+    return 0
+
+
+def cmd_tvla(args: argparse.Namespace) -> int:
+    """``repro tvla``: fixed-vs-random Welch-t leakage detection."""
+    from repro.evaluation import TvlaCampaign
+    from repro.soc.platform import PlatformSpec
+
+    _apply_backend(args)
+    if args.traces < 2:
+        print("--traces must be >= 2 (per population)", file=sys.stderr)
+        return 2
+    if args.grid:
+        return _run_tvla_grid(args)
+    countermeasures = _resolve_countermeasures(args)
+    if countermeasures is None:
+        return 2
+    shuffle, jitter = countermeasures
+    spec = PlatformSpec(
+        cipher_name=args.cipher, max_delay=args.rd, noise_std=args.noise_std,
+        capture_mode=args.capture_mode, shuffle=shuffle, jitter=jitter,
+        masking_order=args.masking_order,
+    )
+    try:
+        campaign = TvlaCampaign(
+            spec, seed=args.seed, segment_length=args.segment_length,
+            store_dir=args.store, batch_size=args.batch_size,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if campaign.resumed_from:
+        print(f"resumed {campaign.resumed_from} traces from the store")
+    print(f"tvla: {campaign.countermeasure_name} on {args.cipher}, "
+          f"{campaign.segment_length}-sample segments, "
+          f"{args.traces} traces per population")
+    result = campaign.run(args.traces, verbose=True)
+    print(result.summary())
+    if args.output is not None:
+        campaign.accumulator.save(args.output)
+        print(f"t statistics saved to {args.output}")
+    return 0 if result.leakage_detected else 1
+
+
 def _report_campaign(result) -> int:
     """Shared campaign outcome report; exit 0 once rank 1 was reached."""
     from repro.evaluation import format_campaign
@@ -534,16 +802,14 @@ def _report_campaign(result) -> int:
     return 0 if result.traces_to_rank1 is not None else 1
 
 
-def _run_parallel_campaign(args: argparse.Namespace, source, spec) -> int:
+def _run_parallel_campaign(
+    args: argparse.Namespace, source, spec, platform_spec
+) -> int:
     """``repro campaign --workers N``: the sharded process-parallel path."""
     from repro.runtime.parallel import ParallelCampaign, PlatformCampaignSpec
-    from repro.soc.platform import PlatformSpec
 
     campaign_spec = PlatformCampaignSpec(
-        platform=PlatformSpec(
-            cipher_name=args.cipher, max_delay=args.rd,
-            noise_std=args.noise_std, capture_mode=args.capture_mode,
-        ),
+        platform=platform_spec,
         key=source.true_key,
         segment_length=source.n_samples,
         batch_size=args.batch_size,
@@ -618,6 +884,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="also mount the key-recovery attack per scenario")
     p_bench.add_argument("--aggregate", type=int, default=64)
     _add_capture_mode_option(p_bench)
+    _add_countermeasure_options(p_bench)
     _add_distinguisher_options(p_bench, windows=False)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--scale", type=float, default=1 / 32,
@@ -664,6 +931,7 @@ def main(argv: list[str] | None = None) -> int:
                             help="traces per parallel shard (seed and "
                                  "checkpoint granularity)")
     _add_capture_mode_option(p_campaign)
+    _add_countermeasure_options(p_campaign)
     _add_distinguisher_options(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
@@ -718,6 +986,7 @@ def main(argv: list[str] | None = None) -> int:
                            help="traces per capture batch")
     p_profile.add_argument("--noise-std", type=float, default=1.0)
     _add_capture_mode_option(p_profile)
+    _add_countermeasure_options(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
     p_assess = sub.add_parser(
@@ -732,7 +1001,43 @@ def main(argv: list[str] | None = None) -> int:
                           help="save the per-byte SNR / t maps to this .npz")
     p_assess.add_argument("--batch-size", type=int, default=1024,
                           help="traces per streamed chunk")
+    p_assess.add_argument("--expect-countermeasure", default=None,
+                          help="refuse the store unless its recorded "
+                               "countermeasure name (e.g. RD-0+SH-20x16) "
+                               "matches")
     p_assess.set_defaults(func=cmd_assess)
+
+    p_tvla = sub.add_parser(
+        "tvla",
+        help="fixed-vs-random TVLA leakage detection, single configuration "
+             "or the built-in countermeasure grid",
+    )
+    p_tvla.add_argument(
+        "--cipher", default="aes",
+        choices=("aes", "aes_masked", "camellia", "clefia", "simon"))
+    p_tvla.add_argument("--rd", type=int, default=0, choices=(0, 2, 4),
+                        help="random-delay configuration")
+    p_tvla.add_argument("--seed", type=int, default=0)
+    p_tvla.add_argument("--traces", type=int, default=256,
+                        help="traces per population (fixed and random; "
+                             "resumed traces included)")
+    p_tvla.add_argument("--store", default=None,
+                        help="trace-store directory; reuse to resume")
+    p_tvla.add_argument("--segment-length", type=int, default=None,
+                        help="samples per segment (default: mean CO length)")
+    p_tvla.add_argument("--batch-size", type=int, default=256,
+                        help="traces per interleaved capture round")
+    p_tvla.add_argument("--noise-std", type=float, default=1.0,
+                        help="oscilloscope acquisition noise")
+    p_tvla.add_argument("--output", default=None,
+                        help="save the Welch-t accumulator to this .npz")
+    p_tvla.add_argument("--grid", action="store_true",
+                        help="run the built-in countermeasure grid (baseline, "
+                             "shuffle, RD+jitter, masking order 1 and 2) "
+                             "instead of one configuration")
+    _add_capture_mode_option(p_tvla)
+    _add_countermeasure_options(p_tvla)
+    p_tvla.set_defaults(func=cmd_tvla)
 
     args = parser.parse_args(argv)
     return args.func(args)

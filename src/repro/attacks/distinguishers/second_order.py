@@ -59,27 +59,42 @@ def _as_window(window, label: str) -> tuple[int, int]:
 
 
 def masked_aes_windows(
-    samples_per_op: int = 2, nop_header: int = 0
+    samples_per_op: int = 2, nop_header: int = 0, shares: int = 2
 ) -> tuple[tuple[int, int], tuple[int, int]]:
     """The two sample windows second-order CPA needs on ``aes_masked``.
 
     Derived from the masked cipher's deterministic operation layout under
     RD-0 (random delay off — delay jitter would smear the pairing): the
     CO records 256 masked-S-box table stores, then the key schedule, then
-    the 16-byte state load, and the two target blocks follow — the
-    AddRoundKey-0 outputs ``pt ^ k ^ m_out`` and, two 16-op blocks later,
-    the round-1 SubBytes outputs ``SBOX[pt ^ k] ^ m_out``.  Windows are
-    returned in trace-sample space relative to the capture segment start
-    (pass ``nop_header`` for windows into a raw, uncut trace).
+    the state load (one op per byte per share beyond the first, i.e.
+    ``16 * (shares - 1)`` ops), and the two target blocks follow — the
+    AddRoundKey-0 outputs and, after the round-1 remask steps (one
+    16-op block per input mask share, ``16 * (shares - 1)`` ops), the
+    round-1 SubBytes outputs.  ``shares`` is the cipher's share count
+    (``order + 1``): 2 for first-order masking, 3 for second-order.
+    Windows are returned in trace-sample space relative to the capture
+    segment start (pass ``nop_header`` for windows into a raw, uncut
+    trace).
+
+    Note the pairing itself only *succeeds* against first-order masking
+    (2 shares): at order 2 the two windows leak under independent mask
+    sums, so their centred product is mask-free only in expectation zero
+    — second-order CPA stays at chance, which is the point of the
+    higher-order countermeasure.
     """
     from repro.ciphers.aes import expand_key
     from repro.ciphers.base import LeakageRecorder
 
+    if int(shares) < 2:
+        raise ValueError(f"shares must be >= 2, got {shares}")
+    shares = int(shares)
     recorder = LeakageRecorder()
     expand_key(bytes(16), recorder)
-    base = nop_header + 256 + len(recorder) + 16   # table + schedule + load
+    # table + schedule + per-share state load
+    base = nop_header + 256 + len(recorder) + 16 * (shares - 1)
     ark = (base, base + 16)
-    sbox_out = (base + 32, base + 48)
+    sbox_start = base + 16 + 16 * (shares - 1)   # ARK-0 + round-1 remask
+    sbox_out = (sbox_start, sbox_start + 16)
     spo = int(samples_per_op)
     return (
         (ark[0] * spo, ark[1] * spo),

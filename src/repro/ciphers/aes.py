@@ -171,12 +171,42 @@ def expand_key_batch(keys: np.ndarray,
     ]
 
 
+_KS_OPS: int | None = None
+
+
+def _key_schedule_ops() -> int:
+    """Recorded op count of the key schedule (input-independent, probed once)."""
+    global _KS_OPS
+    if _KS_OPS is None:
+        recorder = LeakageRecorder()
+        expand_key(bytes(16), recorder)
+        _KS_OPS = len(recorder)
+    return _KS_OPS
+
+
 class AES128(TraceableCipher):
     """AES-128 block encryption with per-operation leakage recording."""
 
     name = "aes"
     block_size = 16
     key_size = 16
+
+    def shuffle_groups(self) -> list[int]:
+        """Offsets of the per-round SubBytes and ShiftRows byte passes.
+
+        Each round's sixteen S-box lookups (and the ShiftRows moves that
+        re-record the same byte values) are independent per-byte ops of
+        uniform width/kind, so the shuffling countermeasure may permute
+        their execution order.  Rounds 1–9 occupy 64 recorded ops each
+        (SB/SR/MC/ARK), so the final round's SubBytes lands on the same
+        stride.
+        """
+        ks = _key_schedule_ops()
+        offsets: list[int] = []
+        for rnd in range(10):
+            base = ks + 32 + 64 * rnd
+            offsets.extend((base, base + 16))
+        return offsets
 
     def encrypt(self, plaintext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
         """FIPS-197 encryption of one block, key schedule included."""

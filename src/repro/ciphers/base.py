@@ -404,11 +404,31 @@ class TraceableCipher(abc.ABC):
     block_size: int = 16
     #: Key size in bytes.
     key_size: int = 16
+    #: Ops per shuffle group (see :meth:`shuffle_groups`).
+    shuffle_group_size: int = 16
+    #: Trailing recorded ops that handle *unmasked* output (the masked
+    #: ciphers' final share recombination).  Output handling trivially
+    #: leaks the ciphertext and sits outside any masking claim, so
+    #: non-specific leakage tests (TVLA) exclude these ops from their
+    #: default assessment window.
+    unmasked_trailer_ops: int = 0
 
     @abc.abstractmethod
     def encrypt(self, plaintext: bytes, key: bytes,
                 recorder: LeakageRecorder | None = None) -> bytes:
         """Encrypt one block, reporting intermediates to ``recorder``."""
+
+    def shuffle_groups(self) -> list[int]:
+        """Op offsets of the shuffling countermeasure's permutable groups.
+
+        Each offset (relative to the cipher's first recorded op) starts a
+        block of ``shuffle_group_size`` consecutive recorded ops of
+        uniform width and kind whose execution order the shuffling
+        countermeasure may permute — the per-byte passes of a round.  An
+        empty list (the default) means the cipher does not support
+        shuffling, and the platform refuses to enable it.
+        """
+        return []
 
     def decrypt(self, ciphertext: bytes, key: bytes,
                 recorder: LeakageRecorder | None = None) -> bytes:

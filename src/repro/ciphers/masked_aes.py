@@ -64,13 +64,28 @@ class MaskedAES128(TraceableCipher):
     block_size = 16
     key_size = 16
 
-    def __init__(self, rng: random.Random | None = None) -> None:
+    def __init__(self, rng: random.Random | None = None, order: int = 1) -> None:
+        if order not in (1, 2):
+            raise ValueError(f"masking order must be 1 or 2, got {order}")
         self._rng = rng if rng is not None else random.Random()
+        self.order = int(order)
+
+    @property
+    def shares(self) -> int:
+        """Boolean shares per intermediate (``order + 1``)."""
+        return self.order + 1
+
+    @property
+    def unmasked_trailer_ops(self) -> int:
+        """The final unmask XORs expose the raw ciphertext bytes."""
+        return 16 * self.order
 
     def encrypt(self, plaintext: bytes, key: bytes, recorder: LeakageRecorder | None = None) -> bytes:
         """Masked encryption; functionally identical to plain AES-128."""
         self._check_block(plaintext, "plaintext")
         self._check_key(key)
+        if self.order == 2:
+            return self._encrypt_order2(plaintext, key, recorder)
         rng = self._rng
 
         m_in = rng.randrange(256)
@@ -171,6 +186,8 @@ class MaskedAES128(TraceableCipher):
         and recorded streams — to ``B`` sequential :meth:`encrypt` calls.
         """
         pts, kys = self._check_batch(plaintexts, keys)
+        if self.order == 2:
+            return self._encrypt_batch_order2(pts, kys, recorder)
         batch = pts.shape[0]
         rng = self._rng
         masks = np.empty((batch, 2), dtype=np.uint8)
@@ -255,3 +272,135 @@ class MaskedAES128(TraceableCipher):
         if recorder is not None:
             recorder.record_many(out, width=8, kind=OpKind.ALU)
         return out
+
+    # ------------------------------------------------------------------ #
+    # second-order (three-share) datapath                                 #
+    # ------------------------------------------------------------------ #
+    #
+    # Every intermediate is covered by *two* independent mask shares, and
+    # every mask transition is performed in two recorded steps so that no
+    # recorded value ever carries fewer than two fresh shares:
+    #
+    # * the state enters under (r1, r2), is remasked to the S-box input
+    #   mask m_in = m_in1 ^ m_in2 via two recorded XOR passes (consuming
+    #   s1 ^ m_in1 then s2 ^ m_in2), and leaves the table under
+    #   (m_out1, m_out2);
+    # * the combined masks m_in / m_out themselves are never recorded.
+    #
+    # The AddRoundKey-0 output (masked by r1 ^ r2) and the round-1 S-box
+    # output (masked by m_out1 ^ m_out2) therefore carry *independent*
+    # masks, so the centred product the second-order attack (cpa2) forms
+    # over that window pair is mask-randomised and stays at chance — the
+    # pairing the first-order scheme leaves exploitable.  As in the
+    # first-order scheme (and real table-based masked software), masks are
+    # per-encryption: the table recomputation loop and the cross-round
+    # mask reuse remain higher-order leakage surfaces.
+
+    def _encrypt_order2(
+        self, plaintext: bytes, key: bytes, recorder: LeakageRecorder | None
+    ) -> bytes:
+        rng = self._rng
+        m_in1 = rng.randrange(256)
+        m_in2 = rng.randrange(256)
+        m_out1 = rng.randrange(256)
+        m_out2 = rng.randrange(256)
+        r1 = rng.randrange(256)
+        r2 = rng.randrange(256)
+        m_in = m_in1 ^ m_in2
+        m_out = m_out1 ^ m_out2
+
+        masked_sbox = [0] * 256
+        for x in range(256):
+            masked_sbox[x ^ m_in] = SBOX[x] ^ m_out
+        if recorder is not None:
+            recorder.record_many(masked_sbox, width=8, kind=OpKind.STORE)
+
+        round_keys = expand_key(key, recorder)
+
+        def rec(vals: list[int], kind: OpKind) -> list[int]:
+            if recorder is not None:
+                recorder.record_many(vals, width=8, kind=kind)
+            return vals
+
+        # State masked share by share: two recorded load/mask steps.
+        state = rec([plaintext[i] ^ r1 for i in range(16)], OpKind.LOAD)
+        state = rec([b ^ r2 for b in state], OpKind.ALU)
+        s1, s2 = r1, r2   # current state-mask shares (uniform per byte)
+
+        state = rec([state[i] ^ round_keys[0][i] for i in range(16)], OpKind.ALU)
+
+        for rnd in range(1, 11):
+            # Two-step remask: never expose a single-share intermediate.
+            state = rec([b ^ s1 ^ m_in1 for b in state], OpKind.ALU)
+            state = rec([b ^ s2 ^ m_in2 for b in state], OpKind.ALU)
+            state = rec([masked_sbox[b] for b in state], OpKind.LOAD)
+            s1, s2 = m_out1, m_out2
+            state = rec([state[_SHIFT_ROWS_MAP[i]] for i in range(16)], OpKind.ALU)
+            if rnd < 10:
+                out = [0] * 16
+                for c in range(4):
+                    a = state[4 * c: 4 * c + 4]
+                    t = a[0] ^ a[1] ^ a[2] ^ a[3]
+                    for r in range(4):
+                        out[4 * c + r] = a[r] ^ t ^ xtime(a[r] ^ a[(r + 1) % 4])
+                state = rec(out, OpKind.SHIFT)
+                # A uniform mask passes MixColumns unchanged (the row sum
+                # of four equal masks cancels), so the shares persist.
+            state = rec(
+                [state[i] ^ round_keys[rnd][i] for i in range(16)], OpKind.ALU
+            )
+
+        # Two-step unmasking, one share at a time.
+        state = rec([b ^ m_out1 for b in state], OpKind.ALU)
+        state = rec([b ^ m_out2 for b in state], OpKind.ALU)
+        return bytes(state)
+
+    def _encrypt_batch_order2(
+        self, pts: np.ndarray, kys: np.ndarray,
+        recorder: BatchLeakageRecorder | None,
+    ) -> np.ndarray:
+        batch = pts.shape[0]
+        rng = self._rng
+        masks = np.empty((batch, 6), dtype=np.uint8)
+        for b in range(batch):
+            for j in range(6):   # m_in1, m_in2, m_out1, m_out2, r1, r2
+                masks[b, j] = rng.randrange(256)
+        m_in1, m_in2, m_out1, m_out2, r1, r2 = (
+            masks[:, j][:, None] for j in range(6)
+        )
+        m_in = m_in1 ^ m_in2
+        m_out = m_out1 ^ m_out2
+
+        xs = np.arange(256, dtype=np.uint8)
+        masked_sbox = np.empty((batch, 256), dtype=np.uint8)
+        rows = np.arange(batch)[:, None]
+        masked_sbox[rows, xs[None, :] ^ m_in] = SBOX_TABLE[None, :] ^ m_out
+        if recorder is not None:
+            recorder.record_many(masked_sbox, width=8, kind=OpKind.STORE)
+
+        round_keys = expand_key_batch(kys, recorder)
+
+        def rec(vals: np.ndarray, kind: OpKind) -> np.ndarray:
+            if recorder is not None:
+                recorder.record_many(vals, width=8, kind=kind)
+            return vals
+
+        state = rec(pts ^ r1, OpKind.LOAD)
+        state = rec(state ^ r2, OpKind.ALU)
+        s1, s2 = r1, r2
+
+        state = rec(state ^ round_keys[0], OpKind.ALU)
+
+        for rnd in range(1, 11):
+            state = rec(state ^ s1 ^ m_in1, OpKind.ALU)
+            state = rec(state ^ s2 ^ m_in2, OpKind.ALU)
+            state = rec(masked_sbox[rows, state], OpKind.LOAD)
+            s1, s2 = m_out1, m_out2
+            state = rec(state[:, _SHIFT_ROWS_IDX], OpKind.ALU)
+            if rnd < 10:
+                state = rec(mix_columns_batch(state), OpKind.SHIFT)
+            state = rec(state ^ round_keys[rnd], OpKind.ALU)
+
+        state = rec(state ^ m_out1, OpKind.ALU)
+        state = rec(state ^ m_out2, OpKind.ALU)
+        return state

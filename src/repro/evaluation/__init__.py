@@ -20,6 +20,13 @@ from repro.evaluation.experiments import (
     run_baseline_scenario,
     run_cpa_scenario,
 )
+from repro.evaluation.ge_curves import GuessingEntropyAccumulator
+from repro.evaluation.tvla import (
+    DEFAULT_FIXED_PLAINTEXT,
+    TvlaCampaign,
+    TvlaResult,
+    WelchTAccumulator,
+)
 
 __all__ = [
     "HitStats",
@@ -35,4 +42,9 @@ __all__ = [
     "run_segmentation_scenario",
     "run_baseline_scenario",
     "run_cpa_scenario",
+    "GuessingEntropyAccumulator",
+    "DEFAULT_FIXED_PLAINTEXT",
+    "TvlaCampaign",
+    "TvlaResult",
+    "WelchTAccumulator",
 ]

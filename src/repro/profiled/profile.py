@@ -54,18 +54,21 @@ PROFILE_VERSION = 1
 _MANIFEST = "manifest.json"
 
 
-def masked_byte_pois(n_bytes: int = 16) -> np.ndarray:
+def masked_byte_pois(n_bytes: int = 16, shares: int = 2) -> np.ndarray:
     """Per-byte POIs for the masked-AES target (RD-0), shape ``(n_bytes, P)``.
 
     A masked implementation has no first-order SNR, so SNR ranking cannot
     find its POIs; instead they are derived from the cipher's deterministic
     operation layout — byte ``b``'s samples inside each of the two
     second-order windows (AddRoundKey-0 output and round-1 SubBytes output,
-    both masked by the same ``m_out``), the same layout knowledge
+    both masked by the same ``m_out`` at first order), the same layout
+    knowledge
     :func:`~repro.attacks.distinguishers.second_order.masked_aes_windows`
-    gives cpa2.
+    gives cpa2.  ``shares`` is the cipher's share count (``order + 1``) —
+    the op layout shifts with it, so profiling an order-2 capture needs
+    ``shares=3`` for the POIs to land on the same intermediates.
     """
-    (w1s, w1e), (w2s, _) = masked_aes_windows()
+    (w1s, w1e), (w2s, _) = masked_aes_windows(shares=shares)
     spo = (w1e - w1s) // 16
     pois = np.zeros((n_bytes, 2 * spo), dtype=np.int64)
     for b in range(n_bytes):

@@ -175,14 +175,23 @@ class ExperimentEngine:
     # capture / locate / attack                                          #
     # ------------------------------------------------------------------ #
 
-    def platform_for(self, spec: ScenarioSpec, clone: bool = False) -> SimulatedPlatform:
-        """Build the (clone or target) platform for a scenario."""
+    def platform_spec_for(self, spec: ScenarioSpec) -> PlatformSpec:
+        """The platform recipe (countermeasures included) for a scenario."""
         return PlatformSpec(
             cipher_name=spec.cipher,
             max_delay=spec.max_delay,
             noise_std=spec.noise_std,
             capture_mode=self.capture_mode,
-        ).build(self.seed if clone else spec.seed)
+            shuffle=spec.shuffle,
+            jitter=spec.jitter,
+            masking_order=spec.masking_order,
+        )
+
+    def platform_for(self, spec: ScenarioSpec, clone: bool = False) -> SimulatedPlatform:
+        """Build the (clone or target) platform for a scenario."""
+        return self.platform_spec_for(spec).build(
+            self.seed if clone else spec.seed
+        )
 
     def capture_session(self, spec: ScenarioSpec) -> SessionTrace:
         """Capture one scenario's attack session via the batched path."""
@@ -304,12 +313,7 @@ class ExperimentEngine:
         platform = self.platform_for(spec)
         if workers is not None:
             campaign_spec = PlatformCampaignSpec(
-                platform=PlatformSpec(
-                    cipher_name=spec.cipher,
-                    max_delay=spec.max_delay,
-                    noise_std=spec.noise_std,
-                    capture_mode=self.capture_mode,
-                ),
+                platform=self.platform_spec_for(spec),
                 key=platform.random_key(),
                 segment_length=int(
                     segment_length if segment_length is not None
@@ -361,6 +365,68 @@ class ExperimentEngine:
             distinguisher=distinguisher,
         )
         return campaign.run(max_traces, verbose=self.verbose)
+
+    def run_ge_curve(
+        self,
+        spec: ScenarioSpec,
+        max_traces: int,
+        repetitions: int = 5,
+        aggregate: int = 32,
+        segment_length: int | None = None,
+        first_checkpoint: int = 25,
+        checkpoint_growth: float = 1.5,
+        batch_size: int | None = None,
+        distinguisher=None,
+        accumulator=None,
+    ):
+        """Averaged guessing-entropy curve over independent repetitions.
+
+        One streaming campaign per repetition, each on a fresh target
+        seeded ``spec.seed + rep`` (fresh key, fresh countermeasure
+        randomness, same configuration).  Every repetition is pinned to
+        the same explicit checkpoint ladder so the per-checkpoint bins
+        align, and early stopping is disabled — an averaged curve has to
+        span the full trace budget even after rank 1 is reached.  The
+        per-repetition ranks fold into a
+        :class:`~repro.evaluation.ge_curves.GuessingEntropyAccumulator`
+        (pass ``accumulator`` to continue one from earlier repetitions,
+        e.g. a loaded checkpoint); the accumulator is returned.
+        """
+        from dataclasses import replace
+
+        from repro.attacks.key_rank import geometric_checkpoints
+        from repro.evaluation.ge_curves import (
+            GuessingEntropyAccumulator,
+        )
+
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        ladder = geometric_checkpoints(
+            max_traces, first=first_checkpoint, growth=checkpoint_growth
+        )
+        ge = accumulator if accumulator is not None \
+            else GuessingEntropyAccumulator()
+        for rep in range(repetitions):
+            rep_spec = replace(spec, seed=spec.seed + rep)
+            source = PlatformSegmentSource(
+                self.platform_for(rep_spec),
+                segment_length=segment_length,
+                batch_size=batch_size,
+            )
+            campaign = AttackCampaign(
+                source,
+                aggregate=aggregate,
+                checkpoints=ladder,
+                rank1_patience=len(ladder) + 1,
+                batch_size=batch_size if batch_size is not None else 256,
+                distinguisher=distinguisher,
+            )
+            if self.verbose:
+                print(f"[engine] ge repetition {rep + 1}/{repetitions} "
+                      f"(seed {rep_spec.seed}) ...")
+            result = campaign.run(max_traces, verbose=False)
+            ge.update(result.records)
+        return ge
 
     def run_campaigns(
         self,

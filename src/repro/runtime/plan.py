@@ -26,6 +26,9 @@ class ScenarioSpec:
     n_cos: int = 32
     noise_std: float = 1.0          # oscilloscope acquisition noise (SNR knob)
     seed: int = 1000                # target-platform seed (clone uses engine seed)
+    shuffle: bool = False           # S-box shuffling countermeasure
+    jitter: int = 0                 # clock-jitter strength (0 = off)
+    masking_order: int = 1          # aes_masked share structure (order + 1 shares)
 
     @property
     def condition(self) -> tuple[str, int, float]:
@@ -36,6 +39,12 @@ class ScenarioSpec:
         """Human-readable scenario label for tables and logs."""
         mode = "noise" if self.noise_interleaved else "consecutive"
         label = f"{self.cipher} RD-{self.max_delay} {mode} x{self.n_cos}"
+        if self.shuffle:
+            label += " shuffle"
+        if self.jitter:
+            label += f" jitter={self.jitter}"
+        if self.masking_order != 1:
+            label += f" order={self.masking_order}"
         if self.noise_std != 1.0:
             label += f" sigma={self.noise_std:g}"
         return label
@@ -68,12 +77,17 @@ class BatchPlan:
         noise_stds: Iterable[float] = (1.0,),
         base_seed: int = 1000,
         batch_size: int = 32,
+        shuffle: bool = False,
+        jitter: int = 0,
+        masking_order: int = 1,
     ) -> "BatchPlan":
         """Cross product of the given axes, with per-scenario seeds.
 
         Scenario order groups by (cipher, RD, SNR) so the engine trains
         each condition's locator exactly once and reuses it across the
-        interleaving variants.
+        interleaving variants.  The countermeasure knobs (``shuffle``,
+        ``jitter``, ``masking_order``) apply to every scenario of the
+        sweep.
         """
         scenarios = []
         index = 0
@@ -88,6 +102,9 @@ class BatchPlan:
                             n_cos=int(n_cos),
                             noise_std=float(noise_std),
                             seed=base_seed + index,
+                            shuffle=bool(shuffle),
+                            jitter=int(jitter),
+                            masking_order=int(masking_order),
                         ))
                         index += 1
         return cls(scenarios=tuple(scenarios), batch_size=batch_size)

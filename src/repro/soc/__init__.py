@@ -10,6 +10,10 @@ stand-in for all of that:
   of the 32-bit datapath;
 * :mod:`repro.soc.random_delay` — the RD-k countermeasure (0..k random
   instructions inserted between every pair of program instructions);
+* :mod:`repro.soc.shuffling` — the SH countermeasure (TRNG-permuted
+  execution order of the per-byte cipher passes);
+* :mod:`repro.soc.jitter` — the CJ countermeasure (jittery sampling clock
+  that drops/doubles captured samples);
 * :mod:`repro.soc.noise_apps` — the "noise applications" whose execution
   surrounds the COs in the heterogeneous scenario;
 * :mod:`repro.soc.oscilloscope` — sampling, amplifier noise, and 12-bit
@@ -24,6 +28,8 @@ stand-in for all of that:
 from repro.soc.trng import TrngModel
 from repro.soc.leakage import HammingWeightLeakage, HammingDistanceLeakage, hamming_weight
 from repro.soc.random_delay import RandomDelayCountermeasure
+from repro.soc.shuffling import ShufflePlan, ShufflingCountermeasure
+from repro.soc.jitter import ClockJitterCountermeasure, JitterPlan
 from repro.soc.oscilloscope import Oscilloscope
 from repro.soc.noise_apps import NOISE_APPS, run_random_noise_program
 from repro.soc.trace_synth import (
@@ -45,6 +51,10 @@ __all__ = [
     "HammingDistanceLeakage",
     "hamming_weight",
     "RandomDelayCountermeasure",
+    "ShufflingCountermeasure",
+    "ShufflePlan",
+    "ClockJitterCountermeasure",
+    "JitterPlan",
     "Oscilloscope",
     "NOISE_APPS",
     "run_random_noise_program",

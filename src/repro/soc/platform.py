@@ -50,10 +50,12 @@ import numpy as np
 
 from repro.ciphers.base import BatchLeakageRecorder, LeakageRecorder
 from repro.ciphers.registry import get_cipher
+from repro.soc.jitter import ClockJitterCountermeasure
 from repro.soc.leakage import HammingWeightLeakage
 from repro.soc.noise_apps import run_random_noise_program
 from repro.soc.oscilloscope import Oscilloscope
 from repro.soc.random_delay import RandomDelayCountermeasure
+from repro.soc.shuffling import ShufflingCountermeasure
 from repro.soc.trace_synth import (
     BatchOpStream,
     OpStream,
@@ -112,6 +114,9 @@ class PlatformSpec:
     max_delay: int = 4
     noise_std: float = 1.0
     capture_mode: str = "exact"
+    shuffle: bool = False
+    jitter: int = 0
+    masking_order: int = 1
 
     @classmethod
     def of(cls, platform: "SimulatedPlatform") -> "PlatformSpec":
@@ -127,6 +132,9 @@ class PlatformSpec:
             max_delay=platform.countermeasure.max_delay,
             noise_std=float(platform.oscilloscope.noise_std),
             capture_mode=platform.capture_mode,
+            shuffle=platform.shuffler is not None,
+            jitter=platform.jitter.strength if platform.jitter else 0,
+            masking_order=platform.masking_order,
         )
         rebuilt = spec.build(0)
         scope, original = rebuilt.oscilloscope, platform.oscilloscope
@@ -154,6 +162,9 @@ class PlatformSpec:
             seed=seed,
             oscilloscope=oscilloscope,
             capture_mode=self.capture_mode,
+            shuffle=self.shuffle,
+            jitter=self.jitter,
+            masking_order=self.masking_order,
         )
 
 
@@ -190,21 +201,58 @@ class SimulatedPlatform:
         leakage: HammingWeightLeakage | None = None,
         oscilloscope: Oscilloscope | None = None,
         capture_mode: str = "exact",
+        shuffle: bool = False,
+        jitter: int = 0,
+        masking_order: int = 1,
     ) -> None:
         if capture_mode not in ("exact", "fast"):
             raise ValueError(
                 f"capture_mode must be 'exact' or 'fast', got {capture_mode!r}"
             )
+        if masking_order != 1 and cipher_name != "aes_masked":
+            raise ValueError(
+                f"masking order {masking_order} requires the aes_masked "
+                f"cipher, got {cipher_name!r}"
+            )
         self.capture_mode = capture_mode
         self.cipher_name = cipher_name
+        self.masking_order = int(masking_order)
         self._rng = np.random.default_rng(seed)
         kwargs = {}
         if cipher_name == "aes_masked":
             kwargs["rng"] = random.Random(int(self._rng.integers(0, 2**63)))
+            if self.masking_order != 1:
+                kwargs["order"] = self.masking_order
         self.cipher = get_cipher(cipher_name, **kwargs)
         self.countermeasure = RandomDelayCountermeasure(
             max_delay, TrngModel(int(self._rng.integers(0, 2**63)))
         )
+        # The shuffle/jitter TRNG seeds are drawn only when the respective
+        # countermeasure is enabled, so disabled configurations consume
+        # exactly the historical draw sequence (bit-identical streams).
+        self.shuffler: ShufflingCountermeasure | None = None
+        if shuffle:
+            groups = self.cipher.shuffle_groups()
+            if not groups:
+                raise ValueError(
+                    f"cipher {cipher_name!r} declares no shuffle groups; "
+                    f"shuffling is not supported for it"
+                )
+            self.shuffler = ShufflingCountermeasure(
+                groups,
+                group_size=self.cipher.shuffle_group_size,
+                trng=TrngModel(int(self._rng.integers(0, 2**63))),
+            )
+        self.jitter: ClockJitterCountermeasure | None = None
+        if jitter:
+            if capture_mode == "fast":
+                raise ValueError(
+                    "clock jitter resamples whole traces and is not "
+                    "supported in fast (windowed) capture mode"
+                )
+            self.jitter = ClockJitterCountermeasure(
+                jitter, TrngModel(int(self._rng.integers(0, 2**63)))
+            )
         self.leakage = leakage if leakage is not None else HammingWeightLeakage()
         self.oscilloscope = oscilloscope if oscilloscope is not None else Oscilloscope()
         #: Datapath op count of one NOP-prologue + CO execution, keyed by
@@ -235,14 +283,20 @@ class SimulatedPlatform:
         recorder.record_nops(nop_header)
         marker_op = len(recorder)
         self.cipher.encrypt(plaintext, key, recorder)
+        stream = OpStream.from_recorder(recorder)
+        if self.shuffler is not None:
+            self.shuffler.execute(
+                self.shuffler.plan(), stream.values, base=marker_op
+            )
         trace, marker_samples = synthesize_trace(
-            OpStream.from_recorder(recorder),
+            stream,
             np.array([marker_op]),
             self.countermeasure,
             self.leakage,
             self.oscilloscope,
             self._rng,
         )
+        trace, marker_samples = self._apply_jitter(trace, marker_samples)
         return CipherTrace(
             trace=trace, co_start=int(marker_samples[0]), plaintext=plaintext, key=key
         )
@@ -254,12 +308,15 @@ class SimulatedPlatform:
         nop_header: int = 96,
         batch_size: int | None = None,
         batched: bool = True,
+        plaintext: bytes | None = None,
     ) -> list[CipherTrace]:
         """Capture ``count`` single-CO profiling traces.
 
         Keys and plaintexts are drawn fresh per capture unless a fixed key
         is supplied, matching the paper's "balanced between the key bytes"
-        dataset construction.
+        dataset construction.  A fixed ``plaintext`` (the TVLA fixed
+        population) suppresses the per-trace plaintext draw in scalar and
+        batched paths alike, preserving their bit-identity.
 
         The default path executes the COs through the vectorized
         ``encrypt_batch`` and one batched synthesis call per ``batch_size``
@@ -273,7 +330,9 @@ class SimulatedPlatform:
             return []
         if not batched:
             return [
-                self.capture_cipher_trace(key=key, nop_header=nop_header)
+                self.capture_cipher_trace(
+                    key=key, plaintext=plaintext, nop_header=nop_header
+                )
                 for _ in range(count)
             ]
         chunk = (DEFAULT_CAPTURE_BATCH if batch_size is None
@@ -281,12 +340,18 @@ class SimulatedPlatform:
         captures: list[CipherTrace] = []
         for begin in range(0, count, chunk):
             captures.extend(
-                self._capture_cipher_batch(min(chunk, count - begin), key, nop_header)
+                self._capture_cipher_batch(
+                    min(chunk, count - begin), key, nop_header, plaintext
+                )
             )
         return captures
 
     def _capture_cipher_batch(
-        self, count: int, key: bytes | None, nop_header: int
+        self,
+        count: int,
+        key: bytes | None,
+        nop_header: int,
+        plaintext: bytes | None = None,
     ) -> list[CipherTrace]:
         """One batched profiling capture of ``count`` traces.
 
@@ -299,7 +364,9 @@ class SimulatedPlatform:
         request inside the synthesis call.
         """
         if self.capture_mode == "fast":
-            return self._capture_cipher_batch_fast(count, key, nop_header)
+            return self._capture_cipher_batch_fast(
+                count, key, nop_header, plaintext
+            )
         oscilloscope = self.oscilloscope
         n32 = self._co_datapath_ops(nop_header)
         # RD-0 plans are deterministic and draw nothing from the TRNG, so
@@ -313,7 +380,9 @@ class SimulatedPlatform:
         noise: list[np.ndarray | None] = []
         for _ in range(count):
             keys.append(key if key is not None else self._random_block())
-            plaintexts.append(self._random_block())
+            plaintexts.append(
+                plaintext if plaintext is not None else self._random_block()
+            )
             total = n32
             if not delay_free:
                 plan = self.countermeasure.plan(n32)
@@ -331,8 +400,18 @@ class SimulatedPlatform:
         recorder.record_nops(nop_header)
         marker_op = len(recorder)
         self.cipher.encrypt_batch(plaintexts, keys, recorder)
+        batch_stream = BatchOpStream.from_recorder(recorder)
+        if self.shuffler is not None:
+            # Exact mode: one plan per trace in the scalar order (the
+            # shuffle TRNG is an independent stream, so only its own
+            # per-trace order matters for bit-identity).
+            self.shuffler.execute_batch(
+                [self.shuffler.plan() for _ in range(count)],
+                batch_stream.values,
+                base=marker_op,
+            )
         traces, marker_samples = synthesize_traces(
-            BatchOpStream.from_recorder(recorder),
+            batch_stream,
             np.array([marker_op]),
             self.countermeasure,
             self.leakage,
@@ -341,6 +420,13 @@ class SimulatedPlatform:
             plans=plans if not delay_free else None,
             noise=noise,
         )
+        if self.jitter is not None:
+            jittered = [
+                self._apply_jitter(traces[b], marker_samples[b])
+                for b in range(count)
+            ]
+            traces = [t for t, _ in jittered]
+            marker_samples = [m for _, m in jittered]
         return [
             CipherTrace(
                 trace=traces[b],
@@ -352,13 +438,22 @@ class SimulatedPlatform:
         ]
 
     def _capture_cipher_batch_fast(
-        self, count: int, key: bytes | None, nop_header: int
+        self,
+        count: int,
+        key: bytes | None,
+        nop_header: int,
+        plaintext: bytes | None = None,
     ) -> list[CipherTrace]:
         """Bulk-randomness profiling capture (the ``fast`` capture mode)."""
         block = self.cipher.block_size
-        plaintext_matrix = self._rng.integers(
-            0, 256, (count, block), dtype=np.uint8
-        )
+        if plaintext is not None:
+            plaintext_matrix = np.tile(
+                np.frombuffer(plaintext, dtype=np.uint8), (count, 1)
+            )
+        else:
+            plaintext_matrix = self._rng.integers(
+                0, 256, (count, block), dtype=np.uint8
+            )
         if key is not None:
             key_matrix = np.frombuffer(key, dtype=np.uint8).reshape(1, -1)
         else:
@@ -369,8 +464,15 @@ class SimulatedPlatform:
         recorder.record_nops(nop_header)
         marker_op = len(recorder)
         self.cipher.encrypt_batch(plaintext_matrix, key_matrix, recorder)
+        batch_stream = BatchOpStream.from_recorder(recorder)
+        if self.shuffler is not None:
+            self.shuffler.execute_batch(
+                self.shuffler.plan_batch(count),
+                batch_stream.values,
+                base=marker_op,
+            )
         traces, marker_samples = synthesize_traces(
-            BatchOpStream.from_recorder(recorder),
+            batch_stream,
             np.array([marker_op]),
             self.countermeasure,
             self.leakage,
@@ -395,6 +497,7 @@ class SimulatedPlatform:
         segment_length: int,
         nop_header: int = 96,
         batch_size: int | None = None,
+        plaintext: bytes | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched capture hand-off for streaming attack campaigns.
 
@@ -425,14 +528,15 @@ class SimulatedPlatform:
             parts = [
                 self._capture_segment_windows(
                     min(chunk, count - begin), key, int(segment_length),
-                    nop_header,
+                    nop_header, plaintext,
                 )
                 for begin in range(0, count, chunk)
             ]
             return (np.concatenate([p[0] for p in parts]),
                     np.concatenate([p[1] for p in parts]))
         captures = self.capture_cipher_traces(
-            count, key=key, nop_header=nop_header, batch_size=batch_size
+            count, key=key, nop_header=nop_header, batch_size=batch_size,
+            plaintext=plaintext,
         )
         segments = np.zeros((len(captures), int(segment_length)))
         for i, capture in enumerate(captures):
@@ -444,7 +548,12 @@ class SimulatedPlatform:
         return segments, plaintexts
 
     def _capture_segment_windows(
-        self, count: int, key: bytes, segment_length: int, nop_header: int
+        self,
+        count: int,
+        key: bytes,
+        segment_length: int,
+        nop_header: int,
+        plaintext: bytes | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """One fast-mode windowed capture chunk (any RD configuration).
 
@@ -453,15 +562,27 @@ class SimulatedPlatform:
         trace's marker through its plan and synthesises only the shifted
         window.
         """
-        plaintext_matrix = self._rng.integers(
-            0, 256, (count, self.cipher.block_size), dtype=np.uint8
-        )
+        if plaintext is not None:
+            plaintext_matrix = np.tile(
+                np.frombuffer(plaintext, dtype=np.uint8), (count, 1)
+            )
+        else:
+            plaintext_matrix = self._rng.integers(
+                0, 256, (count, self.cipher.block_size), dtype=np.uint8
+            )
         recorder = BatchLeakageRecorder(count)
         recorder.record_nops(nop_header)
         marker_op = len(recorder)
         self.cipher.encrypt_batch(plaintext_matrix, key, recorder)
+        batch_stream = BatchOpStream.from_recorder(recorder)
+        if self.shuffler is not None:
+            self.shuffler.execute_batch(
+                self.shuffler.plan_batch(count),
+                batch_stream.values,
+                base=marker_op,
+            )
         segments = synthesize_trace_windows(
-            BatchOpStream.from_recorder(recorder),
+            batch_stream,
             marker_op,
             segment_length,
             self.leakage,
@@ -487,6 +608,7 @@ class SimulatedPlatform:
             self.oscilloscope,
             self._rng,
         )
+        trace, _ = self._apply_jitter(trace, np.zeros(0, dtype=np.int64))
         return trace
 
     # ------------------------------------------------------------------ #
@@ -545,6 +667,15 @@ class SimulatedPlatform:
         recorder = BatchLeakageRecorder(n_cos)
         ciphertexts = self.cipher.encrypt_batch(plaintexts, key, recorder)
         batch_stream = BatchOpStream.from_recorder(recorder)
+        if self.shuffler is not None:
+            # One plan per CO in capture order, applied before the rows
+            # are spliced into the session stream (base=0: the batch rows
+            # start at the CO's first recorded op).
+            self.shuffler.execute_batch(
+                [self.shuffler.plan() for _ in range(n_cos)],
+                batch_stream.values,
+                base=0,
+            )
         co_ops = len(batch_stream)
 
         lead_stream = OpStream.from_recorder(lead)
@@ -568,6 +699,7 @@ class SimulatedPlatform:
             self.oscilloscope,
             self._rng,
         )
+        trace, marker_samples = self._apply_jitter(trace, marker_samples)
         return SessionTrace(
             trace=trace,
             true_starts=marker_samples,
@@ -611,14 +743,21 @@ class SimulatedPlatform:
                         recorder.record(i * gap_ops + counter, width=32)
         run_random_noise_program(recorder, self._rng, lead_ops)
 
+        stream = OpStream.from_recorder(recorder)
+        if self.shuffler is not None:
+            for marker in marker_ops:
+                self.shuffler.execute(
+                    self.shuffler.plan(), stream.values, base=marker
+                )
         trace, marker_samples = synthesize_trace(
-            OpStream.from_recorder(recorder),
+            stream,
             np.asarray(marker_ops, dtype=np.int64),
             self.countermeasure,
             self.leakage,
             self.oscilloscope,
             self._rng,
         )
+        trace, marker_samples = self._apply_jitter(trace, marker_samples)
         return SessionTrace(
             trace=trace,
             true_starts=marker_samples,
@@ -632,6 +771,40 @@ class SimulatedPlatform:
     # ------------------------------------------------------------------ #
     # utilities                                                          #
     # ------------------------------------------------------------------ #
+
+    @property
+    def countermeasure_name(self) -> str:
+        """Combined countermeasure label, e.g. ``RD-2+SH-20x16+CJ-10``.
+
+        Always leads with the random-delay configuration; shuffling,
+        jitter and a non-default masking order append their own tags.
+        Trace stores record this string so resuming a store under a
+        different countermeasure configuration can be refused.
+        """
+        parts = [self.countermeasure.config_name]
+        if self.shuffler is not None:
+            parts.append(self.shuffler.config_name)
+        if self.jitter is not None:
+            parts.append(self.jitter.config_name)
+        if self.masking_order != 1:
+            parts.append(f"MO-{self.masking_order}")
+        return "+".join(parts)
+
+    def _apply_jitter(
+        self, trace: np.ndarray, marker_samples: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resample one captured trace under the jittery clock, if enabled.
+
+        Draws one jitter plan per trace (in capture order — the batched
+        paths call this per trace too, keeping bit-identity with the
+        scalar reference) and maps the ground-truth markers through it.
+        """
+        if self.jitter is None:
+            return trace, marker_samples
+        plan = self.jitter.plan(trace.size)
+        jittered = self.jitter.execute(plan, trace)
+        marker_samples = np.asarray(marker_samples, dtype=np.int64)
+        return jittered, plan.map_positions(marker_samples)
 
     def mean_co_samples(self, probes: int = 8) -> int:
         """Empirical mean CO length in trace samples (delay included).
@@ -664,7 +837,12 @@ class SimulatedPlatform:
         """
         cached = self._co_ops_cache.get(nop_header)
         if cached is None:
-            probe = get_cipher(self.cipher_name)
+            probe_kwargs = {}
+            if self.cipher_name == "aes_masked" and self.masking_order != 1:
+                # Order-2 masking records extra remask/load steps, so the
+                # probe must execute at the platform's masking order.
+                probe_kwargs["order"] = self.masking_order
+            probe = get_cipher(self.cipher_name, **probe_kwargs)
             recorder = LeakageRecorder()
             recorder.record_nops(nop_header)
             probe.encrypt(

@@ -1,0 +1,174 @@
+"""The S-box shuffling countermeasure (SH).
+
+Shuffling randomises the *execution order* of independent per-byte
+operations: instead of processing the sixteen state bytes of a SubBytes
+(or ShiftRows) block in index order, the software walks them in a fresh
+TRNG-drawn permutation every execution.  Each byte's leakage still
+appears somewhere inside the block, but at one of sixteen positions
+chosen uniformly per trace, so any *per-sample* first-order statistic is
+attenuated by the shuffle width — the classic hiding countermeasure.
+Attacks recover by integrating over the whole shuffled block (windowed
+aggregation), paying roughly the shuffle width in trace budget.
+
+Like the random-delay countermeasure, the TRNG decisions are separated
+into a *plan* (:class:`ShufflePlan`, all permutations for one execution)
+and its *execution* (permuting the recorded operation values), so the
+batched capture paths can draw plans per trace in the scalar order
+(``exact`` mode — bit-identical to the scalar reference) or in one bulk
+TRNG request per batch (``fast`` mode).
+
+Only operation *values* move: the ciphers declare shuffle groups over
+blocks of uniform width/kind (16 consecutive 8-bit loads of a SubBytes
+pass), so permuting values within a group is exactly a permuted
+execution order and the shared batch op structure is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.soc.trng import TrngModel
+
+__all__ = ["ShufflingCountermeasure", "ShufflePlan"]
+
+
+@dataclass(frozen=True)
+class ShufflePlan:
+    """All TRNG permutation decisions for one shuffled execution."""
+
+    perms: np.ndarray   # int64 (n_groups, group_size)
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.perms.shape[0])
+
+    @property
+    def group_size(self) -> int:
+        return int(self.perms.shape[1])
+
+
+class ShufflingCountermeasure:
+    """Permute declared op groups of a CO stream in TRNG-drawn order.
+
+    Parameters
+    ----------
+    group_offsets:
+        Start offset of every shuffle group, relative to the first
+        recorded op of the CO (the cipher declares these via
+        ``shuffle_groups()``).  Each group spans ``group_size``
+        consecutive ops of uniform width and kind.
+    group_size:
+        Ops per group (16 for the AES byte passes).
+    trng:
+        Permutation randomness source; an unseeded model otherwise.
+    """
+
+    def __init__(
+        self,
+        group_offsets: Sequence[int],
+        group_size: int = 16,
+        trng: TrngModel | None = None,
+    ) -> None:
+        offsets = np.asarray(list(group_offsets), dtype=np.int64)
+        if offsets.size == 0:
+            raise ValueError("need at least one shuffle group")
+        if group_size < 2:
+            raise ValueError("group_size must be >= 2")
+        if (offsets < 0).any():
+            raise ValueError("group offsets must be non-negative")
+        self.group_offsets = offsets
+        self.group_size = int(group_size)
+        self.trng = trng if trng is not None else TrngModel()
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.group_offsets.size)
+
+    @property
+    def config_name(self) -> str:
+        """Configuration label, e.g. ``SH-20x16``."""
+        return f"SH-{self.n_groups}x{self.group_size}"
+
+    def plan(self) -> ShufflePlan:
+        """Draw one execution's permutations.
+
+        Each permutation is the argsort of ``group_size`` TRNG words
+        (random sort keys), so one fixed-size TRNG request decides a
+        whole plan and the batched :meth:`plan_batch` can draw many
+        plans from a single request without changing the per-plan
+        consumption.
+        """
+        keys = self.trng.random_words(self.n_groups * self.group_size, width=32)
+        perms = np.argsort(
+            keys.reshape(self.n_groups, self.group_size), axis=-1, kind="stable"
+        )
+        return ShufflePlan(perms=perms.astype(np.int64))
+
+    def plan_batch(self, batch: int) -> list[ShufflePlan]:
+        """Draw ``batch`` plans from one bulk TRNG request (fast mode).
+
+        Statistically identical to ``batch`` sequential :meth:`plan`
+        calls but consumed in batch order — the same exact/fast split the
+        random-delay countermeasure makes.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        keys = self.trng.random_words(
+            batch * self.n_groups * self.group_size, width=32
+        ).reshape(batch, self.n_groups, self.group_size)
+        perms = np.argsort(keys, axis=-1, kind="stable").astype(np.int64)
+        return [ShufflePlan(perms=perms[b]) for b in range(batch)]
+
+    def _check_plan(self, plan: ShufflePlan) -> None:
+        if plan.perms.shape != (self.n_groups, self.group_size):
+            raise ValueError(
+                f"plan has {plan.perms.shape[0]}x{plan.perms.shape[1]} "
+                f"permutations, countermeasure expects "
+                f"{self.n_groups}x{self.group_size}"
+            )
+
+    def execute(self, plan: ShufflePlan, values: np.ndarray, base: int = 0) -> None:
+        """Permute one stream's recorded op values in place.
+
+        ``values`` is the ``(N,)`` op-value array of a recorded stream;
+        ``base`` is the op index of the CO's first recorded op (the
+        group offsets are CO-relative).
+        """
+        self._check_plan(plan)
+        n = values.shape[-1]
+        for k in range(self.n_groups):
+            start = base + int(self.group_offsets[k])
+            if start < 0 or start + self.group_size > n:
+                raise IndexError(
+                    f"shuffle group at op {start} extends past the "
+                    f"{n}-op stream"
+                )
+            values[start: start + self.group_size] = values[
+                start + plan.perms[k]
+            ]
+
+    def execute_batch(
+        self, plans: Sequence[ShufflePlan], values: np.ndarray, base: int = 0
+    ) -> None:
+        """Permute a ``(B, N)`` batch of op values in place, one plan per row."""
+        if len(plans) != values.shape[0]:
+            raise ValueError(f"{len(plans)} shuffle plans for batch of "
+                             f"{values.shape[0]}")
+        for plan in plans:
+            self._check_plan(plan)
+        n = values.shape[1]
+        for k in range(self.n_groups):
+            start = base + int(self.group_offsets[k])
+            if start < 0 or start + self.group_size > n:
+                raise IndexError(
+                    f"shuffle group at op {start} extends past the "
+                    f"{n}-op stream"
+                )
+            perms = np.stack([plan.perms[k] for plan in plans])
+            block = values[:, start: start + self.group_size]
+            values[:, start: start + self.group_size] = np.take_along_axis(
+                block, perms, axis=1
+            )

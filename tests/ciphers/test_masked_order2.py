@@ -1,0 +1,149 @@
+"""Second-order (three-share) masked AES and the share-aware layouts.
+
+The order-2 datapath extends the first-order table-remasking scheme with
+a third Boolean share; its contract mirrors the order-1 one: ciphertexts
+equal plain AES, batch op streams are bit-identical to the scalar
+reference, and the recorded intermediates carry fresh masks per run.
+The layout helpers (``masked_aes_windows``, ``masked_byte_pois``) take
+the share count as a parameter now — the regression pins that the
+default reproduces the historical two-share values exactly and that the
+three-share variants shift by the extra per-share op blocks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.distinguishers import masked_aes_windows
+from repro.ciphers import AES128, LeakageRecorder, MaskedAES128
+from repro.ciphers.base import BatchLeakageRecorder
+from repro.profiled import masked_byte_pois
+
+
+class TestOrder2Equivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.binary(min_size=16, max_size=16),
+        st.binary(min_size=16, max_size=16),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_order2_equals_unmasked(self, pt, key, seed):
+        masked = MaskedAES128(rng=random.Random(seed), order=2)
+        assert masked.encrypt(pt, key) == AES128().encrypt(pt, key)
+
+    def test_fips_vector(self):
+        masked = MaskedAES128(rng=random.Random(7), order=2)
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        assert masked.encrypt(pt, key).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            MaskedAES128(order=3)
+        assert MaskedAES128(order=2).shares == 3
+        assert MaskedAES128(order=1).shares == 2
+
+    def test_unmasked_trailer_tracks_the_order(self):
+        assert AES128().unmasked_trailer_ops == 0
+        assert MaskedAES128(order=1).unmasked_trailer_ops == 16
+        assert MaskedAES128(order=2).unmasked_trailer_ops == 32
+
+
+class TestOrder2OpStream:
+    def test_third_share_adds_ops(self):
+        """Order 2 adds one remask + state-entry + unmask block set."""
+        rec1, rec2 = LeakageRecorder(), LeakageRecorder()
+        MaskedAES128(rng=random.Random(0), order=1).encrypt(
+            bytes(16), bytes(16), rec1)
+        MaskedAES128(rng=random.Random(0), order=2).encrypt(
+            bytes(16), bytes(16), rec2)
+        assert len(rec2) - len(rec1) == 192
+
+    def test_fresh_masks_per_run(self):
+        cipher = MaskedAES128(rng=random.Random(42), order=2)
+        rec1, rec2 = LeakageRecorder(), LeakageRecorder()
+        cipher.encrypt(bytes(16), bytes(16), rec1)
+        cipher.encrypt(bytes(16), bytes(16), rec2)
+        assert rec1.values != rec2.values
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(2, 5))
+    def test_batch_stream_matches_scalar(self, seed, count):
+        """encrypt_batch: same ciphertexts AND the same recorded ops."""
+        rng = np.random.default_rng(seed)
+        pts = rng.integers(0, 256, (count, 16), dtype=np.uint8)
+        key = rng.integers(0, 256, 16, dtype=np.uint8).tobytes()
+
+        scalar = MaskedAES128(rng=random.Random(seed), order=2)
+        scalar_streams, scalar_cts = [], []
+        for i in range(count):
+            rec = LeakageRecorder()
+            scalar_cts.append(scalar.encrypt(pts[i].tobytes(), key, rec))
+            scalar_streams.append(rec.values)
+
+        batched = MaskedAES128(rng=random.Random(seed), order=2)
+        rec = BatchLeakageRecorder(count)
+        cts = batched.encrypt_batch(pts, key, rec)
+        values, _, _ = rec.as_batch_arrays()
+        for i in range(count):
+            assert cts[i].tobytes() == scalar_cts[i]
+            np.testing.assert_array_equal(
+                values[i], np.asarray(scalar_streams[i], dtype=np.uint64)
+            )
+
+
+class TestShareAwareLayouts:
+    def test_two_share_windows_unchanged(self):
+        """The default must stay bit-for-bit the historical layout."""
+        assert masked_aes_windows() == masked_aes_windows(shares=2)
+
+    def test_three_share_windows_shift_by_the_extra_blocks(self):
+        (a1, a2), (s1, s2) = masked_aes_windows(shares=2)
+        (b1, b2), (t1, t2) = masked_aes_windows(shares=3)
+        # one extra 16-op state-entry block before AddRoundKey-0 ...
+        assert (b1 - a1) == 16 * 2            # 2 samples per op
+        assert b2 - b1 == a2 - a1 == 16 * 2   # window width unchanged
+        # ... and one extra remask block between ARK-0 and SubBytes-1
+        assert (t1 - s1) == 2 * 16 * 2
+        assert t2 - t1 == s2 - s1
+
+    def test_windows_respect_nop_header_and_samples_per_op(self):
+        (a1, _), _ = masked_aes_windows(shares=3)
+        # the nop header is counted in ops, like the platform's parameter
+        (b1, _), _ = masked_aes_windows(shares=3, nop_header=96)
+        assert b1 - a1 == 96 * 2
+        (c1, c2), _ = masked_aes_windows(samples_per_op=4, shares=3)
+        assert c2 - c1 == 16 * 4
+
+    def test_share_floor(self):
+        with pytest.raises(ValueError):
+            masked_aes_windows(shares=1)
+        with pytest.raises(ValueError):
+            masked_byte_pois(shares=1)
+
+    def test_pois_follow_the_windows(self):
+        for shares in (2, 3):
+            (ark, _), (sbox, _) = masked_aes_windows(shares=shares)
+            pois = masked_byte_pois(16, shares=shares)
+            assert pois.shape == (16, 4)
+            np.testing.assert_array_equal(pois[:, 0],
+                                          ark + 2 * np.arange(16))
+            np.testing.assert_array_equal(pois[:, 2],
+                                          sbox + 2 * np.arange(16))
+
+    def test_default_pois_unchanged(self):
+        np.testing.assert_array_equal(masked_byte_pois(16),
+                                      masked_byte_pois(16, shares=2))
+
+    def test_windows_point_at_masked_ops(self):
+        """The derived windows index real ops inside the order-2 stream."""
+        rec = LeakageRecorder()
+        MaskedAES128(rng=random.Random(3), order=2).encrypt(
+            bytes(range(16)), bytes(16), rec)
+        (_, _), (_, sbox_end) = masked_aes_windows(shares=3)
+        assert sbox_end // 2 <= len(rec)

@@ -1,0 +1,175 @@
+"""Shuffling countermeasure: plan properties, batch==scalar bit-identity.
+
+The shuffling seam mirrors the random-delay one: a :class:`ShufflePlan`
+holds all TRNG permutation decisions for one execution, ``execute``
+applies them to a recorded op stream, and the batched variants must be
+*bit-identical* to their scalar references — both at the plan level
+(one bulk TRNG request equals sequential per-plan requests, because the
+PCG64 stream is consumed element-wise) and at the platform capture
+level (noiseless shuffled batch captures equal the scalar loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc import PlatformSpec
+from repro.soc.shuffling import ShufflePlan, ShufflingCountermeasure
+from repro.soc.trng import TrngModel
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def _cm(n_groups=3, group_size=8, seed=7):
+    offsets = [i * group_size for i in range(n_groups)]
+    return ShufflingCountermeasure(
+        offsets, group_size=group_size, trng=TrngModel(seed)
+    )
+
+
+class TestPlans:
+    def test_plans_are_permutations(self):
+        cm = _cm(n_groups=5, group_size=16)
+        plan = cm.plan()
+        assert plan.n_groups == 5 and plan.group_size == 16
+        for k in range(plan.n_groups):
+            assert sorted(plan.perms[k].tolist()) == list(range(16))
+
+    def test_plans_vary_between_executions(self):
+        cm = _cm(n_groups=20, group_size=16)
+        a, b = cm.plan(), cm.plan()
+        assert not np.array_equal(a.perms, b.perms)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), batch=st.integers(1, 8),
+           n_groups=st.integers(1, 6), group_size=st.integers(2, 16))
+    def test_plan_batch_matches_sequential_plans(
+        self, seed, batch, n_groups, group_size
+    ):
+        scalar = _cm(n_groups, group_size, seed=seed)
+        fast = _cm(n_groups, group_size, seed=seed)
+        sequential = [scalar.plan() for _ in range(batch)]
+        bulk = fast.plan_batch(batch)
+        assert len(bulk) == batch
+        for a, b in zip(sequential, bulk):
+            np.testing.assert_array_equal(a.perms, b.perms)
+
+
+class TestExecute:
+    def test_execute_is_the_plans_permutation(self):
+        cm = _cm(n_groups=2, group_size=4, seed=3)
+        plan = cm.plan()
+        values = np.arange(100, 120, dtype=np.uint64)
+        before = values.copy()
+        cm.execute(plan, values, base=2)
+        for k, start in enumerate([2, 6]):
+            np.testing.assert_array_equal(
+                values[start: start + 4], before[start + plan.perms[k]]
+            )
+        # ops outside the declared groups never move
+        np.testing.assert_array_equal(values[:2], before[:2])
+        np.testing.assert_array_equal(values[10:], before[10:])
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), batch=st.integers(1, 7),
+           base=st.integers(0, 5))
+    def test_execute_batch_matches_per_row_execute(self, seed, batch, base):
+        cm = _cm(n_groups=3, group_size=8, seed=0)
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 1 << 32, size=(batch, 40), dtype=np.uint64)
+        scalar = values.copy()
+        plans = cm.plan_batch(batch)
+        cm.execute_batch(plans, values, base=base)
+        for b in range(batch):
+            cm.execute(plans[b], scalar[b], base=base)
+        np.testing.assert_array_equal(values, scalar)
+
+    def test_group_overrunning_the_stream_raises(self):
+        cm = _cm(n_groups=1, group_size=8)
+        with pytest.raises(IndexError):
+            cm.execute(cm.plan(), np.zeros(7, dtype=np.uint64))
+
+    def test_wrong_plan_shape_raises(self):
+        cm = _cm(n_groups=2, group_size=8)
+        alien = ShufflePlan(perms=np.zeros((1, 8), dtype=np.int64))
+        with pytest.raises(ValueError):
+            cm.execute(alien, np.zeros(32, dtype=np.uint64))
+
+    def test_wrong_plan_count_raises(self):
+        cm = _cm(n_groups=1, group_size=4)
+        with pytest.raises(ValueError):
+            cm.execute_batch(cm.plan_batch(2), np.zeros((3, 8), dtype=np.uint64))
+
+
+class TestValidation:
+    def test_needs_a_group(self):
+        with pytest.raises(ValueError):
+            ShufflingCountermeasure([])
+
+    def test_group_size_floor(self):
+        with pytest.raises(ValueError):
+            ShufflingCountermeasure([0], group_size=1)
+
+    def test_negative_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            ShufflingCountermeasure([-4])
+
+    def test_plan_batch_floor(self):
+        with pytest.raises(ValueError):
+            _cm().plan_batch(0)
+
+    def test_config_name(self):
+        assert _cm(n_groups=20, group_size=16).config_name == "SH-20x16"
+
+
+class TestShuffledPlatform:
+    """The capture seam: shuffled batch paths == scalar reference."""
+
+    def _spec(self, capture_mode="exact", noise_std=0.0):
+        return PlatformSpec(
+            cipher_name="aes", max_delay=0, noise_std=noise_std,
+            capture_mode=capture_mode, shuffle=True,
+        )
+
+    def test_countermeasure_name(self):
+        platform = self._spec().build(0)
+        assert platform.countermeasure_name == "RD-0+SH-20x16"
+
+    def test_unshuffleable_cipher_refused(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(cipher_name="simon", shuffle=True).build(0)
+
+    @pytest.mark.parametrize("mode", ["exact", "fast"])
+    def test_batch_capture_equals_scalar(self, mode):
+        batch = self._spec(mode).build(11)
+        scalar = self._spec(mode).build(11)
+        got = batch.capture_cipher_traces(5, KEY, batch_size=5)
+        want = scalar.capture_cipher_traces(5, KEY, batch_size=1)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g.trace, w.trace)
+            assert g.plaintext == w.plaintext
+
+    def test_shuffling_changes_the_op_order(self):
+        """Same plaintext, same key: the traces differ only by shuffling."""
+        shuffled = self._spec().build(3)
+        plain = PlatformSpec(
+            cipher_name="aes", max_delay=0, noise_std=0.0
+        ).build(3)
+        pt = bytes(range(16))
+        a = shuffled.capture_cipher_trace(KEY, pt)
+        b = plain.capture_cipher_trace(KEY, pt)
+        assert a.trace.size == b.trace.size
+        assert not np.array_equal(a.trace, b.trace)
+        # shuffling permutes power within the blocks, conserving the sum
+        assert np.isclose(a.trace.sum(), b.trace.sum(), rtol=1e-5)
+
+    def test_session_capture_batch_equals_scalar(self):
+        batch = self._spec().build(21)
+        scalar = self._spec().build(21)
+        got = batch.capture_session_trace(3, batched=True)
+        want = scalar.capture_session_trace(3, batched=False)
+        np.testing.assert_array_equal(got.trace, want.trace)
+        np.testing.assert_array_equal(got.true_starts, want.true_starts)

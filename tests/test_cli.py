@@ -145,7 +145,7 @@ class TestCliSecondOrderCampaign:
                 "--growth", "2.0", "--patience", "1"]
         assert main(argv) == 0
         out = capsys.readouterr().out
-        assert "cpa2 windows (derived)" in out
+        assert "cpa2 windows (derived, 2 shares)" in out
         assert "[cpa2]" in out
         assert "rank 1 at" in out
 

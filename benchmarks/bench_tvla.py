@@ -14,6 +14,15 @@ Two halves, mirroring the evaluation subsystem:
   repetitions via :meth:`ExperimentEngine.run_ge_curve` on the
   unprotected target and records the traces-to-<0.5-bit budget.
 
+A third section measures the **sharded parallel TVLA** path
+(:class:`~repro.evaluation.ParallelTvlaCampaign`): the same budget run
+inline (``workers=1``) and over a process pool, verifying the merged
+t-maps are bit-identical (a mismatch is a correctness failure) and
+recording the wall-clock ratio.  The ratio is reported as
+``pool_vs_inline_ratio`` — deliberately *not* a ``speedup`` field, so
+the baseline gate never punishes a runner with fewer cores than the
+baseline host.
+
 Besides the printed table the benchmark writes ``BENCH_tvla.json``
 (override with ``--output``) so CI can track the trajectory
 machine-readably.
@@ -65,6 +74,41 @@ def bench_tvla(label, cipher, shuffle, jitter, order, n_per_group, seed):
         "leakage_detected": result.leakage_detected,
         "seconds": seconds,
         "traces_per_s": 2 * n_per_group / seconds,
+    }
+
+
+def bench_parallel_tvla(n_per_group, shard_size, workers, seed):
+    """Inline vs pooled sharded TVLA: bit-identical t-maps, wall ratio."""
+    import numpy as np
+
+    from repro.evaluation import ParallelTvlaCampaign
+
+    spec = PlatformSpec(
+        cipher_name="aes", max_delay=0, noise_std=1.0, capture_mode="fast"
+    )
+
+    def run(n_workers):
+        campaign = ParallelTvlaCampaign(
+            spec, seed=seed, workers=n_workers, shard_size=shard_size,
+            batch_size=256,
+        )
+        begin = time.perf_counter()
+        result = campaign.run(n_per_group)
+        return result, time.perf_counter() - begin
+
+    inline, inline_s = run(1)
+    pooled, pooled_s = run(workers)
+    if not np.array_equal(inline.t, pooled.t):
+        raise AssertionError(
+            f"workers={workers} t-map differs from the inline reference"
+        )
+    return {
+        "n_per_group": n_per_group,
+        "shard_size": shard_size,
+        "workers": workers,
+        "inline_traces_per_s": 2 * n_per_group / inline_s,
+        "pool_vs_inline_ratio": inline_s / pooled_s,
+        "t_maps_identical": True,
     }
 
 
@@ -132,6 +176,15 @@ def main() -> int:
           f"{ge['max_traces']} traces x {ge['repetitions']} reps, "
           f"<0.5 bit at {ge['traces_to_half_bit']}")
 
+    parallel = bench_parallel_tvla(
+        n_per_group=n_per_group, shard_size=max(8, n_per_group // 4),
+        workers=2, seed=args.seed,
+    )
+    print(f"[bench] parallel tvla: {parallel['workers']} workers at "
+          f"{parallel['pool_vs_inline_ratio']:.2f}x the inline wall clock "
+          f"({parallel['inline_traces_per_s']:.0f} traces/s inline), "
+          f"t-maps bit-identical")
+
     print()
     print(format_table(
         ["config", "countermeasure", "max |t|", "verdict", "traces/s"],
@@ -145,6 +198,7 @@ def main() -> int:
         "n_per_group": n_per_group,
         "grid": grid,
         "guessing_entropy": ge,
+        "parallel": parallel,
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)

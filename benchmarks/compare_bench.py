@@ -8,19 +8,23 @@ numeric *throughput* field — a leaf whose name ends in ``_per_s`` or is
 any regression beyond the threshold (default 30%) emits a warning in
 GitHub's ``::warning::`` annotation format.  The gate *warns* rather than
 fails by default because shared CI runners are noisy; pass ``--fail`` to
-turn regressions into a non-zero exit (e.g. for release branches or a
-quiet benchmarking host).
+turn every regression into a non-zero exit (e.g. for release branches or
+a quiet benchmarking host), or ``--fail-match REGEX`` to fail only on
+the machine-robust field paths (wall-clock *ratios* measured on the same
+run, like the capture-mode speedups) while the absolute throughputs keep
+warning.
 
 Usage:
 
     python benchmarks/compare_bench.py BASELINE.json FRESH.json \
-        [--threshold 0.30] [--fail]
+        [--threshold 0.30] [--fail] [--fail-match REGEX]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 #: Leaf names treated as higher-is-better throughput metrics.
@@ -41,27 +45,31 @@ def throughput_fields(payload, prefix: str = "") -> "dict[str, float]":
     return fields
 
 
-def compare(baseline: dict, fresh: dict, threshold: float) -> "list[str]":
-    """Regression messages for every throughput field below the gate."""
+def compare(
+    baseline: dict, fresh: dict, threshold: float
+) -> "list[tuple[str, str]]":
+    """``(path, message)`` for every throughput field below the gate."""
     base_fields = throughput_fields(baseline)
     fresh_fields = throughput_fields(fresh)
     regressions = []
     for path, base_value in sorted(base_fields.items()):
         current = fresh_fields.get(path)
         if current is None:
-            regressions.append(
+            regressions.append((
+                path,
                 f"{path}: present in the baseline but missing from the "
-                f"fresh run"
-            )
+                f"fresh run",
+            ))
             continue
         if base_value <= 0:
             continue
         change = current / base_value - 1.0
         if change < -threshold:
-            regressions.append(
+            regressions.append((
+                path,
                 f"{path}: {current:.0f} vs baseline {base_value:.0f} "
-                f"({change * 100:+.1f}%, gate -{threshold * 100:.0f}%)"
-            )
+                f"({change * 100:+.1f}%, gate -{threshold * 100:.0f}%)",
+            ))
     return regressions
 
 
@@ -73,6 +81,10 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="regression fraction that triggers the gate")
     parser.add_argument("--fail", action="store_true",
                         help="exit non-zero on regression instead of warning")
+    parser.add_argument("--fail-match", default=None, metavar="REGEX",
+                        help="exit non-zero only when a regressed field "
+                             "path matches (re.search); other regressions "
+                             "still warn")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
@@ -90,11 +102,16 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"[compare] {name}: {watched} throughput fields within "
               f"{args.threshold * 100:.0f}% of the committed baseline")
         return 0
-    for message in regressions:
-        print(f"::warning::perf regression in {name}: {message}")
+    failing = 0
+    for path, message in regressions:
+        if args.fail_match is not None and re.search(args.fail_match, path):
+            failing += 1
+            print(f"::error::perf regression in {name}: {message}")
+        else:
+            print(f"::warning::perf regression in {name}: {message}")
     print(f"[compare] {name}: {len(regressions)}/{watched} fields regressed "
           f"beyond {args.threshold * 100:.0f}%", file=sys.stderr)
-    return 1 if args.fail else 0
+    return 1 if (args.fail or failing) else 0
 
 
 if __name__ == "__main__":

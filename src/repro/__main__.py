@@ -723,15 +723,16 @@ _TVLA_GRID = (
 
 def _run_tvla_grid(args: argparse.Namespace) -> int:
     """``repro tvla --grid``: the built-in countermeasure verdict table."""
-    from repro.evaluation import TvlaCampaign
+    from repro.evaluation import ParallelTvlaCampaign, TvlaCampaign
     from repro.soc.platform import PlatformSpec
 
     if args.store is not None or args.output is not None:
         print("--store/--output are per-configuration; run grid entries "
               "individually to persist them", file=sys.stderr)
         return 2
+    suffix = "" if args.workers is None else f", {args.workers} workers"
     print(f"tvla grid: {len(_TVLA_GRID)} configurations, "
-          f"{args.traces} traces per population")
+          f"{args.traces} traces per population{suffix}")
     for cipher, rd, shuffle, jitter, order in _TVLA_GRID:
         spec = PlatformSpec(
             cipher_name=cipher, max_delay=rd, noise_std=args.noise_std,
@@ -740,9 +741,15 @@ def _run_tvla_grid(args: argparse.Namespace) -> int:
             capture_mode="exact" if jitter else args.capture_mode,
             shuffle=shuffle, jitter=jitter, masking_order=order,
         )
-        campaign = TvlaCampaign(
-            spec, seed=args.seed, batch_size=args.batch_size,
-        )
+        if args.workers is not None:
+            campaign = ParallelTvlaCampaign(
+                spec, seed=args.seed, workers=args.workers,
+                shard_size=args.shard_size, batch_size=args.batch_size,
+            )
+        else:
+            campaign = TvlaCampaign(
+                spec, seed=args.seed, batch_size=args.batch_size,
+            )
         result = campaign.run(args.traces)
         print(f"  {cipher:>10}  {result.summary()}")
     return 0
@@ -750,12 +757,18 @@ def _run_tvla_grid(args: argparse.Namespace) -> int:
 
 def cmd_tvla(args: argparse.Namespace) -> int:
     """``repro tvla``: fixed-vs-random Welch-t leakage detection."""
-    from repro.evaluation import TvlaCampaign
+    from repro.evaluation import ParallelTvlaCampaign, TvlaCampaign
     from repro.soc.platform import PlatformSpec
 
     _apply_backend(args)
     if args.traces < 2:
         print("--traces must be >= 2 (per population)", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.shard_size < 1:
+        print("--shard-size must be >= 1", file=sys.stderr)
         return 2
     if args.grid:
         return _run_tvla_grid(args)
@@ -768,6 +781,42 @@ def cmd_tvla(args: argparse.Namespace) -> int:
         capture_mode=args.capture_mode, shuffle=shuffle, jitter=jitter,
         masking_order=args.masking_order,
     )
+    if args.workers is not None:
+        try:
+            campaign = ParallelTvlaCampaign(
+                spec, seed=args.seed, workers=args.workers,
+                shard_size=args.shard_size,
+                segment_length=args.segment_length,
+                store_root=args.store, batch_size=args.batch_size,
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(f"tvla x{args.workers}: {campaign.countermeasure_name} on "
+              f"{args.cipher}, {campaign.segment_length}-sample segments, "
+              f"{args.traces} traces per population in shards of "
+              f"{args.shard_size}")
+        try:
+            result = campaign.run(args.traces, verbose=True)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if campaign.resumed_from:
+            print(f"resumed {campaign.resumed_from} traces from the "
+                  f"shard stores")
+        print(result.summary())
+        if args.output is not None:
+            campaign.accumulator.save(args.output)
+            print(f"t statistics saved to {args.output}")
+        return 0 if result.leakage_detected else 1
+    if args.store is not None:
+        from repro.runtime.parallel import is_shard_store_root
+
+        if is_shard_store_root(args.store):
+            print(f"{args.store} holds per-shard stores from a parallel "
+                  f"TVLA campaign; resume it with --workers",
+                  file=sys.stderr)
+            return 2
     try:
         campaign = TvlaCampaign(
             spec, seed=args.seed, segment_length=args.segment_length,
@@ -1035,6 +1084,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the built-in countermeasure grid (baseline, "
                              "shuffle, RD+jitter, masking order 1 and 2) "
                              "instead of one configuration")
+    p_tvla.add_argument("--workers", type=int, default=None,
+                        help="shard the capture over a process pool; at a "
+                             "fixed --shard-size the merged t map and "
+                             "verdict are identical for any worker count")
+    p_tvla.add_argument("--shard-size", type=int, default=1024,
+                        help="traces per population per shard — the unit "
+                             "of parallel work and per-shard seed "
+                             "derivation (only with --workers)")
     _add_capture_mode_option(p_tvla)
     _add_countermeasure_options(p_tvla)
     p_tvla.set_defaults(func=cmd_tvla)

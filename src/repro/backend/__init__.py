@@ -1,8 +1,9 @@
 """Pluggable array backend for the measured hot loops.
 
 The capture→accumulate spine spends nearly all of its time in a handful of
-elementwise/scatter kernels: the Hamming-weight leakage model and the ADC
-quantiser on the synthesis side, and the class-conditional scatter on the
+elementwise/scatter kernels: the Hamming-weight leakage model, the ADC
+quantiser, the RD-window gather, and the fused pulse→FIR→quantise window
+synthesis on the capture side, and the class-conditional scatter on the
 accumulation side.  This package puts a thin seam under exactly those
 kernels so a campaign can swap the array engine without touching any
 calling code:
@@ -61,12 +62,35 @@ class ArrayBackend:
     ``quantize(analog, lsb, max_code)``
         ADC clip + round to the code grid; returns float32 of the same
         shape.
+    ``gather_delayed_windows(positions, values32, kinds32, dummy_values,
+    dummy_kinds, dummy_bounds, los, widths)``
+        Batched RD-window gather: materialise delayed-stream positions
+        ``[los[b], los[b] + widths[b])`` of every trace in one pass.
+        ``positions`` is the ``(B, n32)`` stack of per-trace
+        ``DelayPlan.new_positions`` (each row sorted), ``values32`` the
+        ``(B, n32)`` real op values with shared ``(n32,)`` kinds, and the
+        ragged per-trace dummy streams travel concatenated with
+        ``dummy_bounds`` ``(B+1,)`` row offsets.  Returns
+        ``(win_values, win_kinds)`` of shape ``(B, max(widths))`` uint64 /
+        uint8, short rows tail-padded by replicating their last element.
+    ``synthesize_rows(power, widths, pulse, kernel, offsets, n_out,
+    lengths, noise, lsb, max_code)``
+        Fused window capture over a ``(B, W)`` power matrix: per-op pulse
+        expansion, per-row sample-level edge replication past
+        ``widths[b]`` ops, the band-limiting FIR (edge-padded, taps
+        accumulated in ``np.convolve`` order), the ``n_out``-sample cut
+        at per-row sample ``offsets``, optional pre-scaled float32
+        ``noise`` addition, ADC quantisation, and zeroing beyond
+        ``lengths[b]`` — one ``(B, n_out)`` float32 result, bit-identical
+        to the historical unfused chain.
     """
 
     name: str
     accumulate_class_stats: Callable
     hw_power: Callable
     quantize: Callable
+    gather_delayed_windows: Callable
+    synthesize_rows: Callable
 
 
 _active: ArrayBackend | None = None

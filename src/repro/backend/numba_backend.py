@@ -97,9 +97,133 @@ def quantize(analog, lsb, max_code) -> np.ndarray:
     return flat.reshape(np.shape(analog))
 
 
+@njit(cache=True, parallel=True)
+def _gather_windows_kernel(
+    positions, values32, kinds32, dummy_values, dummy_kinds, dummy_bounds,
+    los, widths, out_values, out_kinds,
+):
+    batch, n32 = positions.shape
+    width = out_values.shape[1]
+    for b in prange(batch):
+        lo = los[b]
+        w = widths[b]
+        row = positions[b]
+        r = np.searchsorted(row, lo)
+        base = dummy_bounds[b]
+        for j in range(w):
+            pos = lo + j
+            while r < n32 and row[r] < pos:
+                r += 1
+            if r < n32 and row[r] == pos:
+                out_values[b, j] = values32[b, r]
+                out_kinds[b, j] = kinds32[r]
+            else:
+                idx = base + (pos - r)
+                out_values[b, j] = dummy_values[idx]
+                out_kinds[b, j] = dummy_kinds[idx]
+        for j in range(w, width):
+            out_values[b, j] = out_values[b, w - 1]
+            out_kinds[b, j] = out_kinds[b, w - 1]
+
+
+def gather_delayed_windows(
+    positions, values32, kinds32, dummy_values, dummy_kinds, dummy_bounds,
+    los, widths,
+) -> tuple[np.ndarray, np.ndarray]:
+    batch = positions.shape[0]
+    width = int(widths.max())
+    out_values = np.empty((batch, width), dtype=np.uint64)
+    out_kinds = np.empty((batch, width), dtype=np.uint8)
+    _gather_windows_kernel(
+        np.ascontiguousarray(positions, dtype=np.int64),
+        np.ascontiguousarray(values32, dtype=np.uint64),
+        np.ascontiguousarray(kinds32, dtype=np.uint8),
+        np.ascontiguousarray(dummy_values, dtype=np.uint64),
+        np.ascontiguousarray(dummy_kinds, dtype=np.uint8),
+        np.ascontiguousarray(dummy_bounds, dtype=np.int64),
+        np.ascontiguousarray(los, dtype=np.int64),
+        np.ascontiguousarray(widths, dtype=np.int64),
+        out_values,
+        out_kinds,
+    )
+    return out_values, out_kinds
+
+
+@njit(cache=True, parallel=True)
+def _synthesize_rows_kernel(
+    power, widths, pulse, taps_rev, offsets, n_out, lengths, noise,
+    has_noise, lsb, max_code,
+):
+    batch, w_ops = power.shape
+    spp = pulse.size
+    k_size = taps_rev.size
+    pad_l = k_size // 2
+    total = w_ops * spp
+    out = np.empty((batch, n_out), dtype=np.float32)
+    for b in prange(batch):
+        last = widths[b] * spp - 1
+        noise_cols = noise.shape[1] if has_noise else 0
+        for j in range(n_out):
+            if j >= lengths[b]:
+                out[b, j] = np.float32(0.0)
+                continue
+            col = offsets[b] + j
+            if col > total - 1:
+                col = total - 1
+            # The FIR accumulates reversed taps ascending from zero —
+            # np.convolve's evaluation order — over the edge-padded,
+            # width-replicated analog samples, each recomputed from the
+            # (power, pulse) factorisation the unfused chain multiplies.
+            acc = 0.0
+            for m in range(k_size):
+                i = col + m - pad_l
+                if i < 0:
+                    i = 0
+                elif i > total - 1:
+                    i = total - 1
+                if i > last:
+                    i = last
+                p = i // spp
+                acc += taps_rev[m] * (power[b, p] * pulse[i - p * spp])
+            if j < noise_cols:
+                acc = acc + noise[b, j]
+            code = np.rint(acc / lsb)
+            if code < 0.0:
+                code = 0.0
+            elif code > max_code:
+                code = max_code
+            out[b, j] = np.float32(code * lsb)
+    return out
+
+
+def synthesize_rows(
+    power, widths, pulse, kernel, offsets, n_out, lengths, noise, lsb,
+    max_code,
+) -> np.ndarray:
+    kernel = np.ascontiguousarray(kernel, dtype=np.float64)
+    has_noise = noise is not None
+    if not has_noise:
+        noise = np.empty((0, 0), dtype=np.float32)
+    return _synthesize_rows_kernel(
+        np.ascontiguousarray(power, dtype=np.float64),
+        np.ascontiguousarray(widths, dtype=np.int64),
+        np.ascontiguousarray(pulse, dtype=np.float64),
+        kernel[::-1].copy(),
+        np.ascontiguousarray(offsets, dtype=np.int64),
+        np.int64(n_out),
+        np.ascontiguousarray(lengths, dtype=np.int64),
+        np.ascontiguousarray(noise, dtype=np.float32),
+        has_noise,
+        np.float64(lsb),
+        np.float64(max_code),
+    )
+
+
 BACKEND = ArrayBackend(
     name="numba",
     accumulate_class_stats=accumulate_class_stats,
     hw_power=hw_power,
     quantize=quantize,
+    gather_delayed_windows=gather_delayed_windows,
+    synthesize_rows=synthesize_rows,
 )

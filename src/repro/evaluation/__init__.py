@@ -27,6 +27,11 @@ from repro.evaluation.tvla import (
     TvlaResult,
     WelchTAccumulator,
 )
+from repro.evaluation.parallel_tvla import (
+    ParallelTvlaCampaign,
+    TvlaShardResult,
+    run_tvla_shard,
+)
 
 __all__ = [
     "HitStats",
@@ -47,4 +52,7 @@ __all__ = [
     "TvlaCampaign",
     "TvlaResult",
     "WelchTAccumulator",
+    "ParallelTvlaCampaign",
+    "TvlaShardResult",
+    "run_tvla_shard",
 ]

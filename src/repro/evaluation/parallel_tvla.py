@@ -1,0 +1,248 @@
+"""Process-parallel sharded TVLA campaigns.
+
+The sharding discipline is the attack campaigns'
+(:mod:`repro.runtime.parallel`): the per-group trace budget is cut into
+fixed shards, shard ``i`` runs a complete miniature
+:class:`~repro.evaluation.tvla.TvlaCampaign` seeded with the ``i``-th
+spawned child of the campaign seed, and the parent merges the shards'
+:class:`~repro.evaluation.tvla.WelchTAccumulator` statistics in shard
+order.  Welch-t sufficient statistics merge *exactly*, so for a fixed
+``(spec, seed, shard_size)`` the merged t-map and verdict are independent
+of ``workers`` — parallelism is a pure wall-clock multiplier, and
+``workers=1`` runs the identical shard plan inline as the like-for-like
+serial reference the test suite pins against.
+
+The campaign-wide inputs every shard must agree on — the shared key, the
+fixed plaintext, and the resolved segment length — are derived **once**
+by the parent (with the exact defaulting rules of the serial campaign)
+and passed to every shard explicitly, so shards cannot drift apart on
+derived configuration.
+
+Durability mirrors :class:`~repro.runtime.parallel.ParallelCampaign`: each
+shard persists to its own ``shard-NNNNNN`` trace-store directory under
+``store_root``, resume replays each shard directory into its worker's
+accumulator (capped at the shard's quota via ``replay_limit``, so stores
+captured under a larger budget do not splice extra traces in), and a
+serial single-store directory is refused rather than silently recaptured
+next to.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.attacks.assessment import TVLA_THRESHOLD
+from repro.evaluation.tvla import TvlaCampaign, TvlaResult, WelchTAccumulator
+from repro.runtime.parallel import (
+    ShardSpec,
+    _pool_context,
+    plan_shards,
+)
+from repro.soc.platform import PlatformSpec
+
+__all__ = [
+    "ParallelTvlaCampaign",
+    "TvlaShardResult",
+    "run_tvla_shard",
+]
+
+
+@dataclass
+class TvlaShardResult:
+    """What one TVLA shard worker ships back to the merging parent."""
+
+    index: int
+    accumulator: WelchTAccumulator
+    replayed: int
+    capture_seconds: float
+
+
+def _shard_store_dir(store_root, index: int) -> Path:
+    return Path(store_root) / f"shard-{index:06d}"
+
+
+def run_tvla_shard(
+    spec: PlatformSpec,
+    shard: ShardSpec,
+    fixed_plaintext: bytes,
+    key: bytes,
+    segment_length: int,
+    store_root=None,
+    batch_size: int = 256,
+    nop_header: int = 96,
+    threshold: float = TVLA_THRESHOLD,
+) -> TvlaShardResult:
+    """Capture (or resume) one shard's fixed+random populations.
+
+    The shard is a complete :class:`TvlaCampaign` seeded with the shard's
+    spawned child sequence; the campaign-wide key, fixed plaintext, and
+    segment length arrive pre-derived so every shard captures the same
+    configuration.  With a ``store_root`` the shard persists under its own
+    ``shard-<index>`` directory and replays at most ``shard.count`` traces
+    per population on resume.
+    """
+    campaign = TvlaCampaign(
+        spec,
+        seed=shard.seed_sequence,
+        fixed_plaintext=fixed_plaintext,
+        key=key,
+        segment_length=segment_length,
+        store_dir=(
+            None if store_root is None
+            else _shard_store_dir(store_root, shard.index)
+        ),
+        batch_size=batch_size,
+        nop_header=nop_header,
+        threshold=threshold,
+        replay_limit=shard.count,
+    )
+    begin = time.perf_counter()
+    campaign.capture(shard.count)
+    return TvlaShardResult(
+        index=shard.index,
+        accumulator=campaign.accumulator,
+        replayed=campaign.resumed_from,
+        capture_seconds=time.perf_counter() - begin,
+    )
+
+
+class ParallelTvlaCampaign:
+    """Fan a TVLA campaign's capture over a process pool and merge.
+
+    Parameters mirror :class:`~repro.evaluation.tvla.TvlaCampaign` where
+    they overlap; the additions are ``workers`` (pool width; 1 runs the
+    shards inline — the serial reference of the same shard plan),
+    ``shard_size`` (traces **per population** per shard — the unit of
+    parallel work and seed derivation), and ``store_root`` (a directory of
+    per-shard trace stores in place of the serial campaign's single
+    store).
+
+    For a fixed ``(spec, seed, shard_size)`` the captured populations,
+    the merged t-map, and the verdict are independent of ``workers``.
+    Note the sharded trace streams differ from a plain unsharded
+    ``TvlaCampaign`` of the same seed (each shard captures on freshly
+    seeded platforms), exactly as the sharded attack campaigns differ
+    from their unsharded serial equivalents.
+    """
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        seed: int = 0,
+        workers: int = 1,
+        shard_size: int = 1024,
+        fixed_plaintext: bytes | None = None,
+        key: bytes | None = None,
+        segment_length: int | None = None,
+        store_root=None,
+        batch_size: int = 256,
+        nop_header: int = 96,
+        threshold: float = TVLA_THRESHOLD,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.spec = spec
+        self.seed = int(seed)
+        self.workers = int(workers)
+        self.shard_size = int(shard_size)
+        self.store_root = store_root
+        self.batch_size = int(batch_size)
+        self.nop_header = int(nop_header)
+        self.threshold = float(threshold)
+        # Derive the campaign-wide configuration exactly as the serial
+        # campaign would (key spawned from the campaign seed, CRI fixed
+        # vector cut to the block, segment length from the platform's
+        # empirical CO length) — the probe campaign captures nothing.
+        probe = TvlaCampaign(
+            spec,
+            seed=self.seed,
+            fixed_plaintext=fixed_plaintext,
+            key=key,
+            segment_length=segment_length,
+            batch_size=self.batch_size,
+            nop_header=self.nop_header,
+            threshold=self.threshold,
+        )
+        self.fixed_plaintext = probe.fixed_plaintext
+        self.key = probe.key
+        self.segment_length = probe.segment_length
+        self.countermeasure_name = probe.countermeasure_name
+        self.accumulator = WelchTAccumulator(threshold=self.threshold)
+        self.resumed_from = 0
+
+    def run(self, n_per_group: int, verbose: bool = False) -> TvlaResult:
+        """Capture until both merged populations hold ``n_per_group``."""
+        if n_per_group < 2:
+            raise ValueError("n_per_group must be >= 2")
+        if self.store_root is not None:
+            if (Path(self.store_root) / "manifest.json").exists():
+                raise ValueError(
+                    f"{self.store_root} holds a single serial TraceStore; "
+                    f"resume it without workers, or point the parallel "
+                    f"campaign at a fresh directory"
+                )
+            Path(self.store_root).mkdir(parents=True, exist_ok=True)
+        shards = plan_shards(self.seed, n_per_group, self.shard_size)
+        if self.workers > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_pool_context()
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        run_tvla_shard, self.spec, shard,
+                        self.fixed_plaintext, self.key, self.segment_length,
+                        self.store_root, self.batch_size, self.nop_header,
+                        self.threshold,
+                    )
+                    for shard in shards
+                ]
+                results = [future.result() for future in futures]
+        else:
+            results = [
+                run_tvla_shard(
+                    self.spec, shard, self.fixed_plaintext, self.key,
+                    self.segment_length, store_root=self.store_root,
+                    batch_size=self.batch_size, nop_header=self.nop_header,
+                    threshold=self.threshold,
+                )
+                for shard in shards
+            ]
+        accumulator = WelchTAccumulator(threshold=self.threshold)
+        resumed = 0
+        capture_seconds = 0.0
+        for result in sorted(results, key=lambda r: r.index):
+            accumulator.merge(result.accumulator)
+            resumed += result.replayed
+            capture_seconds += result.capture_seconds
+            if verbose:
+                print(
+                    f"[tvla x{self.workers}] shard {result.index}: "
+                    f"{result.accumulator.n_fixed} fixed / "
+                    f"{result.accumulator.n_random} random"
+                )
+        self.accumulator = accumulator
+        self.resumed_from = resumed
+        self.capture_seconds = capture_seconds
+        return self.result()
+
+    def result(self) -> TvlaResult:
+        """The verdict over everything merged so far."""
+        t = self.accumulator.t()
+        max_abs_t = float(np.abs(t).max())
+        return TvlaResult(
+            t=t,
+            max_abs_t=max_abs_t,
+            threshold=self.accumulator.threshold,
+            leakage_detected=max_abs_t > self.accumulator.threshold,
+            n_fixed=self.accumulator.n_fixed,
+            n_random=self.accumulator.n_random,
+            countermeasure=self.countermeasure_name,
+        )

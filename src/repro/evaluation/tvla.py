@@ -242,7 +242,10 @@ class TvlaCampaign:
         populations are captured on.
     seed:
         Campaign seed; the two populations' platform seeds and the shared
-        key are spawned from it, so a campaign is fully reproducible.
+        key are spawned from it, so a campaign is fully reproducible.  A
+        :class:`numpy.random.SeedSequence` is accepted in place of the
+        integer — the sharded parallel campaign seeds each shard's
+        sub-campaign with the shard's spawned child.
     fixed_plaintext:
         The fixed population's input; the CRI AES-128 vector by default.
     key:
@@ -262,12 +265,18 @@ class TvlaCampaign:
         verdict of an uninterrupted one.
     batch_size:
         Traces captured per population per interleaving round.
+    replay_limit:
+        Per-population cap on traces replayed from the store.  A sharded
+        parallel campaign resumes each shard with the shard's trace quota
+        here, so a store captured under a larger budget replays only the
+        shard-sized prefix instead of splicing extra traces into the
+        verdict.
     """
 
     def __init__(
         self,
         spec: PlatformSpec,
-        seed: int = 0,
+        seed: "int | np.random.SeedSequence" = 0,
         fixed_plaintext: bytes | None = None,
         key: bytes | None = None,
         segment_length: int | None = None,
@@ -276,18 +285,37 @@ class TvlaCampaign:
         batch_size: int = 256,
         nop_header: int = 96,
         threshold: float = TVLA_THRESHOLD,
+        replay_limit: int | None = None,
     ) -> None:
         if store is not None and store_dir is not None:
             raise ValueError("pass either store or store_dir, not both")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if replay_limit is not None and replay_limit < 0:
+            raise ValueError("replay_limit must be >= 0")
         self.spec = spec
-        self.seed = int(seed)
+        if isinstance(seed, np.random.SeedSequence):
+            root = seed
+            # store_meta must stay JSON-serializable: describe the
+            # sequence by its construction instead of the object.
+            entropy = seed.entropy
+            self.seed = {
+                "entropy": (
+                    None if entropy is None
+                    else int(entropy) if np.isscalar(entropy)
+                    else [int(word) for word in entropy]
+                ),
+                "spawn_key": [int(word) for word in seed.spawn_key],
+            }
+        else:
+            self.seed = int(seed)
+            root = np.random.SeedSequence(self.seed)
         self.batch_size = int(batch_size)
         self.nop_header = int(nop_header)
-        fixed_seed, random_seed, key_seed = np.random.SeedSequence(
-            self.seed
-        ).spawn(3)
+        self.replay_limit = (
+            None if replay_limit is None else int(replay_limit)
+        )
+        fixed_seed, random_seed, key_seed = root.spawn(3)
         self._platforms = {
             "fixed": spec.build(fixed_seed),
             "random": spec.build(random_seed),
@@ -365,22 +393,44 @@ class TvlaCampaign:
         return self._platforms["fixed"].countermeasure_name
 
     def _replay(self, store: TraceStore) -> None:
-        """Classify and fold stored traces; fast-forward both streams."""
+        """Classify and fold stored traces; fast-forward both streams.
+
+        With a ``replay_limit`` each population folds at most that many
+        stored traces (the stream is interleaved in capture order, so the
+        kept traces are exactly the prefix the capped campaign captured).
+        """
         fixed_row = np.frombuffer(self.fixed_plaintext, dtype=np.uint8)
         for traces, plaintexts in store.iter_chunks(self.batch_size):
             is_fixed = np.all(
                 np.asarray(plaintexts) == fixed_row[None, :], axis=1
             )
-            if is_fixed.any():
-                self.accumulator.update("fixed", np.asarray(traces)[is_fixed])
-            if (~is_fixed).any():
-                self.accumulator.update("random", np.asarray(traces)[~is_fixed])
-        self.resumed_from = len(store)
+            for group, mask in (("fixed", is_fixed), ("random", ~is_fixed)):
+                if not mask.any():
+                    continue
+                chunk = np.asarray(traces)[mask]
+                if self.replay_limit is not None:
+                    room = self.replay_limit - self._n_group(group)
+                    if room <= 0:
+                        continue
+                    chunk = chunk[:room]
+                self.accumulator.update(group, chunk)
+            if self.replay_limit is not None and all(
+                self._n_group(group) >= self.replay_limit
+                for group in ("fixed", "random")
+            ):
+                break
+        self.resumed_from = self.accumulator.n_traces
         # Each platform's randomness is one seeded stream in capture
         # order; re-drawing the replayed captures is the only way to
         # continue it (same discipline as PlatformSegmentSource.skip).
         self._skip("fixed", self.accumulator.n_fixed)
         self._skip("random", self.accumulator.n_random)
+
+    def _n_group(self, group: str) -> int:
+        return (
+            self.accumulator.n_fixed if group == "fixed"
+            else self.accumulator.n_random
+        )
 
     def _skip(self, group: str, count: int) -> None:
         remaining = count
@@ -410,6 +460,18 @@ class TvlaCampaign:
         """
         if n_per_group < 2:
             raise ValueError("n_per_group must be >= 2")
+        self.capture(n_per_group, verbose=verbose)
+        return self.result()
+
+    def capture(self, n_per_group: int, verbose: bool = False) -> None:
+        """The capture loop of :meth:`run`, without the verdict.
+
+        Split out so a sharded parallel campaign can fill shard-sized
+        accumulators (possibly below the two-trace minimum a verdict
+        needs) and compute the statistic only after the merge.
+        """
+        if n_per_group < 1:
+            raise ValueError("n_per_group must be >= 1")
         while (
             self.accumulator.n_fixed < n_per_group
             or self.accumulator.n_random < n_per_group
@@ -430,7 +492,6 @@ class TvlaCampaign:
                     f"[tvla] {self.accumulator.n_fixed:>6d} fixed / "
                     f"{self.accumulator.n_random:>6d} random traces"
                 )
-        return self.result()
 
     def result(self) -> TvlaResult:
         """The verdict over everything accumulated so far."""

@@ -46,6 +46,39 @@ from repro.soc.platform import PlatformSpec
 __all__ = ["ExperimentEngine", "ScenarioResult"]
 
 
+def _ge_repetition(
+    platform_spec: PlatformSpec,
+    seed: int,
+    segment_length: int | None,
+    batch_size: int | None,
+    ladder: "list[int]",
+    aggregate: int,
+    distinguisher,
+    max_traces: int,
+):
+    """One guessing-entropy repetition, self-contained for pool workers.
+
+    Rebuilds the repetition's platform from the picklable recipe (the key
+    is drawn from the platform's seeded stream, exactly as the serial
+    loop draws it), runs the full-ladder campaign with early stopping
+    disabled, and ships the checkpoint records back.
+    """
+    source = PlatformSegmentSource(
+        platform_spec.build(seed),
+        segment_length=segment_length,
+        batch_size=batch_size,
+    )
+    campaign = AttackCampaign(
+        source,
+        aggregate=aggregate,
+        checkpoints=ladder,
+        rank1_patience=len(ladder) + 1,
+        batch_size=batch_size if batch_size is not None else 256,
+        distinguisher=distinguisher,
+    )
+    return campaign.run(max_traces, verbose=False).records
+
+
 @dataclass
 class ScenarioResult:
     """Everything the engine measured for one scenario."""
@@ -378,6 +411,7 @@ class ExperimentEngine:
         batch_size: int | None = None,
         distinguisher=None,
         accumulator=None,
+        workers: int = 1,
     ):
         """Averaged guessing-entropy curve over independent repetitions.
 
@@ -391,6 +425,12 @@ class ExperimentEngine:
         :class:`~repro.evaluation.ge_curves.GuessingEntropyAccumulator`
         (pass ``accumulator`` to continue one from earlier repetitions,
         e.g. a loaded checkpoint); the accumulator is returned.
+
+        Repetitions are independent streams, so ``workers > 1`` fans them
+        over a process pool — the accumulator still folds the records in
+        repetition order, making the curve identical to the serial run's.
+        The ``distinguisher`` must then be picklable (``None``, a registry
+        name, or a ``DistinguisherSpec``), not a live accumulator.
         """
         from dataclasses import replace
 
@@ -401,31 +441,56 @@ class ExperimentEngine:
 
         if repetitions < 1:
             raise ValueError("repetitions must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         ladder = geometric_checkpoints(
             max_traces, first=first_checkpoint, growth=checkpoint_growth
         )
         ge = accumulator if accumulator is not None \
             else GuessingEntropyAccumulator()
+        if workers > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro.attacks.distinguishers import resolve_distinguisher
+            from repro.runtime.parallel import _pool_context
+
+            spec_or_none, _ = resolve_distinguisher(
+                distinguisher, aggregate=aggregate
+            )
+            if spec_or_none is None:
+                raise TypeError(
+                    "run_ge_curve(workers=...) needs a picklable "
+                    "DistinguisherSpec (or a registry name), not a live "
+                    "accumulator — pool workers rebuild their own"
+                )
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _ge_repetition,
+                        self.platform_spec_for(replace(spec, seed=spec.seed + rep)),
+                        spec.seed + rep, segment_length, batch_size, ladder,
+                        aggregate, spec_or_none, max_traces,
+                    )
+                    for rep in range(repetitions)
+                ]
+                for rep, future in enumerate(futures):
+                    if self.verbose:
+                        print(f"[engine] ge repetition {rep + 1}/"
+                              f"{repetitions} (seed {spec.seed + rep}) ...")
+                    ge.update(future.result())
+            return ge
         for rep in range(repetitions):
             rep_spec = replace(spec, seed=spec.seed + rep)
-            source = PlatformSegmentSource(
-                self.platform_for(rep_spec),
-                segment_length=segment_length,
-                batch_size=batch_size,
-            )
-            campaign = AttackCampaign(
-                source,
-                aggregate=aggregate,
-                checkpoints=ladder,
-                rank1_patience=len(ladder) + 1,
-                batch_size=batch_size if batch_size is not None else 256,
-                distinguisher=distinguisher,
-            )
             if self.verbose:
                 print(f"[engine] ge repetition {rep + 1}/{repetitions} "
                       f"(seed {rep_spec.seed}) ...")
-            result = campaign.run(max_traces, verbose=False)
-            ge.update(result.records)
+            ge.update(_ge_repetition(
+                self.platform_spec_for(rep_spec), rep_spec.seed,
+                segment_length, batch_size, ladder, aggregate,
+                distinguisher, max_traces,
+            ))
         return ge
 
     def run_campaigns(

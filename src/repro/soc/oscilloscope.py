@@ -158,6 +158,39 @@ class Oscilloscope:
         splits = np.cumsum(lengths)[:-1]
         return [np.ascontiguousarray(t) for t in np.split(quantized, splits)]
 
+    def synthesize_windows(
+        self,
+        power: np.ndarray,
+        widths: np.ndarray,
+        offsets: np.ndarray,
+        n_out: int,
+        lengths: np.ndarray,
+        rng: np.random.Generator,
+        noise_cols: int | None = None,
+    ) -> np.ndarray:
+        """Fused windowed capture of a ``(B, W)`` power matrix.
+
+        One backend kernel runs the whole per-window chain — pulse
+        expansion, sample-level edge replication past ``widths[b]`` ops,
+        the band-limiting FIR, the ``n_out``-sample cut at per-row sample
+        ``offsets``, noise, quantisation, and zeroing past ``lengths[b]``
+        — bit-identically to the unfused reference chain
+        (:meth:`_bandlimit_rows` + :meth:`_quantize`), which the property
+        suite pins.  Acquisition noise is drawn here as one bulk float32
+        request of ``noise_cols`` (default ``n_out``) columns, preserving
+        the fast capture mode's generator consumption exactly.
+        """
+        noise = None
+        if self.noise_std > 0:
+            cols = int(n_out if noise_cols is None else noise_cols)
+            noise = self.noise_std * rng.standard_normal(
+                (power.shape[0], cols), dtype=np.float32
+            )
+        return get_backend().synthesize_rows(
+            power, widths, self._pulse, self._kernel, offsets, int(n_out),
+            lengths, noise, self.lsb, 2**self.adc_bits - 1,
+        )
+
     def noise_samples_for_ops(self, n_ops: int) -> int:
         """Trace samples (= noise draws) produced by an ``n_ops`` sequence."""
         return int(n_ops) * self.samples_per_op

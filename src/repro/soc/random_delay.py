@@ -24,7 +24,12 @@ import numpy as np
 from repro.ciphers.base import OpKind
 from repro.soc.trng import TrngModel
 
-__all__ = ["RandomDelayCountermeasure", "DelayPlan", "DUMMY_KIND_POOL"]
+__all__ = [
+    "RandomDelayCountermeasure",
+    "BatchDelayPlans",
+    "DelayPlan",
+    "DUMMY_KIND_POOL",
+]
 
 #: Instruction kinds the hardware inserter draws from.  A real random-delay
 #: unit issues innocuous-looking arithmetic, shifts and multiplies; it does
@@ -63,6 +68,76 @@ class DelayPlan:
     @property
     def n_dummy(self) -> int:
         return self.total - self.n_ops
+
+
+@dataclass(frozen=True)
+class BatchDelayPlans:
+    """A batch of delay plans held as stacked arrays, not plan objects.
+
+    Every plan of a batch covers the same ``n_ops``-long stream, so the
+    per-trace ``new_positions`` rows stack into one regular ``(B, n_ops)``
+    matrix; only the dummy streams are ragged and travel concatenated with
+    ``dummy_bounds`` row offsets.  This is the shape the batched window
+    kernels consume directly — no per-plan Python loop, no re-stacking —
+    while :meth:`plan` still exposes any row as a classic
+    :class:`DelayPlan` of views for the scalar/execute paths.
+    """
+
+    n_ops: int                  # original stream length (shared)
+    totals: np.ndarray          # (B,) int64 delayed stream lengths
+    positions: np.ndarray       # (B, n_ops) int64 new positions per trace
+    dummy_values: np.ndarray    # uint64, all traces' dummies concatenated
+    dummy_kinds: np.ndarray     # uint8, same layout
+    dummy_bounds: np.ndarray    # (B+1,) int64 row offsets into the dummies
+
+    def __len__(self) -> int:
+        return int(self.totals.size)
+
+    @property
+    def delay_free(self) -> bool:
+        """True when no trace of the batch had any instruction inserted."""
+        return bool((self.totals == self.n_ops).all())
+
+    def plan(self, index: int) -> DelayPlan:
+        """Row ``index`` as a :class:`DelayPlan` (views, no copies)."""
+        lo = int(self.dummy_bounds[index])
+        hi = int(self.dummy_bounds[index + 1])
+        return DelayPlan(
+            n_ops=self.n_ops,
+            total=int(self.totals[index]),
+            new_positions=self.positions[index],
+            dummy_values=self.dummy_values[lo:hi],
+            dummy_kinds=self.dummy_kinds[lo:hi],
+        )
+
+    def __iter__(self):
+        return (self.plan(index) for index in range(len(self)))
+
+    @classmethod
+    def from_plans(cls, plans) -> "BatchDelayPlans":
+        """Stack per-trace plans (all drawn for the same stream length)."""
+        plans = list(plans)
+        if not plans:
+            raise ValueError("need at least one plan")
+        n_ops = plans[0].n_ops
+        for plan in plans:
+            if plan.n_ops != n_ops:
+                raise ValueError("plans disagree on n_ops; cannot stack")
+        bounds = np.zeros(len(plans) + 1, dtype=np.int64)
+        np.cumsum([plan.n_dummy for plan in plans], out=bounds[1:])
+        return cls(
+            n_ops=int(n_ops),
+            totals=np.fromiter(
+                (plan.total for plan in plans), dtype=np.int64,
+                count=len(plans),
+            ),
+            positions=np.stack([plan.new_positions for plan in plans]),
+            dummy_values=np.concatenate(
+                [plan.dummy_values for plan in plans]
+            ),
+            dummy_kinds=np.concatenate([plan.dummy_kinds for plan in plans]),
+            dummy_bounds=bounds,
+        )
 
 
 class RandomDelayCountermeasure:
@@ -126,20 +201,43 @@ class RandomDelayCountermeasure:
     def plan_batch(self, n_ops: int, batch: int) -> "list[DelayPlan]":
         """Draw ``batch`` delay plans from bulk TRNG requests.
 
+        The plan-object view of :meth:`plan_batch_stacked` (identical
+        TRNG consumption, each plan a row of views into the stacked
+        arrays).  With the countermeasure off (``max_delay == 0``) plans
+        are deterministic and consume no TRNG, so this path coincides
+        with ``batch`` sequential :meth:`plan` calls.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if n_ops == 0 or self.max_delay == 0:
+            return [self.plan(n_ops) for _ in range(batch)]
+        return list(self.plan_batch_stacked(n_ops, batch))
+
+    def plan_batch_stacked(self, n_ops: int, batch: int) -> BatchDelayPlans:
+        """Draw ``batch`` delay plans as one :class:`BatchDelayPlans`.
+
         The fast capture mode's plan source: all delay counts come from
         one TRNG call, then all dummy operand values, then all dummy
         kinds.  Each resulting plan is distributed identically to one
         drawn by :meth:`plan`, but the TRNG is consumed in batch order
         rather than trace order, so the streams differ from ``batch``
         sequential :meth:`plan` calls — which is why the exact capture
-        mode keeps the per-trace path.  With the countermeasure off
-        (``max_delay == 0``) plans are deterministic and consume no TRNG,
-        so both paths coincide.
+        mode keeps the per-trace path.  The stacked representation is
+        what the batched window-synthesis kernels consume without any
+        per-plan loop.
         """
         if batch < 1:
             raise ValueError("batch must be >= 1")
+        base = np.arange(n_ops, dtype=np.int64)
         if n_ops == 0 or self.max_delay == 0:
-            return [self.plan(n_ops) for _ in range(batch)]
+            return BatchDelayPlans(
+                n_ops=int(n_ops),
+                totals=np.full(batch, n_ops, dtype=np.int64),
+                positions=np.tile(base, (batch, 1)),
+                dummy_values=np.zeros(0, dtype=np.uint64),
+                dummy_kinds=np.zeros(0, dtype=np.uint8),
+                dummy_bounds=np.zeros(batch + 1, dtype=np.int64),
+            )
         counts = self.trng.uniform_ints(0, self.max_delay, (batch, n_ops - 1))
         per_trace = counts.sum(axis=1)
         n_dummy = int(per_trace.sum())
@@ -147,21 +245,18 @@ class RandomDelayCountermeasure:
         pool = np.asarray(DUMMY_KIND_POOL, dtype=np.uint8)
         dummy_kinds = pool[self.trng.uniform_ints(0, len(pool) - 1, n_dummy)]
         bounds = np.concatenate(([0], np.cumsum(per_trace)))
-        base = np.arange(n_ops, dtype=np.int64)
         offsets = np.concatenate(
             (np.zeros((batch, 1), dtype=np.int64), np.cumsum(counts, axis=1)),
             axis=1,
         )
-        return [
-            DelayPlan(
-                n_ops=n_ops,
-                total=n_ops + int(per_trace[b]),
-                new_positions=base + offsets[b],
-                dummy_values=dummy_values[bounds[b]:bounds[b + 1]],
-                dummy_kinds=dummy_kinds[bounds[b]:bounds[b + 1]],
-            )
-            for b in range(batch)
-        ]
+        return BatchDelayPlans(
+            n_ops=int(n_ops),
+            totals=n_ops + per_trace.astype(np.int64),
+            positions=base[None, :] + offsets,
+            dummy_values=dummy_values,
+            dummy_kinds=dummy_kinds,
+            dummy_bounds=bounds.astype(np.int64),
+        )
 
     def execute(self, plan: DelayPlan, values: np.ndarray,
                 kinds: np.ndarray) -> _DelayedStream:

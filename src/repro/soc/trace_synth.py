@@ -26,10 +26,15 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.ciphers.base import BatchLeakageRecorder, LeakageRecorder
 from repro.soc.leakage import HammingWeightLeakage
 from repro.soc.oscilloscope import Oscilloscope
-from repro.soc.random_delay import DelayPlan, RandomDelayCountermeasure
+from repro.soc.random_delay import (
+    BatchDelayPlans,
+    DelayPlan,
+    RandomDelayCountermeasure,
+)
 
 __all__ = [
     "OpStream",
@@ -335,7 +340,7 @@ def synthesize_trace_windows(
     oscilloscope: Oscilloscope,
     rng: np.random.Generator,
     countermeasure: RandomDelayCountermeasure | None = None,
-    plans: Sequence[DelayPlan] | None = None,
+    plans: Sequence[DelayPlan] | BatchDelayPlans | None = None,
 ) -> np.ndarray:
     """Fast-mode synthesis of one sample window per trace (any RD config).
 
@@ -379,17 +384,31 @@ def synthesize_trace_windows(
     n_out = int(n_samples)
     halo = oscilloscope._kernel.size // 2 + 1
     if plans is None and countermeasure is not None and countermeasure.max_delay:
-        plans = countermeasure.plan_batch(n32, batch)
+        plans = countermeasure.plan_batch_stacked(n32, batch)
     if plans is not None:
-        if len(plans) != batch:
-            raise ValueError(f"{len(plans)} delay plans for batch of {batch}")
-        for plan in plans:
-            if plan.n_ops != n32:
+        if not isinstance(plans, BatchDelayPlans):
+            if len(plans) != batch:
                 raise ValueError(
-                    f"plan was drawn for {plan.n_ops} ops, stream compiles "
-                    f"to {n32}"
+                    f"{len(plans)} delay plans for batch of {batch}"
                 )
-        if any(plan.total != plan.n_ops for plan in plans):
+            for plan in plans:
+                if plan.n_ops != n32:
+                    raise ValueError(
+                        f"plan was drawn for {plan.n_ops} ops, stream "
+                        f"compiles to {n32}"
+                    )
+            plans = BatchDelayPlans.from_plans(plans)
+        else:
+            if len(plans) != batch:
+                raise ValueError(
+                    f"{len(plans)} delay plans for batch of {batch}"
+                )
+            if plans.n_ops != n32:
+                raise ValueError(
+                    f"plan was drawn for {plans.n_ops} ops, stream "
+                    f"compiles to {n32}"
+                )
+        if not plans.delay_free:
             return _synthesize_delayed_windows(
                 values32, kinds32, int(op_starts[start_op]), n_out,
                 plans, leakage, oscilloscope, rng,
@@ -397,24 +416,21 @@ def synthesize_trace_windows(
     total = n32 * spp
     start = int(op_starts[start_op]) * spp   # < total: start_op is in range
     stop = min(start + n_out, total)
-    segments = np.zeros((batch, n_out), dtype=np.float32)
     lo_op = max(0, (start - halo) // spp)
     hi_op = min(n32, -(-(stop + halo) // spp))
     width = hi_op - lo_op
     power = leakage.power(
         values32[:, lo_op:hi_op].reshape(-1), np.tile(kinds32[lo_op:hi_op], batch)
     ).reshape(batch, width)
-    analog = np.empty((batch, width * spp), dtype=np.float64)
-    for s in range(spp):
-        np.multiply(power, oscilloscope._pulse[s], out=analog[:, s::spp])
-    analog = oscilloscope._bandlimit_rows(analog)
-    cut = analog[:, start - lo_op * spp: stop - lo_op * spp]
-    if oscilloscope.noise_std > 0:
-        cut = cut + oscilloscope.noise_std * rng.standard_normal(
-            cut.shape, dtype=np.float32
-        )
-    segments[:, : stop - start] = oscilloscope._quantize(cut)
-    return segments
+    return oscilloscope.synthesize_windows(
+        power,
+        widths=np.full(batch, width, dtype=np.int64),
+        offsets=np.full(batch, start - lo_op * spp, dtype=np.int64),
+        n_out=n_out,
+        lengths=np.full(batch, stop - start, dtype=np.int64),
+        rng=rng,
+        noise_cols=stop - start,
+    )
 
 
 def _gather_delayed_window(
@@ -431,6 +447,10 @@ def _gather_delayed_window(
     ``p`` (binary search); otherwise ``p`` holds dummy number
     ``p - (#real ops before p)``, because ``execute`` fills dummy slots in
     positional order.
+
+    This is the scalar **reference** for the batched
+    ``gather_delayed_windows`` backend kernel the capture path now runs;
+    the property suite pins the kernel to it element for element.
     """
     positions = plan.new_positions
     pos = np.arange(lo, hi, dtype=np.int64)
@@ -453,7 +473,7 @@ def _synthesize_delayed_windows(
     kinds32: np.ndarray,
     marker_op: int,
     n_samples: int,
-    plans: Sequence[DelayPlan],
+    plans: BatchDelayPlans | Sequence[DelayPlan],
     leakage: HammingWeightLeakage,
     oscilloscope: Oscilloscope,
     rng: np.random.Generator,
@@ -466,58 +486,32 @@ def _synthesize_delayed_windows(
     equal-width FIR pass reproduces each row's own edge-padding boundary
     condition bit-for-bit (rows clipped at the end of their delayed stream
     must see exactly the padding the full-trace chain sees there).
+
+    The whole chain is batched: the per-plan window headers come off the
+    stacked plan arrays in four vectorized expressions, the window gather
+    and the pulse→FIR→quantise synthesis are single backend-kernel calls
+    (``gather_delayed_windows`` / ``synthesize_rows``) — no per-trace
+    Python loop anywhere.
     """
+    if not isinstance(plans, BatchDelayPlans):
+        plans = BatchDelayPlans.from_plans(plans)
     batch = values32.shape[0]
     spp = oscilloscope.samples_per_op
     halo = oscilloscope._kernel.size // 2 + 1
-    starts = np.empty(batch, dtype=np.int64)
-    lengths = np.empty(batch, dtype=np.int64)   # valid samples in the cut
-    los = np.empty(batch, dtype=np.int64)
-    widths = np.empty(batch, dtype=np.int64)    # ops per gathered window
-    for b, plan in enumerate(plans):
-        start = int(plan.new_positions[marker_op]) * spp
-        stop = min(start + n_samples, plan.total * spp)
-        lo = max(0, (start - halo) // spp)
-        hi = min(plan.total, -(-(stop + halo) // spp))
-        starts[b], lengths[b] = start, stop - start
-        los[b], widths[b] = lo, hi - lo
-    width = int(widths.max())
-    win_values = np.empty((batch, width), dtype=np.uint64)
-    win_kinds = np.empty((batch, width), dtype=np.uint8)
-    for b, plan in enumerate(plans):
-        w = int(widths[b])
-        vals, knds = _gather_delayed_window(
-            plan, values32[b], kinds32, int(los[b]), int(los[b]) + w
-        )
-        win_values[b, :w] = vals
-        win_kinds[b, :w] = knds
-        if w < width:   # placeholder tail; overwritten at the sample level
-            win_values[b, w:] = vals[-1]
-            win_kinds[b, w:] = knds[-1]
+    starts = plans.positions[:, marker_op] * spp
+    stops = np.minimum(starts + n_samples, plans.totals * spp)
+    los = np.maximum(0, (starts - halo) // spp)
+    his = np.minimum(plans.totals, -(-(stops + halo) // spp))
+    lengths = stops - starts                    # valid samples in the cut
+    widths = his - los                          # ops per gathered window
+    win_values, win_kinds = get_backend().gather_delayed_windows(
+        plans.positions, values32, kinds32,
+        plans.dummy_values, plans.dummy_kinds, plans.dummy_bounds,
+        los, widths,
+    )
     power = leakage.power(
         win_values.reshape(-1), win_kinds.reshape(-1)
-    ).reshape(batch, width)
-    analog = np.empty((batch, width * spp), dtype=np.float64)
-    for s in range(spp):
-        np.multiply(power, oscilloscope._pulse[s], out=analog[:, s::spp])
-    if (widths != width).any():
-        # Edge-replicate each short row's last valid *sample* so the
-        # equal-width FIR sees the same right-boundary condition the
-        # per-row filter (and hence the full-trace chain) would.
-        clipped = np.minimum(
-            np.arange(width * spp, dtype=np.int64)[None, :],
-            widths[:, None] * spp - 1,
-        )
-        analog = np.take_along_axis(analog, clipped, axis=1)
-    analog = oscilloscope._bandlimit_rows(analog)
-    offsets = starts - los * spp
-    cols = offsets[:, None] + np.arange(n_samples, dtype=np.int64)[None, :]
-    np.minimum(cols, width * spp - 1, out=cols)
-    cut = np.take_along_axis(analog, cols, axis=1)
-    if oscilloscope.noise_std > 0:
-        cut = cut + oscilloscope.noise_std * rng.standard_normal(
-            cut.shape, dtype=np.float32
-        )
-    segments = oscilloscope._quantize(cut)
-    segments[np.arange(n_samples)[None, :] >= lengths[:, None]] = 0.0
-    return segments
+    ).reshape(batch, win_values.shape[1])
+    return oscilloscope.synthesize_windows(
+        power, widths, starts - los * spp, int(n_samples), lengths, rng,
+    )

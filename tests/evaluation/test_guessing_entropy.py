@@ -165,3 +165,43 @@ class TestEngineGeCurve:
         with pytest.raises(ValueError):
             ExperimentEngine(seed=0).run_ge_curve(
                 ScenarioSpec(), max_traces=100, repetitions=0)
+
+
+class TestEngineGeCurveWorkers:
+    """``run_ge_curve(workers=N)``: repetitions are independent streams,
+    so pooling them must reproduce the serial curve bit for bit."""
+
+    def _curve(self, workers):
+        from repro.runtime import ExperimentEngine, ScenarioSpec
+
+        engine = ExperimentEngine(seed=0, capture_mode="fast")
+        return engine.run_ge_curve(
+            ScenarioSpec(cipher="aes", max_delay=0, seed=700),
+            max_traces=150, repetitions=3, aggregate=8, batch_size=64,
+            workers=workers,
+        )
+
+    def test_pool_matches_the_serial_curve(self):
+        serial = self._curve(workers=1)
+        pooled = self._curve(workers=2)
+        assert pooled.n_repetitions == serial.n_repetitions == 3
+        for a, b in zip(pooled.curve(), serial.curve()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_workers_floor(self):
+        from repro.runtime import ExperimentEngine, ScenarioSpec
+
+        with pytest.raises(ValueError, match="workers"):
+            ExperimentEngine(seed=0).run_ge_curve(
+                ScenarioSpec(), max_traces=100, workers=0)
+
+    def test_pool_rejects_a_live_accumulator_distinguisher(self):
+        from repro.attacks.distinguishers import DistinguisherSpec
+        from repro.runtime import ExperimentEngine, ScenarioSpec
+
+        live = DistinguisherSpec(aggregate=8).build()
+        with pytest.raises(TypeError, match="picklable"):
+            ExperimentEngine(seed=0).run_ge_curve(
+                ScenarioSpec(), max_traces=100, workers=2,
+                distinguisher=live,
+            )

@@ -101,6 +101,67 @@ class TestNumpyKernels:
                 )
 
 
+def _window_kernel_case(seed=7, batch=5, n32=40, max_delay=3):
+    """A concrete RD-window workload exercising both new kernels."""
+    from repro.soc import RandomDelayCountermeasure, TrngModel
+    from repro.soc.random_delay import BatchDelayPlans
+
+    cm = RandomDelayCountermeasure(max_delay, TrngModel(seed))
+    stacked = BatchDelayPlans.from_plans([cm.plan(n32) for _ in range(batch)])
+    rng = np.random.default_rng(seed + 1)
+    values32 = rng.integers(
+        0, 1 << 32, size=(batch, n32), dtype=np.uint64, endpoint=False
+    )
+    kinds32 = rng.integers(0, 6, size=n32, dtype=np.int64).astype(np.uint8)
+    los = rng.integers(0, 10, size=batch).astype(np.int64)
+    widths = np.minimum(
+        stacked.totals - los, rng.integers(5, 30, size=batch)
+    ).astype(np.int64)
+    return stacked, values32, kinds32, los, widths
+
+
+class TestNumpyWindowKernels:
+    """The new RD-window kernels on the numpy backend.
+
+    The deep equivalence coverage (hypothesis over the parameter space,
+    scalar references, golden digests) lives in
+    ``tests/soc/test_fused_synthesis.py``; here we pin shapes, dtypes,
+    and the registry wiring.
+    """
+
+    def test_gather_returns_padded_matrix(self):
+        backend = set_backend("numpy")
+        stacked, values32, kinds32, los, widths = _window_kernel_case()
+        out_values, out_kinds = backend.gather_delayed_windows(
+            stacked.positions, values32, kinds32,
+            stacked.dummy_values, stacked.dummy_kinds, stacked.dummy_bounds,
+            los, widths,
+        )
+        assert out_values.shape == (5, int(widths.max()))
+        assert out_values.dtype == np.uint64
+        assert out_kinds.shape == out_values.shape
+        assert out_kinds.dtype == np.uint8
+
+    def test_synthesize_rows_shape_and_padding(self):
+        backend = set_backend("numpy")
+        rng = np.random.default_rng(3)
+        power = rng.uniform(0.0, 40.0, size=(4, 20))
+        widths = np.asarray([20, 20, 7, 1], dtype=np.int64)
+        lengths = np.asarray([30, 12, 0, 5], dtype=np.int64)
+        out = backend.synthesize_rows(
+            power, widths, np.linspace(1.0, 0.55, 2),
+            np.asarray([0.2, 0.6, 0.2]), np.zeros(4, dtype=np.int64), 30,
+            lengths, None, 48.0 / 4095, 4095,
+        )
+        assert out.shape == (4, 30)
+        assert out.dtype == np.float32
+        for b, n in enumerate(lengths):
+            assert np.all(out[b, int(n):] == 0.0)
+        # The width-1 row's replicated samples are constant once the FIR
+        # window no longer sees the pulse's leading sample.
+        assert out[3, 2] == out[3, 3] == out[3, 4]
+
+
 class TestNumbaKernels:
     """Numba backend vs the numpy reference (skipped without numba)."""
 
@@ -143,3 +204,37 @@ class TestNumbaKernels:
         jit.accumulate_class_stats(c_jit, s_jit, t, pts)
         np.testing.assert_array_equal(c_jit, c_ref)
         np.testing.assert_allclose(s_jit, s_ref, atol=1e-9)
+
+    def test_gather_delayed_windows_agrees(self, pair):
+        ref, jit = pair
+        stacked, values32, kinds32, los, widths = _window_kernel_case()
+        args = (
+            stacked.positions, values32, kinds32, stacked.dummy_values,
+            stacked.dummy_kinds, stacked.dummy_bounds, los, widths,
+        )
+        ref_values, ref_kinds = ref.gather_delayed_windows(*args)
+        jit_values, jit_kinds = jit.gather_delayed_windows(*args)
+        np.testing.assert_array_equal(jit_values, ref_values)
+        np.testing.assert_array_equal(jit_kinds, ref_kinds)
+
+    def test_synthesize_rows_agrees(self, pair):
+        ref, jit = pair
+        rng = np.random.default_rng(9)
+        batch, w_ops, spp, n_out = 6, 25, 2, 40
+        power = rng.uniform(0.0, 40.0, size=(batch, w_ops))
+        widths = rng.integers(1, w_ops + 1, size=batch).astype(np.int64)
+        offsets = rng.integers(0, w_ops * spp, size=batch).astype(np.int64)
+        lengths = rng.integers(0, n_out + 1, size=batch).astype(np.int64)
+        pulse = np.linspace(1.0, 0.55, spp)
+        kernel = np.asarray([0.2, 0.6, 0.2])
+        for noise in (None, rng.standard_normal((batch, 16)).astype(np.float32)):
+            np.testing.assert_array_equal(
+                jit.synthesize_rows(
+                    power, widths, pulse, kernel, offsets, n_out, lengths,
+                    noise, 48.0 / 4095, 4095,
+                ),
+                ref.synthesize_rows(
+                    power, widths, pulse, kernel, offsets, n_out, lengths,
+                    noise, 48.0 / 4095, 4095,
+                ),
+            )

@@ -219,3 +219,74 @@ class TestCliProfiledWorkflow:
     def test_assess_rejects_a_missing_store(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["assess", "--store", str(tmp_path / "nope")])
+
+
+class TestCliTvlaParallel:
+    """`repro tvla --workers`: the sharded path's CLI parity with its
+    inline reference, plus the error paths (satellite: CLI error paths)."""
+
+    _base = ["tvla", "--traces", "24", "--seed", "3", "--shard-size", "8",
+             "--segment-length", "160", "--batch-size", "8",
+             "--capture-mode", "fast"]
+
+    def test_worker_count_invariant_t_map(self, tmp_path, capsys):
+        """workers=4 saves the bit-identical t statistics of workers=1."""
+        import numpy as np
+
+        from repro.evaluation import WelchTAccumulator
+
+        out1 = str(tmp_path / "w1.npz")
+        out4 = str(tmp_path / "w4.npz")
+        rc1 = main(self._base + ["--workers", "1", "--output", out1])
+        rc4 = main(self._base + ["--workers", "4", "--output", out4])
+        capsys.readouterr()
+        assert rc1 == rc4
+        assert np.array_equal(
+            WelchTAccumulator.load(out1).t(),
+            WelchTAccumulator.load(out4).t(),
+        )
+
+    def test_grid_verdicts_are_worker_count_invariant(self, capsys):
+        """The acceptance pin: --grid --workers 4 == --grid --workers 1."""
+        argv = ["tvla", "--grid", "--traces", "8", "--batch-size", "4",
+                "--shard-size", "4", "--capture-mode", "fast"]
+
+        def verdict_lines():
+            return [line for line in capsys.readouterr().out.splitlines()
+                    if "max |t|" in line]
+
+        main(argv + ["--workers", "1"])
+        serial = verdict_lines()
+        main(argv + ["--workers", "4"])
+        pooled = verdict_lines()
+        assert len(serial) == 5
+        assert pooled == serial
+
+    def test_rejects_bad_worker_and_shard_counts(self, capsys):
+        assert main(["tvla", "--traces", "8", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert main(["tvla", "--traces", "8", "--workers", "2",
+                     "--shard-size", "0"]) == 2
+        assert "--shard-size" in capsys.readouterr().err
+
+    def test_parallel_refuses_a_serial_store(self, tmp_path, capsys):
+        store = str(tmp_path / "serial")
+        argv = ["tvla", "--traces", "4", "--segment-length", "160",
+                "--batch-size", "4", "--store", store]
+        assert main(argv) in (0, 1)
+        capsys.readouterr()
+        assert main(argv + ["--workers", "1"]) == 2
+        assert "serial TraceStore" in capsys.readouterr().err
+
+    def test_serial_refuses_a_shard_store_root(self, tmp_path, capsys):
+        store = str(tmp_path / "shards")
+        argv = ["tvla", "--traces", "4", "--segment-length", "160",
+                "--batch-size", "4", "--store", store]
+        assert main(argv + ["--workers", "1", "--shard-size", "4"]) in (0, 1)
+        capsys.readouterr()
+        assert main(argv) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_rejects_an_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["tvla", "--traces", "4", "--backend", "bogus"])

@@ -185,6 +185,94 @@ def bench_capture_modes_rd2(
     return rows, measured
 
 
+def bench_fault_tolerance(
+    budget: int, shard_size: int | None = None
+) -> tuple[list[list[str]], dict]:
+    """What the fault-tolerance layer costs a fault-free run.
+
+    The fault-tolerant :class:`~repro.runtime.parallel.ParallelCampaign`
+    at ``workers=1`` (inline ShardExecutor dispatch, retry accounting, no
+    journal) races a bare loop over the identical shard plan — direct
+    ``run_shard`` calls merged and rank-evaluated at the same
+    shard-aligned ladder.  Both paths produce bit-identical checkpoint
+    ranks (verified), so the ratio isolates the retry layer's overhead;
+    the campaign gate is that it stays within a few percent.
+    """
+    from repro.runtime import ParallelCampaign, PlatformCampaignSpec
+    from repro.runtime.campaign import evaluate_checkpoint
+    from repro.runtime.parallel import plan_shards, run_shard
+    from repro.soc.platform import PlatformSpec, SimulatedPlatform
+
+    if shard_size is None:
+        shard_size = max(256, budget // 8)
+    probe = SimulatedPlatform("aes", max_delay=0, seed=7)
+    spec = PlatformCampaignSpec(
+        platform=PlatformSpec(cipher_name="aes", max_delay=0),
+        key=probe.random_key(),
+        segment_length=probe.mean_co_samples(),
+        batch_size=256,
+        attack_bytes=2,
+    )
+    campaign = ParallelCampaign(
+        spec, seed=7, workers=1, shard_size=shard_size,
+        aggregate=8, rank1_patience=1000, batch_size=256,
+    )
+    ladder = campaign.checkpoints(budget)
+    shards = plan_shards(7, budget, shard_size)
+    dist_spec = campaign.distinguisher_spec
+
+    # Warm the synthesis caches once so neither timed path pays them.
+    run_shard(spec, shards[0], None, 8, 256, dist_spec)
+
+    begin = time.perf_counter()
+    accumulator = dist_spec.build()
+    bare_records = []
+    merged = 0
+    for target in ladder:
+        needed = -(-target // shard_size)            # ceil
+        for shard in shards[merged:needed]:
+            result = run_shard(spec, shard, None, 8, 256, dist_spec)
+            accumulator.merge(result.accumulator)
+        merged = max(merged, needed)
+        bare_records.append(
+            evaluate_checkpoint(
+                accumulator, spec.true_key, accumulator.n_traces
+            )
+        )
+    bare_seconds = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    layered = campaign.run(budget)
+    layered_seconds = time.perf_counter() - begin
+
+    for mine, theirs in zip(layered.records, bare_records):
+        if mine.n_traces != theirs.n_traces or mine.ranks != theirs.ranks:
+            raise AssertionError(
+                f"fault-tolerant dispatch diverged at {mine.n_traces} "
+                f"traces: {mine.ranks} != {theirs.ranks}"
+            )
+    if layered.retries or layered.partial:
+        raise AssertionError("fault-free run reported retries or partial")
+
+    overhead = layered_seconds / max(bare_seconds, 1e-9)
+    rows = [
+        ["bare shard loop", f"{len(ladder)}", f"{budget}",
+         f"{bare_seconds:7.3f}", f"{budget / bare_seconds:6.0f}/s"],
+        ["fault-tolerant campaign", f"{len(ladder)}", f"{budget}",
+         f"{layered_seconds:7.3f}", f"{budget / layered_seconds:6.0f}/s"],
+    ]
+    stats = {
+        "bare_seconds": bare_seconds,
+        "layered_seconds": layered_seconds,
+        "overhead_ratio": overhead,
+        "bare_traces_per_s": budget / max(bare_seconds, 1e-9),
+        "layered_traces_per_s": budget / max(layered_seconds, 1e-9),
+        "traces": budget,
+        "shards": len(shards),
+    }
+    return rows, stats
+
+
 def bench_rank_evaluation(
     traces: np.ndarray, pts: np.ndarray, key: bytes
 ) -> tuple[list[list[str]], float]:
@@ -290,6 +378,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail below this fast-vs-exact RD-2 campaign "
                              "speedup (default: 2.0, relaxed to 1.5 with "
                              "--quick for noisy CI runners)")
+    parser.add_argument("--ft-traces", type=int, default=None,
+                        help="trace budget of the fault-tolerance overhead "
+                             "comparison (default 8192, 2048 with --quick)")
+    parser.add_argument("--max-ft-overhead", type=float, default=None,
+                        help="fail above this fault-tolerance overhead "
+                             "ratio (default: 1.05, relaxed to 1.25 with "
+                             "--quick for noisy CI runners)")
     parser.add_argument("--output", default="fresh_BENCH_streaming_attack.json",
                         help="JSON trajectory path; the default is "
                              "gitignored — pass BENCH_streaming_attack.json "
@@ -312,6 +407,13 @@ def main(argv: list[str] | None = None) -> int:
         args.min_rd2_speedup if args.min_rd2_speedup is not None
         else (1.5 if args.quick else 2.0)
     )
+    ft_traces = args.ft_traces if args.ft_traces else (
+        2_048 if args.quick else 8_192
+    )
+    ft_ceiling = (
+        args.max_ft_overhead if args.max_ft_overhead is not None
+        else (1.25 if args.quick else 1.05)
+    )
 
     rng = np.random.default_rng(0xBEEF)
     key = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
@@ -321,7 +423,8 @@ def main(argv: list[str] | None = None) -> int:
     store_rows, store_stats = bench_store(traces, pts)
     mode_rows, mode_stats = bench_capture_modes(campaign_traces)
     rd2_rows, rd2_stats = bench_capture_modes_rd2(args.rd2_traces)
-    rows += store_rows + mode_rows + rd2_rows
+    ft_rows, ft_stats = bench_fault_tolerance(ft_traces)
+    rows += store_rows + mode_rows + rd2_rows + ft_rows
     speedup = rank_stats["streaming_speedup"]
     print(format_table(
         ["evaluator", "checkpoints", "traces processed", "seconds", "rate"],
@@ -338,6 +441,10 @@ def main(argv: list[str] | None = None) -> int:
           f"{rd2_stats['speedup']:.1f}x wall clock over {args.rd2_traces} "
           f"traces (floor {rd2_floor:.1f}x); identical recovered reduced "
           f"keys")
+    print(f"fault-tolerance layer overhead on a fault-free run: "
+          f"{ft_stats['overhead_ratio']:.2f}x over {ft_traces} traces "
+          f"(ceiling {ft_ceiling:.2f}x); checkpoint ranks identical to "
+          f"the bare shard loop")
 
     payload = {
         "benchmark": "streaming_attack",
@@ -348,6 +455,7 @@ def main(argv: list[str] | None = None) -> int:
         "store": store_stats,
         "capture_modes": mode_stats,
         "capture_modes_rd2": rd2_stats,
+        "fault_tolerance": ft_stats,
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -363,6 +471,10 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if rd2_stats["speedup"] < rd2_floor:
         print("FAIL: RD-2 fast capture mode below the campaign speedup floor",
+              file=sys.stderr)
+        return 1
+    if ft_stats["overhead_ratio"] > ft_ceiling:
+        print("FAIL: fault-tolerance layer overhead above the ceiling",
               file=sys.stderr)
         return 1
     return 0

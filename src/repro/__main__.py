@@ -34,6 +34,14 @@ Eight commands mirror the attacker workflow on the simulated platform:
 The capture countermeasures stack via ``--countermeasure`` (``shuffle``,
 ``jitter``/``jitter-N``, comma-separated, on top of ``--rd``) and
 ``--masking-order 2`` for the three-share masked AES datapath.
+
+Parallel campaigns (``campaign``/``tvla`` with ``--workers``) are fault
+tolerant: failed shards retry with exponential backoff (``--max-retries``
+/ ``--retry-backoff``), hung shards are cancelled by the ``--shard-timeout``
+watchdog, and a run whose shards exhaust their retries exits 3 with a
+partial result over the merged prefix (exit 4 when no shard completed at
+all; re-running the same command resumes just the missing work).
+``--status`` prints the campaign journal kept under ``--store``.
 """
 
 from __future__ import annotations
@@ -200,6 +208,24 @@ def _check_profile_target(spec, args: argparse.Namespace) -> int | None:
               f"scored against it", file=sys.stderr)
         return None
     return segment_length
+
+
+def _add_fault_tolerance_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="failed-shard retry budget before the campaign degrades to a "
+             "partial result (default 2; only with --workers)")
+    parser.add_argument(
+        "--retry-backoff", type=float, default=None,
+        help="base seconds of exponential per-shard retry backoff "
+             "(default 0.5; only with --workers)")
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None,
+        help="per-shard wall-clock watchdog in seconds; hung shards are "
+             "cancelled and requeued (only with --workers)")
+    parser.add_argument(
+        "--status", action="store_true",
+        help="report the campaign journal under --store and exit")
 
 
 def _add_capture_mode_option(parser: argparse.ArgumentParser) -> None:
@@ -466,6 +492,61 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if worst >= 0.5 else 1
 
 
+def _campaign_status(store) -> int:
+    """``--status``: report the journal under a parallel store root."""
+    from pathlib import Path
+
+    from repro.runtime.journal import CampaignJournal
+
+    if store is None:
+        print("--status needs --store (the campaign's store root)",
+              file=sys.stderr)
+        return 2
+    root = Path(store)
+    if not root.exists():
+        print(f"no campaign at {store}: directory does not exist",
+              file=sys.stderr)
+        return 2
+    try:
+        journal = CampaignJournal.load(root)
+    except FileNotFoundError:
+        if (root / "manifest.json").exists():
+            print(f"{store} holds a serial trace store (no journal); "
+                  f"journals are written by parallel campaigns (--workers)",
+                  file=sys.stderr)
+        else:
+            print(f"no campaign journal under {store}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"{error}; delete journal.json to reset it", file=sys.stderr)
+        return 2
+    print(journal.describe())
+    return 0
+
+
+def _resolve_fault_tolerance(args) -> tuple[int, float, float | None] | None:
+    """Validate the retry flags; ``None`` means reject with exit 2."""
+    if args.workers is None and any(
+        value is not None
+        for value in (args.max_retries, args.retry_backoff, args.shard_timeout)
+    ):
+        print("--max-retries/--retry-backoff/--shard-timeout apply to the "
+              "sharded parallel path; pass --workers", file=sys.stderr)
+        return None
+    max_retries = 2 if args.max_retries is None else args.max_retries
+    backoff = 0.5 if args.retry_backoff is None else args.retry_backoff
+    if max_retries < 0:
+        print("--max-retries must be >= 0", file=sys.stderr)
+        return None
+    if backoff < 0:
+        print("--retry-backoff must be >= 0", file=sys.stderr)
+        return None
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        print("--shard-timeout must be > 0 seconds", file=sys.stderr)
+        return None
+    return max_retries, backoff, args.shard_timeout
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """``repro campaign``: streaming capture→store→accumulate→rank attack."""
     from repro.campaign import TraceStore
@@ -473,8 +554,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.runtime.campaign import AttackCampaign, PlatformSegmentSource
     from repro.soc.platform import PlatformSpec
 
+    if args.status:
+        return _campaign_status(args.store)
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    fault_tolerance = _resolve_fault_tolerance(args)
+    if fault_tolerance is None:
         return 2
     _apply_backend(args)
     countermeasures = _resolve_countermeasures(args)
@@ -501,7 +587,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         platform, segment_length=segment_length, batch_size=args.batch_size
     )
     if args.workers is not None:
-        return _run_parallel_campaign(args, source, spec, platform_spec)
+        return _run_parallel_campaign(
+            args, source, spec, platform_spec, fault_tolerance
+        )
     store = None
     if args.store is not None:
         from repro.runtime.parallel import is_shard_store_root
@@ -760,6 +848,8 @@ def cmd_tvla(args: argparse.Namespace) -> int:
     from repro.evaluation import ParallelTvlaCampaign, TvlaCampaign
     from repro.soc.platform import PlatformSpec
 
+    if args.status:
+        return _campaign_status(args.store)
     _apply_backend(args)
     if args.traces < 2:
         print("--traces must be >= 2 (per population)", file=sys.stderr)
@@ -769,6 +859,9 @@ def cmd_tvla(args: argparse.Namespace) -> int:
         return 2
     if args.shard_size < 1:
         print("--shard-size must be >= 1", file=sys.stderr)
+        return 2
+    fault_tolerance = _resolve_fault_tolerance(args)
+    if fault_tolerance is None:
         return 2
     if args.grid:
         return _run_tvla_grid(args)
@@ -782,12 +875,17 @@ def cmd_tvla(args: argparse.Namespace) -> int:
         masking_order=args.masking_order,
     )
     if args.workers is not None:
+        from repro.runtime.retry import ShardFailure
+
+        max_retries, retry_backoff, shard_timeout = fault_tolerance
         try:
             campaign = ParallelTvlaCampaign(
                 spec, seed=args.seed, workers=args.workers,
                 shard_size=args.shard_size,
                 segment_length=args.segment_length,
                 store_root=args.store, batch_size=args.batch_size,
+                max_retries=max_retries, retry_backoff=retry_backoff,
+                shard_timeout=shard_timeout,
             )
         except ValueError as error:
             print(str(error), file=sys.stderr)
@@ -798,6 +896,13 @@ def cmd_tvla(args: argparse.Namespace) -> int:
               f"{args.shard_size}")
         try:
             result = campaign.run(args.traces, verbose=True)
+        except ShardFailure as failure:
+            tail = (f" (captured traces persist under {args.store})"
+                    if args.store is not None else "")
+            print(f"tvla campaign failed: {failure} — no shard completed; "
+                  f"re-run the same command to try again{tail}",
+                  file=sys.stderr)
+            return 4
         except ValueError as error:
             print(str(error), file=sys.stderr)
             return 2
@@ -808,6 +913,12 @@ def cmd_tvla(args: argparse.Namespace) -> int:
         if args.output is not None:
             campaign.accumulator.save(args.output)
             print(f"t statistics saved to {args.output}")
+        if result.partial:
+            print(f"PARTIAL RESULT: shards {list(result.failed_shards)} "
+                  f"exhausted their retries; the verdict covers the merged "
+                  f"shard prefix only. Re-run the same command to retry "
+                  f"just the failed shards.", file=sys.stderr)
+            return 3
         return 0 if result.leakage_detected else 1
     if args.store is not None:
         from repro.runtime.parallel import is_shard_store_root
@@ -839,7 +950,11 @@ def cmd_tvla(args: argparse.Namespace) -> int:
 
 
 def _report_campaign(result) -> int:
-    """Shared campaign outcome report; exit 0 once rank 1 was reached."""
+    """Shared campaign outcome report.
+
+    Exit codes: 0 once rank 1 was reached, 1 for an exhausted budget, 3
+    for a partial run (some shards exhausted their retries).
+    """
     from repro.evaluation import format_campaign
 
     print()
@@ -848,15 +963,23 @@ def _report_campaign(result) -> int:
     print(f"true key      : {result.true_key.hex()}")
     print(f"recovered key : {result.recovered_key.hex()}")
     print(result.summary())
+    if result.partial:
+        print(f"PARTIAL RESULT: shards {list(result.failed_shards)} "
+              f"exhausted their retries; ranks cover the merged shard "
+              f"prefix only. Re-run the same command to retry just the "
+              f"failed shards.", file=sys.stderr)
+        return 3
     return 0 if result.traces_to_rank1 is not None else 1
 
 
 def _run_parallel_campaign(
-    args: argparse.Namespace, source, spec, platform_spec
+    args: argparse.Namespace, source, spec, platform_spec, fault_tolerance
 ) -> int:
     """``repro campaign --workers N``: the sharded process-parallel path."""
     from repro.runtime.parallel import ParallelCampaign, PlatformCampaignSpec
+    from repro.runtime.retry import ShardFailure
 
+    max_retries, retry_backoff, shard_timeout = fault_tolerance
     campaign_spec = PlatformCampaignSpec(
         platform=platform_spec,
         key=source.true_key,
@@ -874,6 +997,9 @@ def _run_parallel_campaign(
         rank1_patience=args.patience,
         batch_size=args.batch_size,
         distinguisher=spec,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+        shard_timeout=shard_timeout,
     )
     print(f"parallel campaign: {args.cipher} RD-{args.rd}, "
           f"{spec.name} distinguisher, "
@@ -882,7 +1008,14 @@ def _run_parallel_campaign(
           f"<= {args.traces} traces")
     if args.store is not None:
         print(f"store root: {args.store} (one trace store per shard)")
-    result = campaign.run(args.traces, verbose=True)
+    try:
+        result = campaign.run(args.traces, verbose=True)
+    except ShardFailure as failure:
+        tail = (f" (captured traces persist under {args.store})"
+                if args.store is not None else "")
+        print(f"campaign failed: {failure} — no shard completed; re-run "
+              f"the same command to try again{tail}", file=sys.stderr)
+        return 4
     return _report_campaign(result)
 
 
@@ -979,6 +1112,7 @@ def main(argv: list[str] | None = None) -> int:
     p_campaign.add_argument("--shard-size", type=int, default=1024,
                             help="traces per parallel shard (seed and "
                                  "checkpoint granularity)")
+    _add_fault_tolerance_options(p_campaign)
     _add_capture_mode_option(p_campaign)
     _add_countermeasure_options(p_campaign)
     _add_distinguisher_options(p_campaign)
@@ -1092,6 +1226,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="traces per population per shard — the unit "
                              "of parallel work and per-shard seed "
                              "derivation (only with --workers)")
+    _add_fault_tolerance_options(p_tvla)
     _add_capture_mode_option(p_tvla)
     _add_countermeasure_options(p_tvla)
     p_tvla.set_defaults(func=cmd_tvla)

@@ -20,6 +20,18 @@ top of these pieces.
 """
 
 from repro.campaign.online import OnlineCpa, OnlineDpa
-from repro.campaign.store import TraceStore
+from repro.campaign.store import (
+    CorruptManifestError,
+    StoreVerification,
+    TraceStore,
+    atomic_write_json,
+)
 
-__all__ = ["OnlineCpa", "OnlineDpa", "TraceStore"]
+__all__ = [
+    "CorruptManifestError",
+    "OnlineCpa",
+    "OnlineDpa",
+    "StoreVerification",
+    "TraceStore",
+    "atomic_write_json",
+]

@@ -13,28 +13,111 @@ a JSON manifest:
       ...
 
 Writes are **append-only**: every :meth:`TraceStore.append` call lands one
-new shard pair and then atomically replaces the manifest
-(write-to-temporary + ``os.replace``).  The manifest therefore only ever
-lists fully written shards — a process killed mid-append leaves at most an
-orphan array file that the next append quietly overwrites, so a
-half-written store always reopens to its last durable state.  Reads are
-memory-mapped (:meth:`iter_chunks`), so replaying a million-trace store
-into an online accumulator never materialises the whole matrix in RAM.
+new shard pair (payload files fsynced) and then atomically replaces the
+manifest (write-to-temporary + fsync + ``os.replace`` + directory fsync).
+The manifest therefore only ever lists fully written shards — a process
+killed mid-append leaves at most an orphan array file, so a half-written
+store always reopens to its last durable state.  Reads are memory-mapped
+(:meth:`iter_chunks`), so replaying a million-trace store into an online
+accumulator never materialises the whole matrix in RAM.
+
+Integrity: every appended shard records the SHA-256 of both payload files
+in its manifest entry (older, digest-less manifests stay readable — their
+shards are checked structurally only).  :meth:`TraceStore.verify` detects
+missing, truncated, and bit-flipped shard payloads plus orphaned payload
+files; :meth:`TraceStore.recover` quarantines the damage into a
+``quarantine/`` subdirectory and truncates the manifest back to its
+longest intact prefix, so a resume path re-captures the quarantined tail
+deterministically instead of crashing (or silently attacking corrupt
+data) mid-replay.  The surviving shard list must stay a *prefix* — store
+content is replayed sequentially against a seeded capture stream, so
+dropping a middle shard while keeping later ones would splice the stream.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
+import re
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
-__all__ = ["TraceStore"]
+__all__ = [
+    "CorruptManifestError",
+    "StoreVerification",
+    "TraceStore",
+    "atomic_write_json",
+]
 
 _MANIFEST = "manifest.json"
 _VERSION = 1
+_QUARANTINE = "quarantine"
+
+#: Payload files a store directory may legitimately contain.
+_PAYLOAD_RE = re.compile(r"^(traces|plaintexts)-\d{6}\.npy$")
+
+
+class CorruptManifestError(ValueError):
+    """The manifest file exists but cannot be parsed or lacks its schema."""
+
+
+def _fsync_path(path) -> None:
+    """fsync a file or directory by path (directories need O_RDONLY)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path, payload: dict) -> None:
+    """Durably replace ``path`` with ``payload`` as JSON.
+
+    Write-to-temporary + file fsync + atomic ``os.replace`` + parent
+    directory fsync: after a crash the path holds either the previous or
+    the new content, never a torn file, and a power cut cannot leave the
+    directory entry pointing at unsynced data.
+    """
+    path = Path(path)
+    temporary = path.with_name(path.name + ".tmp")
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)
+    _fsync_path(path.parent)
+
+
+def _file_sha256(path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreVerification:
+    """What :meth:`TraceStore.verify` found (and :meth:`recover` moved)."""
+
+    corrupt: tuple[int, ...]        # manifest indices with damaged payloads
+    orphans: tuple[str, ...]        # payload files the manifest never listed
+    quarantined: tuple[str, ...] = ()   # files recover() moved aside
+
+    @property
+    def intact(self) -> bool:
+        """Every manifest-listed shard read back clean."""
+        return not self.corrupt
+
+    @property
+    def clean(self) -> bool:
+        """Intact and free of orphans — nothing for recover() to do."""
+        return self.intact and not self.orphans
 
 
 class TraceStore:
@@ -89,8 +172,18 @@ class TraceStore:
         manifest_path = path / _MANIFEST
         if not manifest_path.exists():
             raise FileNotFoundError(f"no trace store at {path}")
-        with open(manifest_path, "r", encoding="utf-8") as handle:
-            manifest = json.load(handle)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise CorruptManifestError(
+                f"corrupt trace-store manifest at {manifest_path}: {error}"
+            ) from error
+        if not isinstance(manifest, dict) or "shards" not in manifest:
+            raise CorruptManifestError(
+                f"corrupt trace-store manifest at {manifest_path}: "
+                f"not a store manifest"
+            )
         if manifest.get("version") != _VERSION:
             raise ValueError(
                 f"unsupported trace-store version {manifest.get('version')!r}"
@@ -209,24 +302,118 @@ class TraceStore:
         pt_name = f"plaintexts-{index:06d}.npy"
         np.save(self._path / trace_name, traces.astype(self.dtype, copy=False))
         np.save(self._path / pt_name, plaintexts)
+        digests = {}
+        for name in (trace_name, pt_name):
+            _fsync_path(self._path / name)
+            digests[name] = _file_sha256(self._path / name)
         self._manifest["shards"].append(
             {
                 "traces": trace_name,
                 "plaintexts": pt_name,
                 "count": int(traces.shape[0]),
+                "sha256": digests,
             }
         )
         self._write_manifest()
         return len(self)
 
     def _write_manifest(self) -> None:
-        final = self._path / _MANIFEST
-        temporary = self._path / (_MANIFEST + ".tmp")
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(self._manifest, handle, indent=1)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temporary, final)
+        atomic_write_json(self._path / _MANIFEST, self._manifest)
+
+    # ------------------------------------------------------------------ #
+    # integrity                                                          #
+    # ------------------------------------------------------------------ #
+
+    def verify(self, deep: bool = True) -> StoreVerification:
+        """Check every manifest-listed shard payload and spot orphans.
+
+        Structural checks (file present, loadable ``.npy`` header, the
+        shape the manifest promises) catch missing and truncated
+        payloads; with ``deep`` the recorded SHA-256 digests additionally
+        catch bit flips (shards appended before digests existed are
+        checked structurally only).  Orphans are payload-named files the
+        manifest never listed — the debris of a crash between payload
+        write and manifest replace.
+        """
+        corrupt: list[int] = []
+        referenced: set[str] = set()
+        for index, shard in enumerate(self._manifest["shards"]):
+            names = (shard["traces"], shard["plaintexts"])
+            referenced.update(names)
+            shapes = (
+                (int(shard["count"]), self.n_samples),
+                (int(shard["count"]), self.block_size),
+            )
+            digests = shard.get("sha256") or {}
+            ok = True
+            for name, shape in zip(names, shapes):
+                path = self._path / name
+                try:
+                    array = np.load(path, mmap_mode="r")
+                except (OSError, ValueError):
+                    ok = False
+                    break
+                if tuple(array.shape) != shape:
+                    ok = False
+                    break
+                if deep and name in digests:
+                    if _file_sha256(path) != digests[name]:
+                        ok = False
+                        break
+            if not ok:
+                corrupt.append(index)
+        orphans = sorted(
+            name
+            for name in os.listdir(self._path)
+            if _PAYLOAD_RE.match(name) and name not in referenced
+        )
+        return StoreVerification(tuple(corrupt), tuple(orphans))
+
+    def recover(self, deep: bool = True) -> StoreVerification:
+        """Quarantine damage found by :meth:`verify`; return what moved.
+
+        Corrupt shards force the manifest back to its longest intact
+        *prefix* (the store is a sequential replay of a seeded stream, so
+        shards past the first damaged one cannot be kept without splicing
+        that stream); their payloads, and every orphan, move into
+        ``quarantine/`` for post-mortem instead of being deleted.  The
+        truncated manifest is written before the files move, so a crash
+        mid-recover degrades to orphans the next recover sweeps up.
+        """
+        report = self.verify(deep=deep)
+        if report.clean:
+            return report
+        quarantined: list[str] = []
+        dropped: list[dict] = []
+        if report.corrupt:
+            first_bad = min(report.corrupt)
+            dropped = self._manifest["shards"][first_bad:]
+            del self._manifest["shards"][first_bad:]
+            self._write_manifest()
+        for shard in dropped:
+            for name in (shard["traces"], shard["plaintexts"]):
+                moved = self._quarantine_file(name)
+                if moved is not None:
+                    quarantined.append(moved)
+        for name in report.orphans:
+            moved = self._quarantine_file(name)
+            if moved is not None:
+                quarantined.append(moved)
+        return dataclasses.replace(report, quarantined=tuple(quarantined))
+
+    def _quarantine_file(self, name: str) -> str | None:
+        source = self._path / name
+        if not source.exists():
+            return None
+        quarantine = self._path / _QUARANTINE
+        quarantine.mkdir(exist_ok=True)
+        target = quarantine / name
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = quarantine / f"{name}.{serial}"
+        os.replace(source, target)
+        return target.name
 
     # ------------------------------------------------------------------ #
     # reads                                                              #

@@ -24,7 +24,12 @@ shard persists to its own ``shard-NNNNNN`` trace-store directory under
 accumulator (capped at the shard's quota via ``replay_limit``, so stores
 captured under a larger budget do not splice extra traces in), and a
 serial single-store directory is refused rather than silently recaptured
-next to.
+next to.  Fault tolerance mirrors it too: shards retry with backoff
+through :class:`~repro.runtime.retry.ShardExecutor` (bit-identical by
+the deterministic-reseed property), corrupt shard stores are quarantined
+and re-captured on resume, and exhausted retries degrade to a
+``partial=True`` verdict over the completed shard prefix with the run
+journalled under ``store_root``.
 """
 
 from __future__ import annotations
@@ -37,11 +42,13 @@ import numpy as np
 
 from repro.attacks.assessment import TVLA_THRESHOLD
 from repro.evaluation.tvla import TvlaCampaign, TvlaResult, WelchTAccumulator
+from repro.runtime.journal import CampaignJournal
 from repro.runtime.parallel import (
     ShardSpec,
-    _pool_context,
+    _recover_store_dir,
     plan_shards,
 )
+from repro.runtime.retry import RetryPolicy, ShardExecutor, ShardFailure
 from repro.soc.platform import PlatformSpec
 
 __all__ = [
@@ -59,6 +66,7 @@ class TvlaShardResult:
     accumulator: WelchTAccumulator
     replayed: int
     capture_seconds: float
+    quarantined: int = 0        # corrupt files quarantined before resume
 
 
 def _shard_store_dir(store_root, index: int) -> Path:
@@ -75,6 +83,7 @@ def run_tvla_shard(
     batch_size: int = 256,
     nop_header: int = 96,
     threshold: float = TVLA_THRESHOLD,
+    fault_plan=None,
 ) -> TvlaShardResult:
     """Capture (or resume) one shard's fixed+random populations.
 
@@ -82,24 +91,34 @@ def run_tvla_shard(
     spawned child sequence; the campaign-wide key, fixed plaintext, and
     segment length arrive pre-derived so every shard captures the same
     configuration.  With a ``store_root`` the shard persists under its own
-    ``shard-<index>`` directory and replays at most ``shard.count`` traces
-    per population on resume.
+    ``shard-<index>`` directory — integrity-checked and quarantined as
+    needed before resume — and replays at most ``shard.count`` traces per
+    population.  ``fault_plan`` is the chaos-test hook.
     """
+    store_dir = None
+    quarantined = 0
+    if store_root is not None:
+        store_dir = _shard_store_dir(store_root, shard.index)
+        # Recover before the campaign opens the store: an unparseable
+        # manifest quarantines the whole directory, which open_or_create
+        # could not survive.
+        quarantined = _recover_store_dir(store_dir)
     campaign = TvlaCampaign(
         spec,
         seed=shard.seed_sequence,
         fixed_plaintext=fixed_plaintext,
         key=key,
         segment_length=segment_length,
-        store_dir=(
-            None if store_root is None
-            else _shard_store_dir(store_root, shard.index)
-        ),
+        store_dir=store_dir,
         batch_size=batch_size,
         nop_header=nop_header,
         threshold=threshold,
         replay_limit=shard.count,
     )
+    if fault_plan is not None:
+        fault_plan.maybe_fire(
+            shard.index, done=campaign.resumed_from, store=campaign.store
+        )
     begin = time.perf_counter()
     campaign.capture(shard.count)
     return TvlaShardResult(
@@ -107,6 +126,7 @@ def run_tvla_shard(
         accumulator=campaign.accumulator,
         replayed=campaign.resumed_from,
         capture_seconds=time.perf_counter() - begin,
+        quarantined=quarantined + campaign.store_quarantined,
     )
 
 
@@ -142,6 +162,10 @@ class ParallelTvlaCampaign:
         batch_size: int = 256,
         nop_header: int = 96,
         threshold: float = TVLA_THRESHOLD,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        shard_timeout: float | None = None,
+        fault_plan=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -155,6 +179,12 @@ class ParallelTvlaCampaign:
         self.batch_size = int(batch_size)
         self.nop_header = int(nop_header)
         self.threshold = float(threshold)
+        self.retry_policy = RetryPolicy(
+            max_retries=max_retries,
+            backoff=retry_backoff,
+            timeout=shard_timeout,
+        )
+        self.fault_plan = fault_plan
         # Derive the campaign-wide configuration exactly as the serial
         # campaign would (key spawned from the campaign seed, CRI fixed
         # vector cut to the block, segment length from the platform's
@@ -175,11 +205,23 @@ class ParallelTvlaCampaign:
         self.countermeasure_name = probe.countermeasure_name
         self.accumulator = WelchTAccumulator(threshold=self.threshold)
         self.resumed_from = 0
+        self.partial = False
+        self.failed_shards: tuple[int, ...] = ()
 
     def run(self, n_per_group: int, verbose: bool = False) -> TvlaResult:
-        """Capture until both merged populations hold ``n_per_group``."""
+        """Capture until both merged populations hold ``n_per_group``.
+
+        Failed shards retry through the campaign's
+        :class:`~repro.runtime.retry.RetryPolicy`; a shard that exhausts
+        its retries degrades the run to a ``partial=True`` verdict over
+        the completed shard prefix (the
+        :class:`~repro.runtime.retry.ShardFailure` propagates instead
+        when the prefix holds fewer than two traces per population — no
+        t-statistic exists to report).
+        """
         if n_per_group < 2:
             raise ValueError("n_per_group must be >= 2")
+        journal = None
         if self.store_root is not None:
             if (Path(self.store_root) / "manifest.json").exists():
                 raise ValueError(
@@ -188,49 +230,79 @@ class ParallelTvlaCampaign:
                     f"campaign at a fresh directory"
                 )
             Path(self.store_root).mkdir(parents=True, exist_ok=True)
+            journal = CampaignJournal.open_or_create(
+                self.store_root, "parallel_tvla",
+                meta={
+                    "seed": self.seed,
+                    "shard_size": self.shard_size,
+                    "countermeasure": self.countermeasure_name,
+                },
+            )
         shards = plan_shards(self.seed, n_per_group, self.shard_size)
-        if self.workers > 1:
-            from concurrent.futures import ProcessPoolExecutor
+        if journal is not None:
+            journal.begin(len(shards))
 
-            with ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=_pool_context()
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        run_tvla_shard, self.spec, shard,
-                        self.fixed_plaintext, self.key, self.segment_length,
-                        self.store_root, self.batch_size, self.nop_header,
-                        self.threshold,
-                    )
-                    for shard in shards
-                ]
-                results = [future.result() for future in futures]
-        else:
-            results = [
-                run_tvla_shard(
-                    self.spec, shard, self.fixed_plaintext, self.key,
-                    self.segment_length, store_root=self.store_root,
-                    batch_size=self.batch_size, nop_header=self.nop_header,
-                    threshold=self.threshold,
+        def on_event(index: int, state: str, retries: int) -> None:
+            if journal is not None:
+                journal.update_shard(index, state)
+            if verbose and state in ("retrying", "failed"):
+                print(
+                    f"[tvla x{self.workers}] shard {index} {state} "
+                    f"(retries {retries})"
                 )
-                for shard in shards
-            ]
+
+        executor = ShardExecutor(
+            workers=self.workers, policy=self.retry_policy, on_event=on_event
+        )
         accumulator = WelchTAccumulator(threshold=self.threshold)
         resumed = 0
         capture_seconds = 0.0
-        for result in sorted(results, key=lambda r: r.index):
-            accumulator.merge(result.accumulator)
-            resumed += result.replayed
-            capture_seconds += result.capture_seconds
-            if verbose:
-                print(
-                    f"[tvla x{self.workers}] shard {result.index}: "
-                    f"{result.accumulator.n_fixed} fixed / "
-                    f"{result.accumulator.n_random} random"
+        failures: list[ShardFailure] = []
+        try:
+            for shard in shards:
+                executor.submit(
+                    shard.index, run_tvla_shard, self.spec, shard,
+                    self.fixed_plaintext, self.key, self.segment_length,
+                    self.store_root, self.batch_size, self.nop_header,
+                    self.threshold, self.fault_plan,
                 )
+            for shard in shards:
+                try:
+                    result = executor.result(shard.index)
+                except ShardFailure as failure:
+                    failures.append(failure)
+                    break
+                accumulator.merge(result.accumulator)
+                resumed += result.replayed
+                capture_seconds += result.capture_seconds
+                if journal is not None and result.quarantined:
+                    journal.update_shard(shard.index, "done", quarantined=True)
+                if verbose:
+                    print(
+                        f"[tvla x{self.workers}] shard {result.index}: "
+                        f"{result.accumulator.n_fixed} fixed / "
+                        f"{result.accumulator.n_random} random"
+                    )
+        except BaseException:
+            # Interrupt / unexpected error: terminate workers outright so
+            # no zombie keeps capturing after the parent unwinds.
+            if journal is not None:
+                journal.set_phase("interrupted")
+            executor.close(force=True)
+            raise
+        executor.close(force=bool(failures))
+        partial = bool(failures)
+        if partial and (accumulator.n_fixed < 2 or accumulator.n_random < 2):
+            if journal is not None:
+                journal.set_phase("failed")
+            raise failures[0]
         self.accumulator = accumulator
         self.resumed_from = resumed
         self.capture_seconds = capture_seconds
+        self.partial = partial
+        self.failed_shards = tuple(f.index for f in failures)
+        if journal is not None:
+            journal.set_phase("partial" if partial else "complete")
         return self.result()
 
     def result(self) -> TvlaResult:
@@ -245,4 +317,6 @@ class ParallelTvlaCampaign:
             n_fixed=self.accumulator.n_fixed,
             n_random=self.accumulator.n_random,
             countermeasure=self.countermeasure_name,
+            partial=self.partial,
+            failed_shards=self.failed_shards,
         )

@@ -222,13 +222,19 @@ class TvlaResult:
     n_fixed: int
     n_random: int
     countermeasure: str
+    partial: bool = False           # some shards exhausted their retries
+    failed_shards: tuple[int, ...] = ()
 
     def summary(self) -> str:
         verdict = "LEAKS" if self.leakage_detected else "passes"
+        note = (
+            f" [PARTIAL: shards {list(self.failed_shards)} failed]"
+            if self.partial else ""
+        )
         return (
             f"{self.countermeasure}: max |t| = {self.max_abs_t:.1f} "
             f"({'>' if self.leakage_detected else '<='} {self.threshold:.1f}, "
-            f"{verdict}) over {self.n_fixed}+{self.n_random} traces"
+            f"{verdict}) over {self.n_fixed}+{self.n_random} traces{note}"
         )
 
 
@@ -358,6 +364,7 @@ class TvlaCampaign:
             )
         self.store = store
         self.resumed_from = 0
+        self.store_quarantined = 0
         if store is not None:
             if store.n_samples != self.segment_length:
                 raise ValueError(
@@ -385,6 +392,10 @@ class TvlaCampaign:
                     f"store was captured in {stored_mode!r} mode, campaign "
                     f"runs {spec.capture_mode!r}"
                 )
+            # Quarantine any corrupt/orphaned tail before replay: the
+            # populations re-interleave deterministically, so the campaign
+            # re-captures the dropped suffix instead of crashing here.
+            self.store_quarantined = len(store.recover().quarantined)
             if len(store):
                 self._replay(store)
 

@@ -30,6 +30,15 @@ shards (:func:`~repro.runtime.parallel.plan_shards`), workers capture and
 accumulate shards in parallel processes, and the parent merges the
 additive sufficient statistics at shard-aligned rank checkpoints —
 bit-identical results regardless of the worker count.
+
+Execution is fault tolerant: :class:`~repro.runtime.retry.ShardExecutor`
+retries failed shards with exponential backoff (re-captures are
+bit-identical by the deterministic-reseed property), rebuilds broken
+pools, watchdogs hung shards, and degrades exhausted campaigns to
+``partial`` results; :class:`~repro.runtime.journal.CampaignJournal`
+records per-shard lifecycle states crash-safely under the store root;
+:mod:`repro.runtime.faults` provides the deterministic fault-injection
+harness the chaos suite drives all of it with.
 """
 
 from repro.runtime.campaign import (
@@ -39,6 +48,8 @@ from repro.runtime.campaign import (
     PlatformSegmentSource,
 )
 from repro.runtime.engine import ExperimentEngine, ScenarioResult
+from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.runtime.journal import CampaignJournal
 from repro.runtime.parallel import (
     ParallelCampaign,
     PlatformCampaignSpec,
@@ -46,24 +57,34 @@ from repro.runtime.parallel import (
     ShardedSegmentSource,
     ShardSpec,
     plan_shards,
+    run_shard,
     shard_aligned_checkpoints,
 )
 from repro.runtime.plan import BatchPlan, ScenarioSpec
+from repro.runtime.retry import RetryPolicy, ShardExecutor, ShardFailure
 
 __all__ = [
     "AttackCampaign",
     "BatchPlan",
+    "CampaignJournal",
     "CampaignResult",
     "CheckpointRecord",
     "ExperimentEngine",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "ParallelCampaign",
     "PlatformCampaignSpec",
     "PlatformSegmentSource",
     "ReducedKeySource",
+    "RetryPolicy",
     "ScenarioResult",
     "ScenarioSpec",
+    "ShardExecutor",
+    "ShardFailure",
     "ShardSpec",
     "ShardedSegmentSource",
     "plan_shards",
+    "run_shard",
     "shard_aligned_checkpoints",
 ]

@@ -153,6 +153,9 @@ class CampaignResult:
     capture_seconds: float
     attack_seconds: float
     distinguisher: str = "cpa"      # registry name of the attack statistic
+    partial: bool = False           # some shards exhausted their retries
+    failed_shards: tuple[int, ...] = ()
+    retries: int = 0                # shard retries spent across the run
 
     @property
     def key_recovered(self) -> bool:
@@ -165,7 +168,15 @@ class CampaignResult:
             if self.traces_to_rank1 is not None
             else "rank 1 not reached"
         )
-        stop = "early stop" if self.early_stopped else "budget exhausted"
+        if self.partial:
+            stop = (
+                f"PARTIAL: shards {list(self.failed_shards)} failed "
+                f"after retries"
+            )
+        elif self.early_stopped:
+            stop = "early stop"
+        else:
+            stop = "budget exhausted"
         return (
             f"{self.n_traces} traces ({self.resumed_from} resumed), "
             f"{len(self.records)} checkpoints, {outcome}, {stop}"
@@ -269,6 +280,12 @@ class AttackCampaign:
         self.rank1_patience = int(rank1_patience)
         self.batch_size = int(batch_size)
         self.resumed_from = 0
+        self.store_quarantined = 0
+        if store is not None:
+            # Quarantine any corrupt/orphaned tail before replay, so a
+            # damaged store resumes (re-capturing the dropped suffix of
+            # its deterministic stream) instead of crashing mid-replay.
+            self.store_quarantined = len(store.recover().quarantined)
         if store is not None and len(store):
             for traces, plaintexts in store.iter_chunks(self.batch_size):
                 self.accumulator.update(traces, plaintexts)

@@ -35,12 +35,22 @@ worker's accumulator and captures only the remainder of the shard (the
 source fast-forwards past the replayed prefix), so an interrupted-and-
 resumed parallel campaign accumulates exactly the traces an uninterrupted
 one would.
+
+Execution is fault tolerant (:mod:`repro.runtime.retry`): failed shards
+retry with exponential backoff and re-capture bit-identically (shard
+streams are pure functions of seed and index), broken pools are rebuilt
+and only unfinished shards re-dispatched, hung shards are cancelled by a
+per-shard watchdog ``shard_timeout``, and a campaign whose shards exhaust
+their retries degrades to a ``partial=True`` result over the merged
+prefix instead of aborting — with per-shard stores left positioned for
+resume and the failure recorded in the campaign journal
+(:mod:`repro.runtime.journal`).  Resume paths verify store integrity and
+quarantine corrupt shards before replaying them.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Protocol
@@ -53,7 +63,7 @@ from repro.attacks.distinguishers import (
     resolve_distinguisher,
 )
 from repro.attacks.key_rank import MIN_CPA_TRACES, geometric_checkpoints
-from repro.campaign import TraceStore
+from repro.campaign import CorruptManifestError, TraceStore
 from repro.ciphers.registry import get_cipher
 from repro.runtime.campaign import (
     CampaignResult,
@@ -63,6 +73,13 @@ from repro.runtime.campaign import (
     evaluate_checkpoint,
     extends_streak,
     streak_start,
+)
+from repro.runtime.journal import CampaignJournal
+from repro.runtime.retry import (
+    RetryPolicy,
+    ShardExecutor,
+    ShardFailure,
+    pool_context as _pool_context,
 )
 from repro.soc.platform import PlatformSpec
 
@@ -362,10 +379,41 @@ class ShardResult:
     accumulator: Distinguisher
     replayed: int               # traces replayed from the shard's store
     capture_seconds: float
+    quarantined: int = 0        # corrupt files quarantined before resume
 
 
 def _shard_store_dir(store_root, index: int) -> Path:
     return Path(store_root) / f"shard-{index:06d}"
+
+
+def _quarantine_store_dir(store_dir: Path) -> Path:
+    """Rename an unrecoverable store directory aside, never clobbering."""
+    target = store_dir.with_suffix(".quarantined")
+    attempt = 0
+    while target.exists():
+        attempt += 1
+        target = store_dir.with_suffix(f".quarantined.{attempt}")
+    store_dir.rename(target)
+    return target
+
+
+def _recover_store_dir(store_dir: Path) -> int:
+    """Integrity-check an existing shard store before it is resumed.
+
+    Corrupt or orphaned payload files are quarantined (the manifest is
+    truncated to its intact prefix, so the shard re-captures exactly the
+    dropped tail); a manifest too damaged to parse quarantines the whole
+    directory and the shard re-captures from scratch.  Returns the count
+    of quarantined files.
+    """
+    if not (store_dir / "manifest.json").exists():
+        return 0
+    try:
+        store = TraceStore.open(store_dir)
+    except CorruptManifestError:
+        _quarantine_store_dir(store_dir)
+        return 1
+    return len(store.recover().quarantined)
 
 
 def is_shard_store_root(path) -> bool:
@@ -387,6 +435,7 @@ def run_shard(
     aggregate: int = 1,
     batch_size: int = 256,
     distinguisher: DistinguisherSpec | None = None,
+    fault_plan=None,
 ) -> ShardResult:
     """Capture (or resume) one shard and accumulate it.
 
@@ -396,21 +445,30 @@ def run_shard(
     picklable spec rather than a live accumulator.
 
     With a ``store_root`` the shard persists under its own
-    ``shard-<index>`` trace-store directory: existing traces are replayed
-    into the accumulator and the shard's seeded source is fast-forwarded
-    past them, so re-running a partially captured shard appends exactly
-    the traces the uninterrupted run would have captured.  A store longer
-    than the shard (a previous run with a larger budget, or a larger
-    shard size — per-index shard streams are prefixes of the same child-
-    seed stream either way) replays only its first ``shard.count`` traces.
+    ``shard-<index>`` trace-store directory: the store is integrity-
+    checked (corrupt tails and orphans quarantined) before existing
+    traces are replayed into the accumulator, and the shard's seeded
+    source is fast-forwarded past them, so re-running a partially
+    captured shard appends exactly the traces the uninterrupted run would
+    have captured.  A store longer than the shard (a previous run with a
+    larger budget, or a larger shard size — per-index shard streams are
+    prefixes of the same child-seed stream either way) replays only its
+    first ``shard.count`` traces.
+
+    ``fault_plan`` (a :class:`~repro.runtime.faults.FaultPlan`) is the
+    chaos-test hook: it may kill, hang, or corrupt this shard at capture
+    boundaries.
     """
     _, accumulator = resolve_distinguisher(distinguisher, aggregate=aggregate)
     capture_mode = getattr(spec, "capture_mode", "exact")
     store = None
     replayed = 0
+    quarantined = 0
     if store_root is not None:
+        store_dir = _shard_store_dir(store_root, shard.index)
+        quarantined = _recover_store_dir(store_dir)
         store = TraceStore.open_or_create(
-            _shard_store_dir(store_root, shard.index),
+            store_dir,
             n_samples=spec.n_samples,
             block_size=spec.block_size,
             key=spec.true_key,
@@ -456,6 +514,8 @@ def run_shard(
         if replayed:
             source.skip(replayed)
         while done < shard.count:
+            if fault_plan is not None:
+                fault_plan.maybe_fire(shard.index, done=done, store=store)
             take = min(int(batch_size), shard.count - done)
             begin = time.perf_counter()
             traces, plaintexts = source.capture(take)
@@ -469,16 +529,8 @@ def run_shard(
         accumulator=accumulator,
         replayed=replayed,
         capture_seconds=capture_seconds,
+        quarantined=quarantined,
     )
-
-
-def _pool_context():
-    """Prefer fork (cheap, inherits imports); fall back to the default."""
-    import multiprocessing
-
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return None  # pragma: no cover - non-fork platforms
 
 
 # ---------------------------------------------------------------------- #
@@ -504,6 +556,18 @@ class ParallelCampaign:
     the current checkpoint rung to stay saturated; on early stop those
     speculative shards are discarded (their stores, when enabled, persist
     the usual deterministic streams and simply pre-warm a later resume).
+
+    Failures are absorbed by the shard retry layer (``max_retries`` ×
+    exponential ``retry_backoff``, per-shard ``shard_timeout`` watchdog;
+    see :class:`~repro.runtime.retry.ShardExecutor`).  Retried shards
+    re-capture bit-identically, so retries never perturb the result.  A
+    shard that exhausts its retries ends the run gracefully: the
+    completed shard prefix is merged and evaluated, and the result
+    reports ``partial=True`` with the failed indices — re-running the
+    same campaign over the same ``store_root`` retries just the missing
+    work.  Note ``shard_timeout`` forces pool dispatch even at
+    ``workers=1`` (only a separate process can be killed by the
+    watchdog).
     """
 
     def __init__(
@@ -519,6 +583,10 @@ class ParallelCampaign:
         rank1_patience: int = 2,
         batch_size: int = 256,
         distinguisher: DistinguisherSpec | str | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        shard_timeout: float | None = None,
+        fault_plan=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -551,6 +619,12 @@ class ParallelCampaign:
         self.checkpoint_growth = float(checkpoint_growth)
         self.rank1_patience = int(rank1_patience)
         self.batch_size = int(batch_size)
+        self.retry_policy = RetryPolicy(
+            max_retries=max_retries,
+            backoff=retry_backoff,
+            timeout=shard_timeout,
+        )
+        self.fault_plan = fault_plan
         self.true_key = spec.true_key
 
     def checkpoints(self, max_traces: int) -> list[int]:
@@ -569,14 +643,23 @@ class ParallelCampaign:
         return ShardedSegmentSource(self.spec, self.seed, self.shard_size)
 
     def run(self, max_traces: int, verbose: bool = False) -> CampaignResult:
-        """Capture until early stop or ``max_traces`` merged traces.
+        """Capture until early stop, ``max_traces`` merged, or retry exhaustion.
 
         The result's ``capture_seconds`` aggregates the workers' own
         capture timers (it can exceed wall clock when workers overlap);
         ``attack_seconds`` is the parent's merge + rank-evaluation time.
+
+        A shard that fails every retry ends the run over the merged shard
+        prefix with ``partial=True`` (evaluated as a final checkpoint when
+        large enough); if not even the first shard completed, the
+        :class:`~repro.runtime.retry.ShardFailure` propagates instead.  On
+        any other exception — including ``KeyboardInterrupt`` — worker
+        processes are terminated outright so no zombie keeps capturing
+        after the parent dies.
         """
         if max_traces < self._min_traces:
             raise ValueError(f"max_traces must be >= {self._min_traces}")
+        journal = None
         if self.store_root is not None:
             if (Path(self.store_root) / "manifest.json").exists():
                 raise ValueError(
@@ -585,7 +668,17 @@ class ParallelCampaign:
                     f"campaign at a fresh directory"
                 )
             Path(self.store_root).mkdir(parents=True, exist_ok=True)
+            journal = CampaignJournal.open_or_create(
+                self.store_root, "parallel_campaign",
+                meta={
+                    "seed": self.seed,
+                    "shard_size": self.shard_size,
+                    "distinguisher": self.distinguisher_spec.name,
+                },
+            )
         shards = plan_shards(self.seed, max_traces, self.shard_size)
+        if journal is not None:
+            journal.begin(len(shards))
         ladder = self.checkpoints(max_traces)
         accumulator = self.accumulator = self.distinguisher_spec.build()
         records: list[CheckpointRecord] = []
@@ -594,52 +687,60 @@ class ParallelCampaign:
         merged = 0                  # shards merged so far
         n = 0                       # traces merged so far
         resumed = 0
+        quarantined = 0
         capture_seconds = 0.0
         attack_seconds = 0.0
-        pool = None
-        futures: dict[int, object] = {}
+        failures: list[ShardFailure] = []
+
+        def on_event(index: int, state: str, retries: int) -> None:
+            if journal is not None:
+                journal.update_shard(index, state)
+            if verbose and state in ("retrying", "failed"):
+                print(
+                    f"[parallel x{self.workers}] shard {index} {state} "
+                    f"(retries {retries})"
+                )
+
+        executor = ShardExecutor(
+            workers=self.workers, policy=self.retry_policy, on_event=on_event
+        )
         submitted = 0
         try:
-            if self.workers > 1:
-                pool = ProcessPoolExecutor(
-                    max_workers=self.workers, mp_context=_pool_context()
-                )
             for target in ladder:
                 needed = -(-target // self.shard_size)   # ceil
-                if pool is not None:
-                    # Keep the pool saturated past the current rung: the
-                    # early geometric rungs need fewer shards than there
-                    # are workers, and shard streams are deterministic, so
-                    # capturing ahead changes nothing but wall clock (at
-                    # worst `workers - 1` shards are wasted on early stop).
-                    horizon = min(len(shards), needed + self.workers - 1)
-                    for shard in shards[submitted:horizon]:
-                        futures[shard.index] = pool.submit(
-                            run_shard, self.spec, shard, self.store_root,
-                            self.aggregate, self.batch_size,
-                            self.distinguisher_spec,
-                        )
-                    submitted = max(submitted, horizon)
-                    results = [
-                        futures.pop(shard.index).result()
-                        for shard in shards[merged:needed]
-                    ]
-                else:
-                    results = [
-                        run_shard(
-                            self.spec, shard, store_root=self.store_root,
-                            aggregate=self.aggregate,
-                            batch_size=self.batch_size,
-                            distinguisher=self.distinguisher_spec,
-                        )
-                        for shard in shards[merged:needed]
-                    ]
-                begin = time.perf_counter()
-                for result in sorted(results, key=lambda r: r.index):
+                # Keep the pool saturated past the current rung: the
+                # early geometric rungs need fewer shards than there
+                # are workers, and shard streams are deterministic, so
+                # capturing ahead changes nothing but wall clock (at
+                # worst `workers - 1` shards are wasted on early stop).
+                horizon = min(len(shards), needed + self.workers - 1)
+                for shard in shards[submitted:horizon]:
+                    executor.submit(
+                        shard.index, run_shard, self.spec, shard,
+                        self.store_root, self.aggregate, self.batch_size,
+                        self.distinguisher_spec, self.fault_plan,
+                    )
+                submitted = max(submitted, horizon)
+                for shard in shards[merged:needed]:
+                    try:
+                        result = executor.result(shard.index)
+                    except ShardFailure as failure:
+                        failures.append(failure)
+                        break
+                    begin = time.perf_counter()
                     accumulator.merge(result.accumulator)
+                    attack_seconds += time.perf_counter() - begin
                     resumed += result.replayed
+                    quarantined += result.quarantined
                     capture_seconds += result.capture_seconds
-                merged = needed
+                    merged += 1
+                    if journal is not None and result.quarantined:
+                        journal.update_shard(
+                            shard.index, "done", quarantined=True
+                        )
+                if failures:
+                    break
+                begin = time.perf_counter()
                 n = accumulator.n_traces
                 record = evaluate_checkpoint(accumulator, self.true_key, n)
                 records.append(record)
@@ -656,9 +757,41 @@ class ParallelCampaign:
                     )
                 if stopped:
                     break
-        finally:
-            if pool is not None:
-                pool.shutdown(cancel_futures=True)
+        except BaseException:
+            # Interrupt / unexpected error: terminate workers outright so
+            # no zombie keeps capturing after the parent unwinds.
+            if journal is not None:
+                journal.set_phase("interrupted")
+            executor.close(force=True)
+            raise
+        # A graceful shutdown would block on an uncollected hung shard, so
+        # force when any shard failed (its siblings may share the fault).
+        executor.close(force=bool(failures))
+        partial = bool(failures)
+        if partial and merged == 0:
+            if journal is not None:
+                journal.set_phase("failed")
+            raise failures[0]
+        if partial:
+            # Degrade gracefully: evaluate the merged prefix as the final
+            # checkpoint (when it is both large and new enough to rank).
+            n = accumulator.n_traces
+            if n >= self._min_traces and (
+                not records or n > records[-1].n_traces
+            ):
+                begin = time.perf_counter()
+                records.append(
+                    evaluate_checkpoint(accumulator, self.true_key, n)
+                )
+                streak = (
+                    streak + 1 if extends_streak(records, self.true_key) else 0
+                )
+                attack_seconds += time.perf_counter() - begin
+        if journal is not None:
+            journal.set_phase(
+                "partial" if partial
+                else ("converged" if stopped else "exhausted")
+            )
         return CampaignResult(
             records=records,
             n_traces=n,
@@ -675,5 +808,8 @@ class ParallelCampaign:
             capture_seconds=capture_seconds,
             attack_seconds=attack_seconds,
             distinguisher=accumulator.name,
+            partial=partial,
+            failed_shards=tuple(f.index for f in failures),
+            retries=executor.total_retries,
         )
 

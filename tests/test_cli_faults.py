@@ -1,0 +1,74 @@
+"""CLI fault-tolerance paths: flag validation, --status, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestFlagValidation:
+    def test_retry_flags_without_workers_exit_2(self, tmp_path, capsys):
+        code = main(["campaign", "--traces", "200", "--max-retries", "3"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag,value,fragment", [
+        ("--max-retries", "-1", ">= 0"),
+        ("--retry-backoff", "-0.5", ">= 0"),
+        ("--shard-timeout", "0", "> 0"),
+    ])
+    def test_bad_values_exit_2(self, capsys, flag, value, fragment):
+        code = main([
+            "campaign", "--traces", "200", "--workers", "2", flag, value,
+        ])
+        assert code == 2
+        assert fragment in capsys.readouterr().err
+
+    def test_tvla_validates_the_same_flags(self, capsys):
+        code = main(["tvla", "--traces", "40", "--shard-timeout", "0"])
+        assert code == 2
+
+
+class TestStatus:
+    def test_status_without_store_exits_2(self, capsys):
+        assert main(["campaign", "--status"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_status_on_missing_directory_exits_2(self, tmp_path, capsys):
+        store = str(tmp_path / "nowhere")
+        assert main(["campaign", "--status", "--store", store]) == 2
+        assert "directory does not exist" in capsys.readouterr().err
+
+    def test_status_on_serial_store_points_at_workers(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "manifest.json").write_text('{"version": 1, "shards": []}')
+        assert main(["campaign", "--status", "--store", str(store)]) == 2
+        assert "serial trace store" in capsys.readouterr().err
+
+    def test_status_on_corrupt_journal_says_how_to_reset(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "journal.json").write_text("{ not json")
+        assert main(["campaign", "--status", "--store", str(store)]) == 2
+        assert "delete journal.json" in capsys.readouterr().err
+
+    def test_status_after_a_real_parallel_run(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = ["campaign", "--rd", "0", "--traces", "384",
+                "--segment-length", "1600", "--aggregate", "8",
+                "--patience", "1", "--first-checkpoint", "128",
+                "--shard-size", "128", "--workers", "1", "--store", store]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["campaign", "--status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "parallel_campaign" in out
+        assert "phase" in out
+        journal = json.loads((tmp_path / "store" / "journal.json").read_text())
+        assert journal["kind"] == "parallel_campaign"
